@@ -1,0 +1,1 @@
+bench/chart.ml: Array Buffer Float Fun List Printf String

@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Amac Array Dsim Graphs List Mmb Printf Report

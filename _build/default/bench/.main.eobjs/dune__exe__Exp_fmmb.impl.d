@@ -1,0 +1,1 @@
+bench/exp_fmmb.ml: Amac Array Chart Dsim Fit Float Fun Graphs Hashtbl List Mmb Printf Report

@@ -1,0 +1,1 @@
+bench/exp_lower.ml: Amac Chart Fit Graphs List Mmb Report

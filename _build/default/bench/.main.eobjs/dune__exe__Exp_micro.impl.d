@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Amac Analyze Bechamel Benchmark Dsim Float Graphs Hashtbl Instance List Measure Mmb Printf Report Staged Test Time Toolkit

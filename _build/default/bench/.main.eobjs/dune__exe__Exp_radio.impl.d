@@ -1,0 +1,1 @@
+bench/exp_radio.ml: Amac Array Dsim Float Graphs Hashtbl List Mmb Radio Report

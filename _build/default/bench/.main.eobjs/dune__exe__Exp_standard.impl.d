@@ -1,0 +1,1 @@
+bench/exp_standard.ml: Amac Dsim Fit Float Fun Graphs List Mmb Report

@@ -1,0 +1,1 @@
+bench/fit.ml: List

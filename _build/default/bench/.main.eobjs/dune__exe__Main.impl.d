@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_extensions Exp_fmmb Exp_lower Exp_micro Exp_radio Exp_standard List Printf String Sys

@@ -1,0 +1,76 @@
+(* Plain-text charts for the experiment harness: log-log / lin-lin scatter
+   lines with labelled axes, so growth shapes are visible directly in the
+   bench output without external tooling. *)
+
+let log10 x = log x /. log 10.
+
+(* Render one series as an ASCII plot.  [scale] selects axis transforms. *)
+let plot ?(width = 56) ?(height = 12) ?(scale = `Linear) ~x_label ~y_label
+    points =
+  match points with
+  | [] | [ _ ] -> "  (not enough points to plot)\n"
+  | _ ->
+      let tx, ty =
+        match scale with
+        | `Linear -> (Fun.id, Fun.id)
+        | `Loglog -> ((fun x -> log10 (Float.max 1e-12 x)),
+                      fun y -> log10 (Float.max 1e-12 y))
+      in
+      let pts = List.map (fun (x, y) -> (tx x, ty y)) points in
+      let min_x = List.fold_left (fun a (x, _) -> Float.min a x) infinity pts in
+      let max_x =
+        List.fold_left (fun a (x, _) -> Float.max a x) neg_infinity pts
+      in
+      let min_y = List.fold_left (fun a (_, y) -> Float.min a y) infinity pts in
+      let max_y =
+        List.fold_left (fun a (_, y) -> Float.max a y) neg_infinity pts
+      in
+      let span_x = Float.max 1e-12 (max_x -. min_x) in
+      let span_y = Float.max 1e-12 (max_y -. min_y) in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun (x, y) ->
+          let col =
+            int_of_float ((x -. min_x) /. span_x *. float_of_int (width - 1))
+          in
+          let row =
+            height - 1
+            - int_of_float
+                ((y -. min_y) /. span_y *. float_of_int (height - 1))
+          in
+          grid.(max 0 (min (height - 1) row)).(max 0 (min (width - 1) col)) <-
+            '*')
+        pts;
+      let buf = Buffer.create 1024 in
+      let orig_min_y, orig_max_y =
+        ( List.fold_left (fun a (_, y) -> Float.min a y) infinity points,
+          List.fold_left (fun a (_, y) -> Float.max a y) neg_infinity points )
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%s\n" y_label
+           (match scale with `Loglog -> " (log-log)" | `Linear -> ""));
+      Array.iteri
+        (fun i row ->
+          let label =
+            if i = 0 then Printf.sprintf "%10.1f" orig_max_y
+            else if i = height - 1 then Printf.sprintf "%10.1f" orig_min_y
+            else String.make 10 ' '
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s |%s\n" label (String.init width (Array.get row))))
+        grid;
+      let orig_min_x, orig_max_x =
+        ( List.fold_left (fun a (x, _) -> Float.min a x) infinity points,
+          List.fold_left (fun a (x, _) -> Float.max a x) neg_infinity points )
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s +%s\n" (String.make 10 ' ') (String.make width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %-10.1f%s%10.1f  (%s)\n" (String.make 10 ' ')
+           orig_min_x
+           (String.make (max 0 (width - 22)) ' ')
+           orig_max_x x_label);
+      Buffer.contents buf
+
+let print ?width ?height ?scale ~x_label ~y_label points =
+  print_string (plot ?width ?height ?scale ~x_label ~y_label points)

@@ -1,0 +1,80 @@
+(* Experiment E4: the Section 3.3 lower bound, executable.  Figure 2's
+   two-line network forces Omega(D*Fack); Lemma 3.18's choke network forces
+   Omega(k*Fack).  Together they realize the grey-zone row of Figure 1. *)
+
+let fack = 20.
+let fprog = 1.
+
+let e4_lower_bound () =
+  Report.section
+    "E4  Figure 1 (standard, grey zone) lower bound: Omega((D + k) * Fack)";
+  Report.subsection
+    "Figure 2 two-line network: adversary delays each frontier hop by Fack";
+  let rows, samples =
+    List.split
+      (List.map
+         (fun d ->
+           let res = Mmb.Lower_bound.run_two_line ~d ~fack ~fprog () in
+           ( [
+               Report.i d;
+               Report.f1 res.Mmb.Lower_bound.time;
+               Report.f1 res.Mmb.Lower_bound.floor;
+               Report.f1 res.Mmb.Lower_bound.upper;
+               Report.verdict res.Mmb.Lower_bound.achieved;
+             ],
+             (float_of_int d, res.Mmb.Lower_bound.time) ))
+         [ 4; 8; 16; 32; 64 ])
+  in
+  Report.table
+    ~header:[ "D"; "time"; "floor (D-1)Fack"; "upper (D+2)Fack"; ">=floor" ]
+    rows;
+  let slope, _ = Fit.linear1 samples in
+  Report.note "fit time ~ slope*D: slope = %.2f (vs Fack = %.0f)" slope fack;
+  Chart.print ~x_label:"D" ~y_label:"completion time"
+    (List.map (fun (d, t) -> (d, t)) samples);
+  Report.subsection "Lemma 3.18 choke network: one message per ack";
+  let rows =
+    List.map
+      (fun k ->
+        let res = Mmb.Lower_bound.run_choke ~k ~fack ~fprog () in
+        [
+          Report.i k;
+          Report.f1 res.Mmb.Lower_bound.time;
+          Report.f1 res.Mmb.Lower_bound.floor;
+          Report.verdict res.Mmb.Lower_bound.achieved;
+        ])
+      [ 2; 4; 8; 16; 32 ]
+  in
+  Report.table ~header:[ "k"; "time"; "floor (k-1)Fack"; ">=floor" ] rows;
+  Report.subsection "Control: same two-line network, benign scheduler";
+  let rows =
+    List.map
+      (fun d ->
+        let dual = Graphs.Dual.two_line ~d in
+        let assignment =
+          [
+            (Graphs.Dual.two_line_a ~d 1, 0); (Graphs.Dual.two_line_b ~d 1, 1);
+          ]
+        in
+        let eager =
+          Mmb.Runner.run_bmmb ~dual ~fack ~fprog
+            ~policy:(Amac.Schedulers.eager ())
+            ~assignment ~seed:0 ()
+        in
+        let adv = Mmb.Lower_bound.run_two_line ~d ~fack ~fprog () in
+        [
+          Report.i d;
+          Report.f1 eager.Mmb.Runner.time;
+          Report.f1 adv.Mmb.Lower_bound.time;
+          Report.f1 (adv.Mmb.Lower_bound.time /. eager.Mmb.Runner.time);
+        ])
+      [ 8; 32 ]
+  in
+  Report.table
+    ~header:[ "D"; "eager time"; "adversary time"; "slowdown" ]
+    rows;
+  Report.note
+    "the slowdown is entirely the scheduler's doing; the topology alone is \
+     harmless."
+
+let run () = e4_lower_bound ()

@@ -1,0 +1,87 @@
+(* B1: Bechamel micro-benchmarks of the substrates and of one representative
+   workload per experiment family (one Test.make per table).  These measure
+   engineering cost (ns/run), not model time. *)
+
+open Bechamel
+open Toolkit
+
+let heap_churn () =
+  let h = Dsim.Heap.create () in
+  for i = 0 to 999 do
+    ignore (Dsim.Heap.push h ~time:(float_of_int ((i * 7919) mod 1000)) i)
+  done;
+  let rec drain () = match Dsim.Heap.pop h with Some _ -> drain () | None -> () in
+  drain ()
+
+let bfs_grid =
+  let g = Graphs.Gen.grid ~rows:40 ~cols:40 in
+  fun () -> ignore (Graphs.Bfs.distances g ~src:0)
+
+let grey_zone_gen () =
+  let rng = Dsim.Rng.create ~seed:42 in
+  ignore (Graphs.Dual.grey_zone_random rng ~n:100 ~width:6. ~height:6. ~c:2. ~p:0.4)
+
+let bmmb_line_run () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 40) in
+  let assignment = Mmb.Problem.all_at ~node:0 ~k:4 in
+  ignore
+    (Mmb.Runner.run_bmmb ~dual ~fack:20. ~fprog:1.
+       ~policy:(Amac.Schedulers.adversarial ())
+       ~assignment ~seed:1 ())
+
+let two_line_run () =
+  ignore (Mmb.Lower_bound.run_two_line ~d:16 ~fack:20. ~fprog:1. ())
+
+let mis_run =
+  let rng0 = Dsim.Rng.create ~seed:7 in
+  let dual =
+    Graphs.Dual.grey_zone_connected rng0 ~n:40 ~width:3.6 ~height:3.6 ~c:2.
+      ~p:0.4 ~max_tries:500
+  in
+  fun () ->
+    let rng = Dsim.Rng.create ~seed:8 in
+    let params = Mmb.Fmmb_mis.default_params ~n:40 ~c:2. in
+    ignore
+      (Mmb.Fmmb_mis.run ~dual ~rng
+         ~policy:(Amac.Enhanced_mac.minimal_random ())
+         ~params ())
+
+let tests =
+  Test.make_grouped ~name:"amac_mmb"
+    [
+      Test.make ~name:"E1: bmmb line n=40 k=4 (adversarial)"
+        (Staged.stage bmmb_line_run);
+      Test.make ~name:"E4: two-line adversary d=16" (Staged.stage two_line_run);
+      Test.make ~name:"E5/E8: fmmb MIS n=40 grey zone" (Staged.stage mis_run);
+      Test.make ~name:"substrate: heap 1k push/pop" (Staged.stage heap_churn);
+      Test.make ~name:"substrate: BFS 40x40 grid" (Staged.stage bfs_grid);
+      Test.make ~name:"substrate: grey-zone generator n=100"
+        (Staged.stage grey_zone_gen);
+    ]
+
+let run () =
+  Report.section "B1  Bechamel micro-benchmarks (wall-clock engineering cost)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | _ -> Float.nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      rows := [ name; Printf.sprintf "%.0f" ns; r2 ] :: !rows)
+    results;
+  Report.table
+    ~header:[ "benchmark"; "ns/run"; "r²" ]
+    (List.sort compare !rows)

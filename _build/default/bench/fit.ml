@@ -1,0 +1,32 @@
+(* Tiny least-squares fits used to extract growth coefficients from
+   measured series. *)
+
+(* Fit t = a*x + b*y (no intercept) by normal equations. *)
+let linear2 samples =
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  let sxt = ref 0. and syt = ref 0. in
+  List.iter
+    (fun (x, y, t) ->
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y);
+      syy := !syy +. (y *. y);
+      sxt := !sxt +. (x *. t);
+      syt := !syt +. (y *. t))
+    samples;
+  let det = (!sxx *. !syy) -. (!sxy *. !sxy) in
+  if abs_float det < 1e-12 then (0., 0.)
+  else
+    ( ((!syy *. !sxt) -. (!sxy *. !syt)) /. det,
+      ((!sxx *. !syt) -. (!sxy *. !sxt)) /. det )
+
+(* Fit t = slope*x + intercept. *)
+let linear1 samples =
+  let n = float_of_int (List.length samples) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. samples in
+  let st = List.fold_left (fun a (_, t) -> a +. t) 0. samples in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. samples in
+  let sxt = List.fold_left (fun a (x, t) -> a +. (x *. t)) 0. samples in
+  let det = (n *. sxx) -. (sx *. sx) in
+  if abs_float det < 1e-12 then (0., 0.)
+  else
+    (((n *. sxt) -. (sx *. st)) /. det, ((sxx *. st) -. (sx *. sxt)) /. det)

@@ -1,0 +1,41 @@
+(* Experiment harness entry point.  `dune exec bench/main.exe` regenerates
+   every table/figure of the paper (see DESIGN.md section 5); pass experiment
+   ids (e1..e9, b1) to run a subset. *)
+
+let groups =
+  [
+    ("e1", fun () -> Exp_standard.e1_reliable ());
+    ("e2", fun () -> Exp_standard.e2_r_restricted ());
+    ("e3", fun () -> Exp_standard.e3_arbitrary ());
+    ("e4", fun () -> Exp_lower.run ());
+    ("e5", fun () -> Exp_fmmb.e5_fmmb ());
+    ("e6", fun () -> Exp_fmmb.e6_crossover ());
+    ("e7", fun () -> Exp_standard.e7_thm316_montecarlo ());
+    ("e8", fun () -> Exp_fmmb.e8_mis ());
+    ("e9", fun () -> Exp_fmmb.e9_ablations ());
+    ("e10", fun () -> Exp_extensions.e10_online ());
+    ("e11", fun () -> Exp_extensions.e11_round_construction ());
+    ("e12", fun () -> Exp_extensions.e12_leader_election ());
+    ("e13", fun () -> Exp_radio.e13_radio ());
+    ("e14", fun () -> Exp_extensions.e14_online_fmmb ());
+    ("e15", fun () -> Exp_radio.e15_sinr ());
+    ("e16", fun () -> Exp_extensions.e16_structuring ());
+    ("b1", fun () -> Exp_micro.run ());
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst groups
+  in
+  print_endline
+    "Multi-Message Broadcast with Abstract MAC Layers — experiment harness";
+  print_endline
+    "(Ghaffari, Kantor, Lynch, Newport, PODC 2014; see EXPERIMENTS.md)";
+  List.iter
+    (fun id ->
+      match List.assoc_opt (String.lowercase_ascii id) groups with
+      | Some f -> f ()
+      | None -> Printf.eprintf "unknown experiment id: %s\n" id)
+    requested

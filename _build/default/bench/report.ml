@@ -1,0 +1,44 @@
+(* Plain-text reporting helpers for the experiment harness: section
+   banners and aligned tables, matching the row/series style of the paper's
+   Figure 1 summary. *)
+
+let section title =
+  let bar = String.make 78 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+let subsection title =
+  Printf.printf "\n--- %s %s\n" title
+    (String.make (max 0 (72 - String.length title)) '-')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun c cell ->
+          let w = List.nth widths c in
+          Printf.sprintf "%*s" w cell)
+        row
+    in
+    Printf.printf "  %s\n" (String.concat "  " cells)
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i x = string_of_int x
+let verdict ok = if ok then "yes" else "NO"

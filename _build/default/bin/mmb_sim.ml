@@ -1,0 +1,539 @@
+(* Command-line front end for the simulator: single runs, parameter sweeps,
+   and the executable lower bounds.
+
+     mmb_sim run --topology line --n 40 --k 4 --scheduler adversarial
+     mmb_sim run --protocol fmmb --topology geometric --n 80 --k 6
+     mmb_sim lower-bound --network two-line --d 16
+     mmb_sim sweep --param k --values 1,2,4,8,16 --topology line --n 30 *)
+
+open Cmdliner
+
+(* --- Shared argument definitions ---------------------------------------- *)
+
+let topology =
+  let doc = "Reliable graph G: line | ring | grid | star | geometric." in
+  Arg.(value & opt string "line" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+
+let n_arg =
+  let doc = "Number of nodes." in
+  Arg.(value & opt int 30 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let k_arg =
+  let doc = "Number of MMB messages." in
+  Arg.(value & opt int 4 & info [ "messages"; "k" ] ~docv:"K" ~doc)
+
+let gprime =
+  let doc =
+    "Unreliable graph G' regime: equal | r-restricted | arbitrary | greyzone \
+     (greyzone forces the geometric topology)."
+  in
+  Arg.(value & opt string "equal" & info [ "gprime"; "g" ] ~docv:"REGIME" ~doc)
+
+let r_arg =
+  let doc = "Restriction radius for --gprime r-restricted." in
+  Arg.(value & opt int 2 & info [ "radius"; "r" ] ~docv:"R" ~doc)
+
+let extra_arg =
+  let doc = "Number of extra unreliable edges." in
+  Arg.(value & opt int 10 & info [ "extra" ] ~docv:"EDGES" ~doc)
+
+let fack_arg =
+  let doc = "Acknowledgment bound Fack." in
+  Arg.(value & opt float 20. & info [ "fack" ] ~docv:"FACK" ~doc)
+
+let fprog_arg =
+  let doc = "Progress bound Fprog." in
+  Arg.(value & opt float 1. & info [ "fprog" ] ~docv:"FPROG" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are reproducible from it)." in
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
+let scheduler_arg =
+  let doc = "Message scheduler: eager | random | adversarial." in
+  Arg.(
+    value & opt string "random" & info [ "scheduler" ] ~docv:"SCHEDULER" ~doc)
+
+let protocol_arg =
+  let doc = "Protocol: bmmb | fmmb." in
+  Arg.(value & opt string "bmmb" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
+
+let check_arg =
+  let doc = "Audit the execution against the five MAC-layer axioms." in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let trace_arg =
+  let doc = "Dump the full event trace to stdout after the run." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_out_arg =
+  let doc = "Write the event trace to FILE as JSON lines." in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let svg_arg =
+  let doc =
+    "Render the network to FILE as SVG (geometric/greyzone networks only)."
+  in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+(* --- Construction helpers ----------------------------------------------- *)
+
+let build_base ~topology ~n ~seed =
+  let rng = Dsim.Rng.create ~seed:(seed + 7321) in
+  match topology with
+  | "line" -> Ok (Graphs.Gen.line n, None)
+  | "ring" -> Ok (Graphs.Gen.ring (max 3 n), None)
+  | "star" -> Ok (Graphs.Gen.star n, None)
+  | "grid" ->
+      let side = int_of_float (ceil (sqrt (float_of_int n))) in
+      Ok (Graphs.Gen.grid ~rows:side ~cols:side, None)
+  | "geometric" ->
+      let side = sqrt (float_of_int n /. 3.) in
+      let g, pts =
+        Graphs.Gen.random_connected_geometric rng ~n ~width:side ~height:side
+          ~radius:1. ~max_tries:2000
+      in
+      Ok (g, Some pts)
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+let build_dual ~topology ~gprime ~n ~r ~extra ~seed =
+  let rng = Dsim.Rng.create ~seed:(seed + 911) in
+  match gprime with
+  | "greyzone" ->
+      let side = sqrt (float_of_int n /. 3.) in
+      Ok
+        (Graphs.Dual.grey_zone_connected rng ~n ~width:side ~height:side ~c:2.
+           ~p:0.4 ~max_tries:2000)
+  | regime -> (
+      match build_base ~topology ~n ~seed with
+      | Error e -> Error e
+      | Ok (g, _) -> (
+          match regime with
+          | "equal" -> Ok (Graphs.Dual.of_equal g)
+          | "r-restricted" ->
+              Ok (Graphs.Dual.r_restricted_random rng ~g ~r ~extra)
+          | "arbitrary" -> Ok (Graphs.Dual.arbitrary_random rng ~g ~extra)
+          | other -> Error (Printf.sprintf "unknown G' regime %S" other)))
+
+let build_scheduler = function
+  | "eager" -> Ok (Amac.Schedulers.eager ())
+  | "random" -> Ok (Amac.Schedulers.random_compliant ())
+  | "adversarial" -> Ok (Amac.Schedulers.adversarial ())
+  | "bursty" -> Ok (Amac.Schedulers.bursty ())
+  | other -> Error (Printf.sprintf "unknown scheduler %S" other)
+
+let describe_dual dual =
+  let g = Graphs.Dual.reliable dual in
+  Printf.printf "network: n=%d |E|=%d |E'|=%d D=%d components=%d\n"
+    (Graphs.Graph.n g) (Graphs.Graph.m g)
+    (Graphs.Graph.m (Graphs.Dual.unreliable dual))
+    (Graphs.Bfs.diameter g)
+    (Graphs.Bfs.component_count g)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out =
+  match build_scheduler scheduler with
+  | Error e -> `Error (false, e)
+  | Ok policy ->
+      let rng = Dsim.Rng.create ~seed in
+      let assignment = Mmb.Problem.random rng ~n:(Graphs.Dual.n dual) ~k in
+      let want_trace = check || trace || trace_out <> None in
+      let res =
+        Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
+          ~check_compliance:want_trace ()
+      in
+      describe_dual dual;
+      Printf.printf "protocol: BMMB, scheduler: %s, Fack=%g, Fprog=%g\n"
+        scheduler fack fprog;
+      Printf.printf "complete: %b\ntime: %g\nbound: %g (time/bound %.2f)\n"
+        res.Mmb.Runner.complete res.Mmb.Runner.time res.Mmb.Runner.upper_bound
+        (if res.Mmb.Runner.upper_bound > 0. then
+           res.Mmb.Runner.time /. res.Mmb.Runner.upper_bound
+         else 0.);
+      Printf.printf "bcasts: %d, rcvs: %d, forced progress deliveries: %d\n"
+        res.Mmb.Runner.bcasts res.Mmb.Runner.rcvs res.Mmb.Runner.forced;
+      if check then
+        if res.Mmb.Runner.compliance_violations = [] then
+          print_endline "compliance: OK (all five axioms hold)"
+        else begin
+          print_endline "compliance: VIOLATIONS";
+          List.iter
+            (fun v -> Fmt.pr "  %a@." Amac.Compliance.pp_violation v)
+            res.Mmb.Runner.compliance_violations
+        end;
+      (match (res.Mmb.Runner.trace, trace, trace_out) with
+      | Some tr, true, _ -> Fmt.pr "%a@." Dsim.Trace.pp tr
+      | _ -> ());
+      (match (res.Mmb.Runner.trace, trace_out) with
+      | Some tr, Some path ->
+          Dsim.Trace_io.write_file tr ~path;
+          Printf.printf "trace written to %s (%d events)\n" path
+            (Dsim.Trace.length tr)
+      | _ -> ());
+      ignore want_trace;
+      `Ok ()
+
+let run_fmmb ~dual ~fprog ~k ~seed =
+  let rng = Dsim.Rng.create ~seed in
+  let assignment = Mmb.Problem.random rng ~n:(Graphs.Dual.n dual) ~k in
+  let res =
+    Mmb.Runner.run_fmmb ~dual ~fprog ~c:2.
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~assignment ~seed ()
+  in
+  describe_dual dual;
+  let f = res.Mmb.Runner.fmmb in
+  Printf.printf "protocol: FMMB (enhanced model), Fprog=%g\n" fprog;
+  Printf.printf
+    "complete: %b\nrounds: %d (mis %d + gather %d + spread %d)\ntime: %g\n"
+    f.Mmb.Fmmb.complete f.Mmb.Fmmb.total_rounds f.Mmb.Fmmb.rounds_mis
+    f.Mmb.Fmmb.rounds_gather f.Mmb.Fmmb.rounds_spread f.Mmb.Fmmb.time;
+  Printf.printf "MIS: size %d, valid %b\n" f.Mmb.Fmmb.mis_size
+    f.Mmb.Fmmb.mis_valid;
+  `Ok ()
+
+let run_cmd =
+  let action protocol topology gprime n k r extra fack fprog seed scheduler
+      check trace trace_out svg =
+    match build_dual ~topology ~gprime ~n ~r ~extra ~seed with
+    | Error e -> `Error (false, e)
+    | Ok dual -> (
+        (match svg with
+        | None -> ()
+        | Some path -> (
+            match Graphs.Svg.render dual with
+            | Some doc ->
+                Graphs.Svg.write ~path doc;
+                Printf.printf "network rendered to %s\n" path
+            | None ->
+                prerr_endline
+                  "note: --svg requires an embedded (geometric/greyzone) \
+                   network; skipped"));
+        match protocol with
+        | "bmmb" ->
+            run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
+              ~trace_out
+        | "fmmb" -> run_fmmb ~dual ~fprog ~k ~seed
+        | other -> `Error (false, Printf.sprintf "unknown protocol %S" other))
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ topology $ gprime $ n_arg $ k_arg
+       $ r_arg $ extra_arg $ fack_arg $ fprog_arg $ seed_arg $ scheduler_arg
+       $ check_arg $ trace_arg $ trace_out_arg $ svg_arg))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one MMB simulation and print its metrics.")
+    term
+
+(* --- lower-bound --------------------------------------------------------- *)
+
+let lower_bound_cmd =
+  let network =
+    let doc = "Lower-bound construction: two-line | choke." in
+    Arg.(value & opt string "two-line" & info [ "network" ] ~docv:"NET" ~doc)
+  in
+  let d_arg =
+    let doc = "Line length D for the two-line network." in
+    Arg.(value & opt int 16 & info [ "diameter"; "d" ] ~docv:"D" ~doc)
+  in
+  let action network d k fack fprog =
+    let print (res : Mmb.Lower_bound.result) =
+      Printf.printf
+        "time: %g\nfloor: %g (achieved: %b)\nupper bound: %g\ncomplete: %b\n"
+        res.Mmb.Lower_bound.time res.Mmb.Lower_bound.floor
+        res.Mmb.Lower_bound.achieved res.Mmb.Lower_bound.upper
+        res.Mmb.Lower_bound.complete;
+      `Ok ()
+    in
+    match network with
+    | "two-line" -> print (Mmb.Lower_bound.run_two_line ~d ~fack ~fprog ())
+    | "choke" -> print (Mmb.Lower_bound.run_choke ~k ~fack ~fprog ())
+    | other -> `Error (false, Printf.sprintf "unknown network %S" other)
+  in
+  let term =
+    Term.(
+      ret (const action $ network $ d_arg $ k_arg $ fack_arg $ fprog_arg))
+  in
+  Cmd.v
+    (Cmd.info "lower-bound"
+       ~doc:
+         "Run the Section 3.3 adversarial constructions (Figure 2 two-line, \
+          Lemma 3.18 choke).")
+    term
+
+(* --- sweep ---------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let param =
+    let doc = "Swept parameter: k | n | r | fack." in
+    Arg.(value & opt string "k" & info [ "param" ] ~docv:"PARAM" ~doc)
+  in
+  let values =
+    let doc = "Comma-separated values for the swept parameter." in
+    Arg.(
+      value
+      & opt string "1,2,4,8,16"
+      & info [ "values" ] ~docv:"V1,V2,..." ~doc)
+  in
+  let action param values topology gprime n k r extra fack fprog seed
+      scheduler =
+    let parsed =
+      String.split_on_char ',' values
+      |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+    in
+    if parsed = [] then `Error (false, "no valid sweep values")
+    else begin
+      Printf.printf "%8s  %10s  %10s  %10s\n" param "time" "bound" "ratio";
+      let run_one v =
+        let n = if param = "n" then v else n in
+        let k = if param = "k" then v else k in
+        let r = if param = "r" then v else r in
+        let fack = if param = "fack" then float_of_int v else fack in
+        match build_dual ~topology ~gprime ~n ~r ~extra ~seed with
+        | Error e -> prerr_endline e
+        | Ok dual -> (
+            match build_scheduler scheduler with
+            | Error e -> prerr_endline e
+            | Ok policy ->
+                let rng = Dsim.Rng.create ~seed in
+                let assignment =
+                  Mmb.Problem.random rng ~n:(Graphs.Dual.n dual) ~k
+                in
+                let res =
+                  Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment
+                    ~seed ()
+                in
+                Printf.printf "%8d  %10.1f  %10.1f  %10.2f\n" v
+                  res.Mmb.Runner.time res.Mmb.Runner.upper_bound
+                  (if res.Mmb.Runner.upper_bound > 0. then
+                     res.Mmb.Runner.time /. res.Mmb.Runner.upper_bound
+                   else 0.))
+      in
+      List.iter run_one parsed;
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ param $ values $ topology $ gprime $ n_arg $ k_arg
+       $ r_arg $ extra_arg $ fack_arg $ fprog_arg $ seed_arg $ scheduler_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep one parameter of a BMMB simulation.")
+    term
+
+(* --- online --------------------------------------------------------------- *)
+
+let online_cmd =
+  let rate_arg =
+    let doc = "Poisson arrival rate (messages per time unit)." in
+    Arg.(value & opt float 0.01 & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let action topology gprime n k r extra fack fprog seed scheduler rate =
+    match build_dual ~topology ~gprime ~n ~r ~extra ~seed with
+    | Error e -> `Error (false, e)
+    | Ok dual -> (
+        match build_scheduler scheduler with
+        | Error e -> `Error (false, e)
+        | Ok policy ->
+            let rng = Dsim.Rng.create ~seed in
+            let arrivals =
+              Mmb.Problem.poisson_arrivals rng ~n:(Graphs.Dual.n dual) ~k
+                ~rate
+            in
+            let res =
+              Mmb.Runner.run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals
+                ~seed ()
+            in
+            describe_dual dual;
+            Printf.printf
+              "online BMMB: rate=%g, k=%d\ncomplete: %b\nmakespan: %g\n" rate
+              k res.Mmb.Runner.complete' res.Mmb.Runner.makespan;
+            let latencies = List.map snd res.Mmb.Runner.latencies in
+            (match latencies with
+            | [] -> print_endline "no completed messages"
+            | _ ->
+                let s = Dsim.Stats.summarize latencies in
+                Fmt.pr "latency: %a@." Dsim.Stats.pp_summary s);
+            `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ topology $ gprime $ n_arg $ k_arg $ r_arg $ extra_arg
+       $ fack_arg $ fprog_arg $ seed_arg $ scheduler_arg $ rate_arg))
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:"Run BMMB with Poisson online arrivals and report latencies.")
+    term
+
+(* --- radio ------------------------------------------------------------------ *)
+
+let radio_cmd =
+  let contenders_arg =
+    let doc = "Number of contending senders on the star." in
+    Arg.(value & opt int 16 & info [ "contenders"; "m" ] ~docv:"M" ~doc)
+  in
+  let action m seed =
+    let dual = Graphs.Dual.of_equal (Graphs.Gen.star (m + 1)) in
+    let rng = Dsim.Rng.create ~seed in
+    let params = Radio.Decay.default_params ~n:(m + 1) ~max_contention:m in
+    let mac = Radio.Decay.create ~dual ~params ~rng () in
+    let h = Radio.Decay.handle mac in
+    let first_any = ref None in
+    let got = Hashtbl.create 16 in
+    h.Amac.Mac_handle.h_attach ~node:0
+      {
+        Amac.Mac_intf.on_rcv =
+          (fun ~src:_ payload ->
+            if !first_any = None then first_any := Some (Radio.Decay.slot mac);
+            if not (Hashtbl.mem got payload) then
+              Hashtbl.replace got payload (Radio.Decay.slot mac));
+        on_ack = (fun _ -> ());
+      };
+    for v = 1 to m do
+      h.Amac.Mac_handle.h_attach ~node:v
+        { Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> ()); on_ack = (fun _ -> ()) }
+    done;
+    for v = 1 to m do
+      h.Amac.Mac_handle.h_bcast ~node:v v
+    done;
+    ignore
+      (Radio.Decay.run mac ~max_slots:10_000_000 ~stop:(fun () ->
+           Hashtbl.length got = m));
+    Printf.printf
+      "decay MAC on a star with %d contenders (implemented Fack = %g slots)\n"
+      m (Radio.Decay.nominal_fack mac);
+    (match !first_any with
+    | Some s ->
+        Printf.printf "hub heard SOMETHING after %d slots (Fprog-like)\n" s
+    | None -> print_endline "hub heard nothing");
+    let slowest = Hashtbl.fold (fun _ s acc -> max s acc) got 0 in
+    Printf.printf "hub heard the SLOWEST specific message after %d slots\n"
+      slowest;
+    Printf.printf "transmissions: %d, collisions: %d\n"
+      (Radio.Decay.transmissions mac)
+      (Radio.Decay.collisions mac);
+    `Ok ()
+  in
+  let term = Term.(ret (const action $ contenders_arg $ seed_arg)) in
+  Cmd.v
+    (Cmd.info "radio"
+       ~doc:
+         "Measure the Fprog << Fack gap of the Decay MAC implementation on \
+          a contention star (footnote 2).")
+    term
+
+(* --- estimate ---------------------------------------------------------------- *)
+
+let estimate_cmd =
+  let trace_file =
+    let doc = "JSONL trace file (produced with run --trace-out)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let action file topology gprime n r extra seed =
+    match Mmb.Scenario.build_dual ~topology ~gprime ~n ~r ~extra ~seed with
+    | Error e -> `Error (false, e)
+    | Ok dual -> (
+        match Dsim.Trace_io.read_file ~path:file with
+        | Error e -> `Error (false, "trace: " ^ e)
+        | Ok entries ->
+            let tr = Dsim.Trace.create () in
+            List.iter
+              (fun { Dsim.Trace.time; event } ->
+                Dsim.Trace.record tr ~time event)
+              entries;
+            let est = Amac.Estimate.estimate ~dual tr in
+            Fmt.pr
+              "estimated MAC parameters (lower bounds from the trace):@.  %a@."
+              Amac.Estimate.pp est;
+            `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ trace_file $ topology $ gprime $ n_arg $ r_arg
+       $ extra_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Estimate Fack/Fprog from a recorded trace (give the same network \
+          flags the run used).")
+    term
+
+(* --- exec ------------------------------------------------------------------- *)
+
+let exec_cmd =
+  let file_arg =
+    let doc = "JSON scenario file (see Mmb.Scenario for the schema)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let json_out_arg =
+    let doc = "Also write machine-readable results to FILE." in
+    Arg.(
+      value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc)
+  in
+  let action file json_out =
+    let text =
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Mmb.Scenario.expand_string text with
+    | Error e -> `Error (false, "scenario: " ^ e)
+    | Ok specs -> (
+        let rec run_all acc = function
+          | [] -> Ok (List.rev acc)
+          | spec :: rest -> (
+              match Mmb.Scenario.execute spec with
+              | Error e -> Error e
+              | Ok runs ->
+                  print_string (Mmb.Scenario.report spec runs);
+                  print_newline ();
+                  run_all ((spec, runs) :: acc) rest)
+        in
+        match run_all [] specs with
+        | Error e -> `Error (false, "scenario: " ^ e)
+        | Ok outcomes ->
+            (match json_out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc
+                      (Dsim.Json.to_string
+                         (Dsim.Json.List
+                            (List.map
+                               (fun (spec, runs) ->
+                                 Mmb.Scenario.result_json spec runs)
+                               outcomes))));
+                Printf.printf "results written to %s\n" path);
+            `Ok ())
+  in
+  let term = Term.(ret (const action $ file_arg $ json_out_arg)) in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"Run a JSON scenario file (config-driven experiments).")
+    term
+
+let () =
+  let doc =
+    "Simulator for multi-message broadcast over abstract MAC layers with \
+     unreliable links (Ghaffari, Kantor, Lynch, Newport, PODC 2014)."
+  in
+  let info = Cmd.info "mmb_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; lower_bound_cmd; sweep_cmd; online_cmd; radio_cmd;
+            exec_cmd; estimate_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Amac Dsim Graphs List Mmb Printf String

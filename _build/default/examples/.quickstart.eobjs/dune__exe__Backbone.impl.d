@@ -1,0 +1,1 @@
+examples/backbone.ml: Amac Array Dsim Graphs List Mmb Printf

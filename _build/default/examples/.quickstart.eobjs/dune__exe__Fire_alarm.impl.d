@@ -1,0 +1,1 @@
+examples/fire_alarm.ml: Amac Dsim Graphs List Mmb Printf String

@@ -1,0 +1,1 @@
+examples/firmware_update.ml: Amac Dsim Float Graphs List Mmb Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amac Dsim Graphs List Mmb Printf

@@ -1,0 +1,1 @@
+examples/telemetry_stream.ml: Amac Dsim Fmt Graphs List Mmb Printf

@@ -1,0 +1,84 @@
+(* The Figure-2 adversary, visualized.
+
+   BMMB floods two messages down two parallel reliable lines while the
+   adversarial message scheduler uses the unreliable cross edges to satisfy
+   every progress obligation with a useless duplicate — so each real hop
+   stalls for a full Fack.  The timeline below shows how far each message's
+   frontier has advanced (on its own line) over time, against an eager
+   scheduler on the identical network.
+
+     dune exec examples/adversary_demo.exe *)
+
+let d = 12
+let fack = 10.
+let fprog = 1.
+
+type capture = { mutable events : (int * int * float) list }
+
+let run_capture policy =
+  let dual = Graphs.Dual.two_line ~d in
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed:1 in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ()
+  in
+  let cap = { events = [] } in
+  let bmmb =
+    Mmb.Bmmb.install ~mac:(Amac.Mac_handle.of_standard mac)
+      ~on_deliver:(fun ~node ~msg ~time ->
+        cap.events <- (node, msg, time) :: cap.events)
+      ()
+  in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Mmb.Bmmb.arrive bmmb ~node:(Graphs.Dual.two_line_a ~d 1) ~msg:0;
+         Mmb.Bmmb.arrive bmmb ~node:(Graphs.Dual.two_line_b ~d 1) ~msg:1));
+  ignore (Dsim.Sim.run ~max_events:5_000_000 sim);
+  cap.events
+
+(* Furthest index i such that a_i (for m0) / b_i (for m1) delivered the
+   message by time t. *)
+let frontier events ~msg ~by =
+  List.fold_left
+    (fun acc (node, m, time) ->
+      if m <> msg || time > by then acc
+      else begin
+        let own_line_index =
+          if msg = 0 then if node < d then Some (node + 1) else None
+          else if node >= d then Some (node - d + 1)
+          else None
+        in
+        match own_line_index with Some i -> max acc i | None -> acc
+      end)
+    0 events
+
+let render name events =
+  Printf.printf "\n%s\n" name;
+  Printf.printf "%8s  %-30s %-30s\n" "time" "m0 down line A" "m1 down line B";
+  let horizon = float_of_int (d + 1) *. fack in
+  let steps = 12 in
+  for s = 0 to steps do
+    let t = float_of_int s *. horizon /. float_of_int steps in
+    let bar msg =
+      let f = frontier events ~msg ~by:t in
+      String.concat ""
+        (List.init d (fun i -> if i < f then "#" else "."))
+      ^ Printf.sprintf " %2d/%d" f d
+    in
+    Printf.printf "%8.1f  %-30s %-30s\n" t (bar 0) (bar 1)
+  done
+
+let () =
+  Printf.printf
+    "Two-line network C (Figure 2): D = %d, Fack = %.0f, Fprog = %.0f\n" d
+    fack fprog;
+  render "ADVERSARIAL scheduler (Theorem 3.17: one hop per Fack)"
+    (run_capture (Mmb.Lower_bound.two_line_policy ~d));
+  render "EAGER scheduler (same network, benign non-determinism)"
+    (run_capture (Amac.Schedulers.eager ()));
+  let floor = Mmb.Bounds.lower_two_line ~d ~fack in
+  Printf.printf
+    "\nthe adversary forces >= (D-1) * Fack = %.0f time; the eager run \
+     finishes in ~D * Fprog/2.\nSame topology, same protocol — only the \
+     scheduler's resolution of the model's\nnon-determinism differs.\n"
+    floor

@@ -1,0 +1,68 @@
+(* Firmware update over a metering grid.
+
+   A utility pushes a k-chunk firmware image from a gateway into a grid of
+   meters.  Radio links beyond the lattice neighbors are flaky; their
+   *reach* (how many grid hops an unreliable link can span, the paper's r)
+   depends on antenna and site layout.  Theorem 3.2 says worst-case
+   dissemination degrades linearly in that reach — this example measures
+   it, and shows the engineering takeaway: bounding the reach of flaky
+   links (not removing them) is what protects the flooding schedule.
+
+     dune exec examples/firmware_update.exe *)
+
+let rows = 8
+let cols = 8
+let k = 6 (* firmware chunks *)
+let fack = 25.
+let fprog = 1.
+
+let () =
+  let g = Graphs.Gen.grid ~rows ~cols in
+  Printf.printf
+    "metering grid: %dx%d meters, gateway at corner 0, %d firmware chunks\n"
+    rows cols k;
+  Printf.printf "MAC bounds: Fack = %.0f, Fprog = %.0f\n\n" fack fprog;
+  let assignment = Mmb.Problem.all_at ~node:0 ~k in
+  Printf.printf "%8s  %12s  %12s  %14s  %10s\n" "reach r" "typical" "worst"
+    "Thm 3.2 bound" "compliant";
+  List.iter
+    (fun r ->
+      let seeds = [ 1; 2; 3 ] in
+      let run policy seed =
+        let rng = Dsim.Rng.create ~seed:(seed * 100 + r) in
+        let dual = Graphs.Dual.r_restricted_random rng ~g ~r ~extra:24 in
+        Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
+          ~check_compliance:(seed = 1) ()
+      in
+      let avg f =
+        List.fold_left (fun a s -> a +. f s) 0. seeds
+        /. float_of_int (List.length seeds)
+      in
+      let typical =
+        avg (fun s ->
+            (run (Amac.Schedulers.random_compliant ()) s).Mmb.Runner.time)
+      in
+      let worst_runs =
+        List.map (fun s -> run (Amac.Schedulers.adversarial ()) s) seeds
+      in
+      let worst =
+        List.fold_left (fun a r -> Float.max a r.Mmb.Runner.time) 0. worst_runs
+      in
+      let bound =
+        List.fold_left
+          (fun a r -> Float.max a r.Mmb.Runner.upper_bound)
+          0. worst_runs
+      in
+      let compliant =
+        List.for_all
+          (fun r -> r.Mmb.Runner.compliance_violations = [])
+          worst_runs
+      in
+      Printf.printf "%8d  %12.1f  %12.1f  %14.1f  %10s\n" r typical worst
+        bound
+        (if compliant then "yes" else "NO"))
+    [ 1; 2; 4; 6 ];
+  Printf.printf
+    "\ntakeaway: worst-case time scales with r * k * Fack (Theorem 3.2); \
+     keeping\nflaky links short-reach keeps flooding fast even when there \
+     are many of them.\n"

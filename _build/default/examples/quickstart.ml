@@ -1,0 +1,37 @@
+(* Quickstart: flood three messages through a random geometric radio
+   network with BMMB over the standard abstract MAC layer.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 50-node wireless deployment: unit-disk reliable links plus random
+     unreliable links between nodes at distance up to c = 2. *)
+  let rng = Dsim.Rng.create ~seed:42 in
+  let dual =
+    Graphs.Dual.grey_zone_connected rng ~n:50 ~width:4. ~height:4. ~c:2.
+      ~p:0.3 ~max_tries:1000
+  in
+  let g = Graphs.Dual.reliable dual in
+  Printf.printf "network: %d nodes, %d reliable links, %d unreliable links, \
+                 diameter %d\n"
+    (Graphs.Graph.n g) (Graphs.Graph.m g)
+    (List.length (Graphs.Dual.unreliable_only_edges dual))
+    (Graphs.Bfs.diameter g);
+
+  (* Three messages appear at three random nodes at time 0. *)
+  let assignment = Mmb.Problem.singleton rng ~n:50 ~k:3 in
+  List.iter
+    (fun (node, msg) -> Printf.printf "message m%d starts at node %d\n" msg node)
+    assignment;
+
+  (* Run BMMB under a randomized (but axiom-compliant) message scheduler
+     with Fack = 10 and Fprog = 1. *)
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:10. ~fprog:1.
+      ~policy:(Amac.Schedulers.random_compliant ())
+      ~assignment ~seed:7 ()
+  in
+  Printf.printf "solved: %b in %.1f time units (paper bound: %.1f)\n"
+    res.Mmb.Runner.complete res.Mmb.Runner.time res.Mmb.Runner.upper_bound;
+  Printf.printf "%d local broadcasts, %d receptions\n" res.Mmb.Runner.bcasts
+    res.Mmb.Runner.rcvs

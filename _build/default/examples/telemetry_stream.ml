@@ -1,0 +1,75 @@
+(* Continuous telemetry dissemination.
+
+   A monitoring mesh must keep every node aware of events (anomaly
+   reports) that arrive continuously at random sensors — the online MMB
+   variant the paper's footnote 4 points at.  We stream Poisson arrivals
+   through both protocols on the same grey-zone mesh:
+
+   - online BMMB on the standard MAC (event-driven; nothing to adapt), and
+   - the k-oblivious streaming FMMB on the enhanced MAC (gather/spread
+     periods interleaved forever; arrivals injected mid-run),
+
+   and report per-event dissemination latency percentiles.
+
+     dune exec examples/telemetry_stream.exe *)
+
+let n = 50
+let k = 12 (* events in the observation window *)
+let rate = 0.004 (* events per time unit *)
+let fprog = 1.
+let fack = 40.
+
+let () =
+  let rng = Dsim.Rng.create ~seed:1234 in
+  let side = sqrt (float_of_int n /. 3.) in
+  let dual =
+    Graphs.Dual.grey_zone_connected rng ~n ~width:side ~height:side ~c:2.
+      ~p:0.4 ~max_tries:1000
+  in
+  Printf.printf
+    "monitoring mesh: %d nodes, diameter %d; %d events at Poisson rate %g\n\n"
+    n
+    (Graphs.Bfs.diameter (Graphs.Dual.reliable dual))
+    k rate;
+  let arrivals = Mmb.Problem.poisson_arrivals rng ~n ~k ~rate in
+
+  (* Online BMMB (standard MAC, randomized scheduler). *)
+  let bmmb =
+    Mmb.Runner.run_bmmb_online ~dual ~fack ~fprog
+      ~policy:(Amac.Schedulers.random_compliant ())
+      ~arrivals ~seed:7 ()
+  in
+  Printf.printf "online BMMB  (Fack = %.0f):  " fack;
+  (match List.map snd bmmb.Mmb.Runner.latencies with
+  | [] -> print_endline "nothing completed"
+  | ls -> Fmt.pr "%a@." Dsim.Stats.pp_summary (Dsim.Stats.summarize ls));
+
+  (* Streaming FMMB (enhanced MAC; k never configured anywhere). *)
+  let tracker = Mmb.Problem.tracker_timed ~dual arrivals in
+  let stream =
+    Mmb.Fmmb_online.run ~dual ~fprog
+      ~rng:(Dsim.Rng.create ~seed:8)
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~c:2. ~arrivals ~tracker ~max_rounds:600_000 ()
+  in
+  let latencies =
+    List.filter_map
+      (fun (_, _, msg) -> Mmb.Problem.message_latency tracker ~msg)
+      arrivals
+  in
+  Printf.printf "streaming FMMB (k-oblivious): ";
+  (match latencies with
+  | [] -> print_endline "nothing completed"
+  | ls -> Fmt.pr "%a@." Dsim.Stats.pp_summary (Dsim.Stats.summarize ls));
+  Printf.printf
+    "  (MIS setup %d rounds once, then steady-state; complete: %b, MIS \
+     valid: %b)\n"
+    stream.Mmb.Fmmb_online.rounds_mis stream.Mmb.Fmmb_online.complete
+    stream.Mmb.Fmmb_online.mis_valid;
+  print_endline
+    "\ntakeaway: BMMB's latency scales with backlog * Fack, streaming \
+     FMMB's with a\nfixed polylog pipeline in Fprog.  At this gentle rate \
+     and moderate Fack the\nsimple flooder wins comfortably; crank \
+     Fack/Fprog or the arrival rate (see E6\nand E10) and the ordering \
+     flips — the same trade-off as the batch crossover,\nnow in steady \
+     state."

@@ -1,0 +1,1 @@
+lib/amac/compliance.ml: Array Dsim Float Fmt Format Graphs Hashtbl List

@@ -1,0 +1,1 @@
+lib/amac/compliance.mli: Dsim Format Graphs

@@ -1,0 +1,1 @@
+lib/amac/enhanced_mac.ml: Array Dsim Graphs List Mac_intf Message

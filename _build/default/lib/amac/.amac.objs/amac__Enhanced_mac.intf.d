@@ -1,0 +1,1 @@
+lib/amac/enhanced_mac.mli: Dsim Graphs Mac_intf Message

@@ -1,0 +1,1 @@
+lib/amac/estimate.ml: Compliance Dsim Float Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/amac/estimate.mli: Dsim Format Graphs

@@ -1,0 +1,1 @@
+lib/amac/mac_handle.ml: Dsim Graphs Mac_intf Standard_mac

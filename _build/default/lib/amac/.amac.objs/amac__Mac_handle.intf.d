@@ -1,0 +1,1 @@
+lib/amac/mac_handle.mli: Dsim Mac_intf Standard_mac

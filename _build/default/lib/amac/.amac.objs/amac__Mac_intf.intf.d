@@ -1,0 +1,1 @@
+lib/amac/mac_intf.mli: Dsim

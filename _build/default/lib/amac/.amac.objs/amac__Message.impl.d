@@ -1,0 +1,1 @@
+lib/amac/message.ml: Fmt

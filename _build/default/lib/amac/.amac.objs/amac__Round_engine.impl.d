@@ -1,0 +1,1 @@
+lib/amac/round_engine.ml: Enhanced_mac Round_sync

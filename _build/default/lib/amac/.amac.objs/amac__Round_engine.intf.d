@@ -1,0 +1,1 @@
+lib/amac/round_engine.mli: Enhanced_mac Round_sync

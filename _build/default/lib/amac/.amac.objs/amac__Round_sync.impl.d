@@ -1,0 +1,1 @@
+lib/amac/round_sync.ml: Array Dsim Enhanced_mac Graphs List Mac_intf Message Standard_mac

@@ -1,0 +1,1 @@
+lib/amac/round_sync.mli: Enhanced_mac Mac_intf Standard_mac

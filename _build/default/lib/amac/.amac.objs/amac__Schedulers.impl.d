@@ -1,0 +1,1 @@
+lib/amac/schedulers.ml: Array Dsim Hashtbl List Mac_intf

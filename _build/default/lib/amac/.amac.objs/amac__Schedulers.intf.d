@@ -1,0 +1,1 @@
+lib/amac/schedulers.mli: Mac_intf

@@ -1,0 +1,1 @@
+lib/amac/standard_mac.ml: Array Dsim Graphs Hashtbl List Mac_intf Printf

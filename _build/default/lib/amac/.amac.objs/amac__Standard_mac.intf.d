@@ -1,0 +1,1 @@
+lib/amac/standard_mac.mli: Dsim Graphs Mac_intf

@@ -1,0 +1,189 @@
+type violation = { rule : string; detail : string }
+
+let pp_violation ppf { rule; detail } = Fmt.pf ppf "[%s] %s" rule detail
+
+type inst = {
+  sender : int;
+  bcast_time : float;
+  mutable term : (float * int * [ `Ack | `Abort ]) option;
+  mutable rcvs : (int * float * int) list; (* receiver, time, trace index *)
+}
+
+let violation rule fmt = Format.kasprintf (fun detail -> { rule; detail }) fmt
+
+(* Merge closed intervals and test whether [lo, hi] is fully covered. *)
+let covered intervals ~lo ~hi ~tol =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare a b)
+      (List.filter (fun (a, b) -> b >= a) intervals)
+  in
+  let rec sweep point = function
+    | [] -> point >= hi -. tol
+    | (a, b) :: rest ->
+        if point >= hi -. tol then true
+        else if a > point +. tol then false
+        else sweep (Float.max point b) rest
+  in
+  sweep lo sorted
+
+let audit ~dual ~fack ~fprog ?(eps_abort = 0.) ?(allow_open = false) trace =
+  let g = Graphs.Dual.reliable dual in
+  let g' = Graphs.Dual.unreliable dual in
+  let tol = 1e-9 *. Float.max 1. fack in
+  let entries = Array.of_list (Dsim.Trace.entries trace) in
+  let end_time =
+    Array.fold_left (fun acc e -> Float.max acc e.Dsim.Trace.time) 0. entries
+  in
+  let insts : (int, inst) Hashtbl.t = Hashtbl.create 256 in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Pass 1: build per-instance records, checking local rules on the way. *)
+  Array.iteri
+    (fun idx { Dsim.Trace.time; event } ->
+      match event with
+      | Dsim.Trace.Arrive _ | Dsim.Trace.Deliver _ -> ()
+      | Dsim.Trace.Bcast { node; instance; _ } ->
+          if Hashtbl.mem insts instance then
+            add
+              (violation "cause-function" "instance %d broadcast twice"
+                 instance)
+          else
+            Hashtbl.replace insts instance
+              { sender = node; bcast_time = time; term = None; rcvs = [] }
+      | Dsim.Trace.Rcv { node; instance; _ } -> (
+          match Hashtbl.find_opt insts instance with
+          | None ->
+              add
+                (violation "cause-function"
+                   "rcv at node %d from unknown instance %d" node instance)
+          | Some inst ->
+              if inst.sender = node then
+                add
+                  (violation "receive-correctness"
+                     "instance %d delivered to its own sender %d" instance
+                     node);
+              if not (Graphs.Graph.mem_edge g' inst.sender node) then
+                add
+                  (violation "receive-correctness"
+                     "instance %d delivered to %d, not a G'-neighbor of \
+                      sender %d"
+                     instance node inst.sender);
+              if List.exists (fun (r, _, _) -> r = node) inst.rcvs then
+                add
+                  (violation "receive-correctness"
+                     "instance %d delivered twice to node %d" instance node);
+              (match inst.term with
+              | Some (tt, tidx, `Ack) when tidx < idx ->
+                  add
+                    (violation "receive-correctness"
+                       "instance %d delivered to %d at %g after its ack at %g"
+                       instance node time tt)
+              | Some (tt, tidx, `Abort)
+                when tidx < idx && time > tt +. eps_abort +. tol ->
+                  add
+                    (violation "receive-correctness"
+                       "instance %d delivered to %d at %g, more than \
+                        eps_abort after abort at %g"
+                       instance node time tt)
+              | _ -> ());
+              inst.rcvs <- (node, time, idx) :: inst.rcvs)
+      | Dsim.Trace.Ack { node; instance; _ } -> (
+          match Hashtbl.find_opt insts instance with
+          | None ->
+              add
+                (violation "cause-function" "ack for unknown instance %d"
+                   instance)
+          | Some inst ->
+              if inst.sender <> node then
+                add
+                  (violation "cause-function"
+                     "ack of instance %d at node %d, but sender is %d"
+                     instance node inst.sender);
+              (match inst.term with
+              | Some _ ->
+                  add
+                    (violation "ack-correctness"
+                       "instance %d has two terminating events" instance)
+              | None -> inst.term <- Some (time, idx, `Ack));
+              if time -. inst.bcast_time > fack +. tol then
+                add
+                  (violation "ack-bound"
+                     "instance %d acked %g after bcast (Fack = %g)" instance
+                     (time -. inst.bcast_time)
+                     fack))
+      | Dsim.Trace.Abort { node; instance; _ } -> (
+          match Hashtbl.find_opt insts instance with
+          | None ->
+              add
+                (violation "cause-function" "abort for unknown instance %d"
+                   instance)
+          | Some inst ->
+              if inst.sender <> node then
+                add
+                  (violation "cause-function"
+                     "abort of instance %d at node %d, but sender is %d"
+                     instance node inst.sender);
+              (match inst.term with
+              | Some _ ->
+                  add
+                    (violation "ack-correctness"
+                       "instance %d has two terminating events" instance)
+              | None -> inst.term <- Some (time, idx, `Abort))))
+    entries;
+  (* Pass 2: per-instance global rules. *)
+  Hashtbl.iter
+    (fun uid inst ->
+      match inst.term with
+      | None ->
+          if not allow_open then
+            add
+              (violation "termination" "instance %d never terminated" uid)
+      | Some (_, tidx, `Ack) ->
+          Array.iter
+            (fun j ->
+              let got =
+                List.exists (fun (r, _, ridx) -> r = j && ridx < tidx) inst.rcvs
+              in
+              if not got then
+                add
+                  (violation "ack-correctness"
+                     "instance %d acked before delivering to G-neighbor %d"
+                     uid j))
+            (Graphs.Graph.neighbors g inst.sender)
+      | Some (_, _, `Abort) -> ())
+    insts;
+  (* Pass 3: the progress bound, receiver by receiver. *)
+  let n = Graphs.Dual.n dual in
+  let spans = Array.make n [] (* connected-instance spans per receiver *)
+  and coverage = Array.make n [] (* contend-rcv coverage x-intervals *) in
+  Hashtbl.iter
+    (fun _ inst ->
+      let term_time =
+        match inst.term with Some (tt, _, _) -> tt | None -> end_time
+      in
+      Array.iter
+        (fun j -> spans.(j) <- (inst.bcast_time, term_time) :: spans.(j))
+        (Graphs.Graph.neighbors g inst.sender);
+      List.iter
+        (fun (j, rcv_time, _) ->
+          let term_for_contend =
+            match inst.term with Some (tt, _, _) -> tt | None -> infinity
+          in
+          coverage.(j) <-
+            (rcv_time -. fprog, term_for_contend) :: coverage.(j))
+        inst.rcvs)
+    insts;
+  for j = 0 to n - 1 do
+    List.iter
+      (fun (b, e) ->
+        let hi = e -. fprog in
+        if hi -. b > tol then
+          if not (covered coverage.(j) ~lo:b ~hi ~tol) then
+            add
+              (violation "progress-bound"
+                 "receiver %d starved during [%g, %g] (connected span [%g, \
+                  %g], Fprog = %g)"
+                 j b hi b e fprog))
+      spans.(j)
+  done;
+  List.rev !violations

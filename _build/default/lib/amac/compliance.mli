@@ -1,0 +1,41 @@
+(** Post-hoc auditor of the abstract MAC layer axioms (Section 3.2.1).
+
+    Given an execution trace and the dual graph it ran on, checks:
+
+    + {b receive correctness} — every [rcv] goes to a G'-neighbor of the
+      instance's sender, at most one [rcv] per (instance, receiver), and no
+      [rcv] after the instance's [ack] (after an [abort], up to [eps_abort]
+      of slack is allowed, as in the model);
+    + {b ack correctness} — an instance's [ack] is preceded by a [rcv] at
+      every G-neighbor of the sender, and each instance has at most one
+      terminating event;
+    + {b termination} — every [bcast] has a terminating event (skipped for
+      instances still open at the horizon when [allow_open]);
+    + {b acknowledgment bound} — [ack] within [fack] of the [bcast];
+    + {b progress bound} — for every receiver [j] and every window
+      [(x, x+fprog]] wholly spanned by an open instance from a G-neighbor
+      of [j], some [rcv] at [j] occurs by the window's end from an instance
+      whose terminating event does not precede the window's start.
+
+    The checker is the independent half of model fidelity: the engines are
+    built to satisfy the axioms, and this module verifies that they did on
+    each concrete execution. *)
+
+type violation = {
+  rule : string;  (** short rule identifier, e.g. "receive-correctness" *)
+  detail : string;  (** human-readable description *)
+}
+
+val audit :
+  dual:Graphs.Dual.t ->
+  fack:float ->
+  fprog:float ->
+  ?eps_abort:float ->
+  ?allow_open:bool ->
+  Dsim.Trace.t ->
+  violation list
+(** Empty result means the trace is compliant.  [eps_abort] defaults to
+    [0.]; [allow_open] (default [false]) suppresses termination violations
+    for instances with no terminating event (horizon-truncated runs). *)
+
+val pp_violation : Format.formatter -> violation -> unit

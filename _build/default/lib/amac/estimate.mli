@@ -1,0 +1,28 @@
+(** Estimating a MAC layer's timing parameters from an observed execution —
+    what a practitioner deploying an abstract-MAC-layer algorithm over an
+    existing MAC has to do, since real MACs publish neither [Fack] nor
+    [Fprog].
+
+    [fack] is the largest observed bcast→ack latency.  [fprog] is found by
+    binary search: the smallest window length for which the trace satisfies
+    the progress bound (the {!Compliance} coverage check) — i.e. the
+    longest a receiver was ever left starving while a reliable neighbor's
+    instance was open.  Both are lower bounds on the true model constants;
+    feeding them into the paper's formulas (Theorem 3.16, the E6 crossover)
+    gives the deployment-side planning numbers. *)
+
+type t = {
+  est_fack : float;  (** max observed ack latency; 0 if no acks *)
+  est_fprog : float;
+      (** smallest Fprog the trace is progress-compliant with; 0 if no
+          instance ever spanned a window *)
+  acks_observed : int;
+  rcvs_observed : int;
+}
+
+val estimate :
+  dual:Graphs.Dual.t -> ?tolerance:float -> Dsim.Trace.t -> t
+(** [tolerance] (default [1e-6]) is the binary-search resolution for
+    [est_fprog], relative to the trace duration. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type 'msg t = {
+  h_n : int;
+  h_attach : node:int -> 'msg Mac_intf.handlers -> unit;
+  h_bcast : node:int -> 'msg -> unit;
+  h_busy : node:int -> bool;
+  h_now : unit -> float;
+  h_trace : Dsim.Trace.t option;
+}
+
+let of_standard mac =
+  {
+    h_n = Graphs.Dual.n (Standard_mac.dual mac);
+    h_attach = (fun ~node handlers -> Standard_mac.attach mac ~node handlers);
+    h_bcast = (fun ~node body -> Standard_mac.bcast mac ~node body);
+    h_busy = (fun ~node -> Standard_mac.busy mac ~node);
+    h_now = (fun () -> Dsim.Sim.now (Standard_mac.sim mac));
+    h_trace = Standard_mac.trace mac;
+  }

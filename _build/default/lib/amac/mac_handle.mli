@@ -1,0 +1,19 @@
+(** A first-class handle to "some acknowledged local-broadcast layer".
+
+    Protocols written against this record run unchanged over any MAC that
+    honors the abstract layer's interface: the model itself
+    ({!Standard_mac}) or an {e implementation} of the model on a lower
+    level substrate (e.g. the Decay-based MAC over the slotted radio in
+    [lib/radio]) — which is the deployment story the abstract MAC layer
+    approach argues for. *)
+
+type 'msg t = {
+  h_n : int;  (** number of nodes *)
+  h_attach : node:int -> 'msg Mac_intf.handlers -> unit;
+  h_bcast : node:int -> 'msg -> unit;
+  h_busy : node:int -> bool;
+  h_now : unit -> float;
+  h_trace : Dsim.Trace.t option;
+}
+
+val of_standard : 'msg Standard_mac.t -> 'msg t

@@ -1,0 +1,38 @@
+type delivery = { receiver : int; delay : float }
+
+type plan = { ack_delay : float; deliveries : delivery list }
+
+type 'msg bcast_ctx = {
+  bc_sender : int;
+  bc_uid : int;
+  bc_body : 'msg;
+  bc_now : float;
+  bc_g_neighbors : int array;
+  bc_g'_only_neighbors : int array;
+  bc_fack : float;
+  bc_fprog : float;
+  bc_rng : Dsim.Rng.t;
+}
+
+type 'msg candidate = {
+  cand_uid : int;
+  cand_sender : int;
+  cand_body : 'msg;
+  cand_is_g_neighbor : bool;
+}
+
+type 'msg forced_ctx = {
+  fc_receiver : int;
+  fc_now : float;
+  fc_candidates : 'msg candidate list;
+  fc_has_received : 'msg -> bool;
+  fc_rng : Dsim.Rng.t;
+}
+
+type 'msg policy = {
+  pol_name : string;
+  pol_plan : 'msg bcast_ctx -> plan;
+  pol_forced : 'msg forced_ctx -> 'msg candidate;
+}
+
+type 'msg handlers = { on_rcv : src:int -> 'msg -> unit; on_ack : 'msg -> unit }

@@ -1,0 +1,86 @@
+(** Interfaces between the MAC engines and (a) node automata, (b) message
+    scheduler policies.
+
+    The message scheduler of the abstract MAC layer model is an adversary:
+    it decides non-deterministically which [G' \ G] neighbors receive each
+    broadcast, in what order, and with what timing — constrained only by the
+    five axioms of Section 3.2.1.  A {!policy} is one resolution of that
+    non-determinism.  The engine ({!Standard_mac}) owns axiom enforcement:
+    it validates every plan and runs per-receiver progress watchdogs, so a
+    policy cannot produce a non-compliant execution, only a more or less
+    hostile one. *)
+
+(** {1 Broadcast plans} *)
+
+type delivery = { receiver : int; delay : float }
+(** One planned message delivery, [delay] seconds after the bcast event. *)
+
+type plan = {
+  ack_delay : float;
+      (** when the sender is acknowledged; must lie in [[0, fack]] *)
+  deliveries : delivery list;
+      (** must cover every G-neighbor of the sender with [delay <= ack_delay];
+          may additionally include any subset of G'-only neighbors *)
+}
+
+(** {1 Policy decision contexts} *)
+
+type 'msg bcast_ctx = {
+  bc_sender : int;
+  bc_uid : int;
+  bc_body : 'msg;
+  bc_now : float;
+  bc_g_neighbors : int array;  (** sender's neighbors in G *)
+  bc_g'_only_neighbors : int array;  (** sender's neighbors in G' \ G *)
+  bc_fack : float;
+  bc_fprog : float;
+  bc_rng : Dsim.Rng.t;
+}
+(** Everything a policy may consult when planning a broadcast. *)
+
+type 'msg candidate = {
+  cand_uid : int;
+  cand_sender : int;
+  cand_body : 'msg;
+  cand_is_g_neighbor : bool;
+      (** is the sender a reliable (G) neighbor of the receiver? *)
+}
+
+type 'msg forced_ctx = {
+  fc_receiver : int;
+  fc_now : float;
+  fc_candidates : 'msg candidate list;
+      (** open, not-yet-delivered-here instances from G'-neighbors;
+          never empty when the watchdog fires *)
+  fc_has_received : 'msg -> bool;
+      (** has this receiver already received a message with this body
+          (from any instance)?  Lets adversaries pick useless duplicates. *)
+  fc_rng : Dsim.Rng.t;
+}
+(** Context of a forced progress-bound delivery: the engine's watchdog
+    determined that receiver [fc_receiver] must receive something now; the
+    policy picks the victim instance. *)
+
+type 'msg policy = {
+  pol_name : string;
+  pol_plan : 'msg bcast_ctx -> plan;
+  pol_forced : 'msg forced_ctx -> 'msg candidate;
+      (** must return one of [fc_candidates] *)
+}
+
+(** {1 Node automata (standard model)} *)
+
+type 'msg handlers = {
+  on_rcv : src:int -> 'msg -> unit;
+      (** the MAC layer delivered a message body (a [rcv] event); [src] is
+          the transmitting node — real MAC layers expose the link-layer
+          source address, and the paper's algorithms rely on being able to
+          tell which neighbor (and whether a reliable one) a message came
+          from *)
+  on_ack : 'msg -> unit;
+      (** the node's current broadcast completed (an [ack] event) *)
+}
+(** Standard-model nodes are event-driven automata: they react to [rcv] and
+    [ack] events and may call the engine's [bcast] from inside a handler.
+    Wake-up and environment events (e.g. MMB arrivals) are injected by the
+    harness calling protocol functions directly. *)

@@ -1,0 +1,6 @@
+type 'a t = { uid : int; src : int; body : 'a }
+
+let make ~uid ~src body = { uid; src; body }
+
+let pp pp_body ppf { uid; src; body } =
+  Fmt.pf ppf "#%d@%d[%a]" uid src pp_body body

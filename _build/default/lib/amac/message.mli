@@ -1,0 +1,17 @@
+(** Message envelopes.
+
+    The abstract MAC layer assumes every local-broadcast message is unique
+    (Section 2).  We realize this by wrapping each protocol-level body in an
+    envelope carrying a fresh [uid] per [bcast] call; the [uid] doubles as
+    the broadcast-instance identifier that materializes the paper's "cause"
+    function. *)
+
+type 'a t = {
+  uid : int;  (** unique per bcast call *)
+  src : int;  (** the broadcasting node *)
+  body : 'a;  (** protocol-level content *)
+}
+
+val make : uid:int -> src:int -> 'a -> 'a t
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,21 @@
+type 'msg t = {
+  set_node : node:int -> 'msg Enhanced_mac.node_fn -> unit;
+  run_until : max_rounds:int -> stop:(unit -> bool) -> int;
+  rounds_done : unit -> int;
+}
+
+let of_enhanced mac =
+  {
+    set_node = (fun ~node fn -> Enhanced_mac.set_node mac ~node fn);
+    run_until =
+      (fun ~max_rounds ~stop -> Enhanced_mac.run_until mac ~max_rounds ~stop);
+    rounds_done = (fun () -> Enhanced_mac.round mac);
+  }
+
+let of_round_sync rs =
+  {
+    set_node = (fun ~node fn -> Round_sync.set_node rs ~node fn);
+    run_until =
+      (fun ~max_rounds ~stop -> Round_sync.run_until rs ~max_rounds ~stop);
+    rounds_done = (fun () -> Round_sync.round rs);
+  }

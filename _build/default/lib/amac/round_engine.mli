@@ -1,0 +1,23 @@
+(** A uniform facade over the two executions of the enhanced model's
+    lock-step rounds:
+
+    - {!Enhanced_mac} — the direct round-semantics engine; and
+    - {!Round_sync} — rounds {e constructed} from the continuous engine's
+      abort + timer primitives, as Section 4.1 prescribes.
+
+    FMMB's subroutines are written against this facade, so the same
+    algorithm code runs over both — which is itself a reproduction claim:
+    the round abstraction the analysis uses is implementable from the
+    enhanced model's primitives. *)
+
+type 'msg t = {
+  set_node : node:int -> 'msg Enhanced_mac.node_fn -> unit;
+  run_until : max_rounds:int -> stop:(unit -> bool) -> int;
+      (** run rounds until [stop] (checked at round boundaries) or the
+          budget; returns rounds executed *)
+  rounds_done : unit -> int;
+}
+
+val of_enhanced : 'msg Enhanced_mac.t -> 'msg t
+
+val of_round_sync : 'msg Round_sync.t -> 'msg t

@@ -1,0 +1,116 @@
+open Mac_intf
+
+let deliveries_at delay nodes =
+  Array.to_list (Array.map (fun receiver -> { receiver; delay }) nodes)
+
+let eager ?(latency_frac = 0.1) () =
+  let plan ctx =
+    let delay = latency_frac *. ctx.bc_fprog in
+    {
+      ack_delay = delay;
+      deliveries =
+        deliveries_at delay ctx.bc_g_neighbors
+        @ deliveries_at delay ctx.bc_g'_only_neighbors;
+    }
+  in
+  let forced ctx = List.hd ctx.fc_candidates in
+  { pol_name = "eager"; pol_plan = plan; pol_forced = forced }
+
+let random_compliant ?(p_unreliable = 0.5) () =
+  let plan ctx =
+    let rng = ctx.bc_rng in
+    let ack_delay =
+      (0.5 +. (0.5 *. Dsim.Rng.float rng 1.)) *. ctx.bc_fack
+    in
+    let uniform_delay () = Dsim.Rng.float rng ack_delay in
+    let g_deliveries =
+      Array.to_list
+        (Array.map
+           (fun receiver -> { receiver; delay = uniform_delay () })
+           ctx.bc_g_neighbors)
+    in
+    let g'_deliveries =
+      Array.to_list ctx.bc_g'_only_neighbors
+      |> List.filter_map (fun receiver ->
+             if Dsim.Rng.bernoulli rng ~p:p_unreliable then
+               Some { receiver; delay = uniform_delay () }
+             else None)
+    in
+    { ack_delay; deliveries = g_deliveries @ g'_deliveries }
+  in
+  let forced ctx =
+    let arr = Array.of_list ctx.fc_candidates in
+    Dsim.Rng.pick ctx.fc_rng arr
+  in
+  { pol_name = "random"; pol_plan = plan; pol_forced = forced }
+
+let adversarial () =
+  let plan ctx =
+    {
+      ack_delay = ctx.bc_fack;
+      deliveries = deliveries_at ctx.bc_fack ctx.bc_g_neighbors;
+    }
+  in
+  let forced ctx =
+    (* Preference order: a body the receiver already has (pure waste), then
+       an unreliable-only sender (out-of-pipeline injection), then anything. *)
+    let duplicates =
+      List.filter (fun c -> ctx.fc_has_received c.cand_body) ctx.fc_candidates
+    in
+    let unreliable_only =
+      List.filter (fun c -> not c.cand_is_g_neighbor) ctx.fc_candidates
+    in
+    match (duplicates, unreliable_only) with
+    | c :: _, _ -> c
+    | [], c :: _ -> c
+    | [], [] -> List.hd ctx.fc_candidates
+  in
+  { pol_name = "adversarial"; pol_plan = plan; pol_forced = forced }
+
+let bursty ?(p_bad = 0.15) ?(p_good = 0.1) () =
+  let state : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let edge_up rng u v =
+    let key = (u, v) in
+    let good =
+      match Hashtbl.find_opt state key with Some g -> g | None -> true
+    in
+    let good' =
+      if good then not (Dsim.Rng.bernoulli rng ~p:p_bad)
+      else Dsim.Rng.bernoulli rng ~p:p_good
+    in
+    Hashtbl.replace state key good';
+    good'
+  in
+  let plan ctx =
+    let rng = ctx.bc_rng in
+    let ack_delay = (0.5 +. (0.5 *. Dsim.Rng.float rng 1.)) *. ctx.bc_fack in
+    let uniform_delay () = Dsim.Rng.float rng ack_delay in
+    let g_deliveries =
+      Array.to_list
+        (Array.map
+           (fun receiver -> { receiver; delay = uniform_delay () })
+           ctx.bc_g_neighbors)
+    in
+    let g'_deliveries =
+      Array.to_list ctx.bc_g'_only_neighbors
+      |> List.filter_map (fun receiver ->
+             if edge_up rng ctx.bc_sender receiver then
+               Some { receiver; delay = uniform_delay () }
+             else None)
+    in
+    { ack_delay; deliveries = g_deliveries @ g'_deliveries }
+  in
+  let forced ctx =
+    Dsim.Rng.pick ctx.fc_rng (Array.of_list ctx.fc_candidates)
+  in
+  { pol_name = "bursty"; pol_plan = plan; pol_forced = forced }
+
+let name p = p.pol_name
+
+let all_standard () =
+  [
+    ("eager", fun () -> eager ());
+    ("random", fun () -> random_compliant ());
+    ("adversarial", fun () -> adversarial ());
+    ("bursty", fun () -> bursty ());
+  ]

@@ -1,0 +1,391 @@
+exception Not_well_formed of string
+
+type status = Open | Acked | Aborted of float
+
+type 'msg instance = {
+  uid : int;
+  sender : int;
+  body : 'msg;
+  mutable status : status;
+  delivered : (int, unit) Hashtbl.t; (* receivers already served *)
+  pending : (int, Dsim.Sim.handle) Hashtbl.t; (* receiver -> delivery event *)
+  mutable ack_handle : Dsim.Sim.handle option;
+}
+
+type 'msg t = {
+  sim : Dsim.Sim.t;
+  dual : Graphs.Dual.t;
+  fack : float;
+  fprog : float;
+  eps_abort : float;
+  policy : 'msg Mac_intf.policy;
+  rng : Dsim.Rng.t;
+  trace : Dsim.Trace.t option;
+  handlers : 'msg Mac_intf.handlers option array;
+  busy : bool array;
+  current : int option array; (* in-flight instance uid per node *)
+  mutable next_uid : int;
+  instances : (int, 'msg instance) Hashtbl.t; (* live instances by uid *)
+  (* Per-receiver progress-watchdog state. *)
+  connected_open : int array; (* open instances from G-neighbors *)
+  cover : int array; (* open G'-instances that already delivered here *)
+  contenders : (int, unit) Hashtbl.t array;
+      (* open, not-yet-delivered-here instances from G'-neighbors *)
+  watchdog : Dsim.Sim.handle option array;
+  received_bodies : ('msg, unit) Hashtbl.t array;
+  mutable n_bcast : int;
+  mutable n_rcv : int;
+  mutable n_ack : int;
+  mutable n_abort : int;
+  mutable n_forced : int;
+}
+
+let record t event =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Dsim.Trace.record tr ~time:(Dsim.Sim.now t.sim) event
+
+let g t = Graphs.Dual.reliable t.dual
+let g' t = Graphs.Dual.unreliable t.dual
+
+let create ~sim ~dual ~fack ~fprog ~policy ~rng ?(eps_abort = 0.) ?trace () =
+  if not (0. < fprog && fprog <= fack) then
+    invalid_arg "Standard_mac.create: need 0 < fprog <= fack";
+  if eps_abort < 0. then
+    invalid_arg "Standard_mac.create: need eps_abort >= 0";
+  let n = Graphs.Dual.n dual in
+  {
+    sim;
+    dual;
+    fack;
+    fprog;
+    eps_abort;
+    policy;
+    rng;
+    trace;
+    handlers = Array.make n None;
+    busy = Array.make n false;
+    current = Array.make n None;
+    next_uid = 0;
+    instances = Hashtbl.create 256;
+    connected_open = Array.make n 0;
+    cover = Array.make n 0;
+    contenders = Array.init n (fun _ -> Hashtbl.create 8);
+    watchdog = Array.make n None;
+    received_bodies = Array.init n (fun _ -> Hashtbl.create 16);
+    n_bcast = 0;
+    n_rcv = 0;
+    n_ack = 0;
+    n_abort = 0;
+    n_forced = 0;
+  }
+
+let attach t ~node handlers =
+  (match t.handlers.(node) with
+  | Some _ -> invalid_arg "Standard_mac.attach: node already attached"
+  | None -> ());
+  t.handlers.(node) <- Some handlers
+
+let handlers_exn t node =
+  match t.handlers.(node) with
+  | Some h -> h
+  | None ->
+      raise
+        (Not_well_formed (Printf.sprintf "node %d has no attached automaton" node))
+
+let busy t ~node = t.busy.(node)
+let sim t = t.sim
+let dual t = t.dual
+let trace t = t.trace
+let fack t = t.fack
+let fprog t = t.fprog
+let bcast_count t = t.n_bcast
+let rcv_count t = t.n_rcv
+let ack_count t = t.n_ack
+let abort_count t = t.n_abort
+let forced_count t = t.n_forced
+
+(* --- Progress watchdog ------------------------------------------------- *)
+
+let rec recheck_watchdog t j =
+  let needed = t.connected_open.(j) > 0 && t.cover.(j) = 0 in
+  match (needed, t.watchdog.(j)) with
+  | true, Some _ | false, None -> ()
+  | true, None ->
+      let handle =
+        Dsim.Sim.schedule t.sim ~delay:t.fprog (fun () -> fire_watchdog t j)
+      in
+      t.watchdog.(j) <- Some handle
+  | false, Some handle ->
+      Dsim.Sim.cancel t.sim handle;
+      t.watchdog.(j) <- None
+
+and fire_watchdog t j =
+  t.watchdog.(j) <- None;
+  if t.connected_open.(j) > 0 && t.cover.(j) = 0 then begin
+    let candidates =
+      Hashtbl.fold
+        (fun uid () acc ->
+          match Hashtbl.find_opt t.instances uid with
+          | None -> acc
+          | Some inst when inst.status <> Open -> acc
+          | Some inst ->
+              {
+                Mac_intf.cand_uid = inst.uid;
+                cand_sender = inst.sender;
+                cand_body = inst.body;
+                cand_is_g_neighbor = Graphs.Graph.mem_edge (g t) inst.sender j;
+              }
+              :: acc)
+        t.contenders.(j) []
+    in
+    match candidates with
+    | [] ->
+        (* Cannot happen: connected_open > 0 with cover = 0 implies an open,
+           undelivered G-neighbor instance, which is a contender. *)
+        assert false
+    | _ ->
+        let ctx =
+          {
+            Mac_intf.fc_receiver = j;
+            fc_now = Dsim.Sim.now t.sim;
+            fc_candidates = candidates;
+            fc_has_received =
+              (fun body -> Hashtbl.mem t.received_bodies.(j) body);
+            fc_rng = t.rng;
+          }
+        in
+        let choice = t.policy.Mac_intf.pol_forced ctx in
+        if not (List.exists (fun c -> c.Mac_intf.cand_uid = choice.Mac_intf.cand_uid) candidates)
+        then invalid_arg "Standard_mac: forced choice not among candidates";
+        (match Hashtbl.find_opt t.instances choice.Mac_intf.cand_uid with
+        | None -> assert false
+        | Some inst ->
+            t.n_forced <- t.n_forced + 1;
+            deliver t inst j)
+  end
+
+(* --- Deliveries --------------------------------------------------------- *)
+
+and deliver t inst j =
+  let deliverable =
+    (not (Hashtbl.mem inst.delivered j))
+    &&
+    match inst.status with
+    | Open -> true
+    | Acked -> false
+    | Aborted at ->
+        (* Late deliveries of an aborted instance are allowed within the
+           model's eps_abort window. *)
+        Dsim.Sim.now t.sim <= at +. t.eps_abort +. 1e-12
+  in
+  if deliverable then begin
+    (match Hashtbl.find_opt inst.pending j with
+    | Some handle ->
+        Dsim.Sim.cancel t.sim handle;
+        Hashtbl.remove inst.pending j
+    | None -> ());
+    Hashtbl.replace inst.delivered j ();
+    (* Progress-cover bookkeeping only concerns open instances: a
+       terminated instance has already left the contend sets. *)
+    if inst.status = Open then begin
+      Hashtbl.remove t.contenders.(j) inst.uid;
+      t.cover.(j) <- t.cover.(j) + 1;
+      recheck_watchdog t j
+    end;
+    Hashtbl.replace t.received_bodies.(j) inst.body ();
+    t.n_rcv <- t.n_rcv + 1;
+    record t (Dsim.Trace.Rcv { node = j; msg = inst.uid; instance = inst.uid });
+    (handlers_exn t j).Mac_intf.on_rcv ~src:inst.sender inst.body
+  end
+
+(* Shared bookkeeping for both terminating events: update watchdog state
+   and free the sender.  [keep_late_deliveries] preserves pending delivery
+   events that fall inside the eps_abort window. *)
+let terminate t inst ~keep_late_deliveries =
+  let now = Dsim.Sim.now t.sim in
+  (match inst.ack_handle with
+  | Some h ->
+      Dsim.Sim.cancel t.sim h;
+      inst.ack_handle <- None
+  | None -> ());
+  Hashtbl.iter
+    (fun receiver handle ->
+      if not keep_late_deliveries then begin
+        Dsim.Sim.cancel t.sim handle;
+        ignore receiver
+      end)
+    inst.pending;
+  if not keep_late_deliveries then begin
+    Hashtbl.reset inst.pending;
+    Hashtbl.remove t.instances inst.uid
+  end;
+  Array.iter
+    (fun j ->
+      t.connected_open.(j) <- t.connected_open.(j) - 1;
+      recheck_watchdog t j)
+    (Graphs.Graph.neighbors (g t) inst.sender);
+  Array.iter
+    (fun j ->
+      if Hashtbl.mem inst.delivered j then begin
+        t.cover.(j) <- t.cover.(j) - 1;
+        recheck_watchdog t j
+      end
+      else begin
+        Hashtbl.remove t.contenders.(j) inst.uid;
+        recheck_watchdog t j
+      end)
+    (Graphs.Graph.neighbors (g' t) inst.sender);
+  t.busy.(inst.sender) <- false;
+  t.current.(inst.sender) <- None;
+  ignore now
+
+let ack t inst =
+  inst.status <- Acked;
+  terminate t inst ~keep_late_deliveries:false;
+  t.n_ack <- t.n_ack + 1;
+  record t
+    (Dsim.Trace.Ack { node = inst.sender; msg = inst.uid; instance = inst.uid });
+  (handlers_exn t inst.sender).Mac_intf.on_ack inst.body
+
+let abort t ~node =
+  (match t.current.(node) with
+  | None ->
+      raise
+        (Not_well_formed
+           (Printf.sprintf "node %d aborted with no broadcast in flight" node))
+  | Some uid -> (
+      match Hashtbl.find_opt t.instances uid with
+      | None -> assert false
+      | Some inst ->
+          let now = Dsim.Sim.now t.sim in
+          inst.status <- Aborted now;
+          (* Cancel deliveries scheduled beyond the eps_abort window; keep
+             imminent ones — [deliver] re-checks the window at fire time. *)
+          let far =
+            Hashtbl.fold
+              (fun receiver handle acc -> (receiver, handle) :: acc)
+              inst.pending []
+          in
+          List.iter
+            (fun (receiver, handle) ->
+              (* We cannot read the scheduled time back from the handle, so
+                 conservatively keep every pending event and let [deliver]
+                 apply the eps_abort cutoff; with eps_abort = 0 this still
+                 cancels everything strictly later than now. *)
+              if t.eps_abort = 0. then begin
+                Dsim.Sim.cancel t.sim handle;
+                Hashtbl.remove inst.pending receiver
+              end)
+            far;
+          terminate t inst ~keep_late_deliveries:(t.eps_abort > 0.);
+          t.n_abort <- t.n_abort + 1;
+          record t
+            (Dsim.Trace.Abort { node; msg = inst.uid; instance = inst.uid });
+          if t.eps_abort > 0. then begin
+            (* Drop the instance record once the late window has passed. *)
+            ignore
+              (Dsim.Sim.schedule t.sim ~delay:(t.eps_abort +. 1e-9) (fun () ->
+                   Hashtbl.iter
+                     (fun _ handle -> Dsim.Sim.cancel t.sim handle)
+                     inst.pending;
+                   Hashtbl.reset inst.pending;
+                   Hashtbl.remove t.instances inst.uid))
+          end))
+
+(* --- Plan validation ---------------------------------------------------- *)
+
+let validate_plan t ~sender (plan : Mac_intf.plan) =
+  let { Mac_intf.ack_delay; deliveries } = plan in
+  if not (0. <= ack_delay && ack_delay <= t.fack) then
+    invalid_arg
+      (Printf.sprintf "Standard_mac: plan ack_delay %g outside [0, %g]"
+         ack_delay t.fack);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun { Mac_intf.receiver; delay } ->
+      if Hashtbl.mem seen receiver then
+        invalid_arg "Standard_mac: plan delivers twice to one receiver";
+      Hashtbl.replace seen receiver ();
+      if not (Graphs.Graph.mem_edge (g' t) sender receiver) then
+        invalid_arg "Standard_mac: plan delivers to a non-G'-neighbor";
+      if not (0. <= delay && delay <= ack_delay) then
+        invalid_arg "Standard_mac: plan delivery delay outside [0, ack_delay]")
+    deliveries;
+  Array.iter
+    (fun j ->
+      if not (Hashtbl.mem seen j) then
+        invalid_arg "Standard_mac: plan misses a G-neighbor")
+    (Graphs.Graph.neighbors (g t) sender)
+
+(* --- Broadcast ---------------------------------------------------------- *)
+
+let bcast t ~node body =
+  ignore (handlers_exn t node);
+  if t.busy.(node) then
+    raise
+      (Not_well_formed
+         (Printf.sprintf "node %d broadcast before previous ack" node));
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  t.busy.(node) <- true;
+  t.n_bcast <- t.n_bcast + 1;
+  record t (Dsim.Trace.Bcast { node; msg = uid; instance = uid });
+  let g_neighbors = Graphs.Graph.neighbors (g t) node in
+  let g'_neighbors = Graphs.Graph.neighbors (g' t) node in
+  let g'_only =
+    Array.of_list
+      (List.filter
+         (fun j -> not (Graphs.Graph.mem_edge (g t) node j))
+         (Array.to_list g'_neighbors))
+  in
+  let ctx =
+    {
+      Mac_intf.bc_sender = node;
+      bc_uid = uid;
+      bc_body = body;
+      bc_now = Dsim.Sim.now t.sim;
+      bc_g_neighbors = g_neighbors;
+      bc_g'_only_neighbors = g'_only;
+      bc_fack = t.fack;
+      bc_fprog = t.fprog;
+      bc_rng = t.rng;
+    }
+  in
+  let plan = t.policy.Mac_intf.pol_plan ctx in
+  validate_plan t ~sender:node plan;
+  let inst =
+    {
+      uid;
+      sender = node;
+      body;
+      status = Open;
+      delivered = Hashtbl.create 8;
+      pending = Hashtbl.create 8;
+      ack_handle = None;
+    }
+  in
+  Hashtbl.replace t.instances uid inst;
+  t.current.(node) <- Some uid;
+  Array.iter
+    (fun j -> Hashtbl.replace t.contenders.(j) uid ())
+    g'_neighbors;
+  Array.iter
+    (fun j ->
+      t.connected_open.(j) <- t.connected_open.(j) + 1;
+      recheck_watchdog t j)
+    g_neighbors;
+  (* Deliveries are scheduled before the ack so that equal-timestamp
+     deliveries execute first (the heap is FIFO-stable), preserving
+     ack correctness. *)
+  List.iter
+    (fun { Mac_intf.receiver; delay } ->
+      let handle =
+        Dsim.Sim.schedule t.sim ~delay (fun () -> deliver t inst receiver)
+      in
+      Hashtbl.replace inst.pending receiver handle)
+    plan.Mac_intf.deliveries;
+  inst.ack_handle <-
+    Some
+      (Dsim.Sim.schedule t.sim ~delay:plan.Mac_intf.ack_delay (fun () ->
+           ack t inst))

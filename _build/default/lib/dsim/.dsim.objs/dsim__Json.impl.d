@@ -1,0 +1,1 @@
+lib/dsim/json.ml: Buffer Char Float List Printf String

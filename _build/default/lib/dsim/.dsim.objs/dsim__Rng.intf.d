@@ -1,0 +1,1 @@
+lib/dsim/rng.mli:

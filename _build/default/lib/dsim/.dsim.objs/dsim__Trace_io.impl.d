@@ -1,0 +1,1 @@
+lib/dsim/trace_io.ml: Buffer Fun List Printf Result String Trace

@@ -1,0 +1,1 @@
+lib/dsim/trace_io.mli: Trace

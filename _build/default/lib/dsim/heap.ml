@@ -1,0 +1,119 @@
+(* Binary min-heap over (time, seq) keys, backed by a dynamic array.
+   Cancellation is lazy: a cancelled entry stays in the array until it
+   surfaces at the root, where [pop] discards it.  [live] counts only
+   non-cancelled entries so [length] stays exact. *)
+
+type handle = int
+
+type 'a entry = { time : float; seq : int; value : 'a; mutable alive : bool }
+
+type 'a t = {
+  mutable data : 'a entry option array;
+  mutable size : int; (* used slots in [data], including dead entries *)
+  mutable live : int; (* non-cancelled entries *)
+  mutable next_seq : int;
+  by_handle : (handle, 'a entry) Hashtbl.t;
+}
+
+let create () =
+  { data = Array.make 16 None; size = 0; live = 0; next_seq = 0;
+    by_handle = Hashtbl.create 64 }
+
+let length t = t.live
+let is_empty t = t.live = 0
+
+let entry_exn t i =
+  match t.data.(i) with
+  | Some e -> e
+  | None -> invalid_arg "Heap: hole in backing array"
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (entry_exn t i) (entry_exn t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less (entry_exn t l) (entry_exn t !smallest) then
+    smallest := l;
+  if r < t.size && less (entry_exn t r) (entry_exn t !smallest) then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let data = Array.make (2 * cap) None in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data
+  end
+
+let push t ~time value =
+  if Float.is_nan time then invalid_arg "Heap.push: NaN time";
+  grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e = { time; seq; value; alive = true } in
+  t.data.(t.size) <- Some e;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  Hashtbl.replace t.by_handle seq e;
+  sift_up t (t.size - 1);
+  seq
+
+let cancel t handle =
+  match Hashtbl.find_opt t.by_handle handle with
+  | None -> ()
+  | Some e ->
+      if e.alive then begin
+        e.alive <- false;
+        t.live <- t.live - 1
+      end;
+      Hashtbl.remove t.by_handle handle
+
+let pop_root t =
+  let e = entry_exn t 0 in
+  t.size <- t.size - 1;
+  t.data.(0) <- t.data.(t.size);
+  t.data.(t.size) <- None;
+  if t.size > 0 then sift_down t 0;
+  e
+
+let rec pop t =
+  if t.size = 0 then None
+  else begin
+    let e = pop_root t in
+    if e.alive then begin
+      e.alive <- false;
+      t.live <- t.live - 1;
+      Hashtbl.remove t.by_handle e.seq;
+      Some (e.time, e.value)
+    end
+    else pop t
+  end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else begin
+    let e = entry_exn t 0 in
+    if e.alive then Some e.time
+    else begin
+      ignore (pop_root t);
+      peek_time t
+    end
+  end

@@ -1,0 +1,36 @@
+(** Binary min-heap of timestamped entries with stable ordering and O(log n)
+    cancellation, used as the event queue of the simulator.
+
+    Entries are ordered by [(time, seq)] where [seq] is an insertion counter,
+    so two entries scheduled for the same instant pop in insertion order. *)
+
+type 'a t
+(** A mutable min-heap holding values of type ['a]. *)
+
+type handle
+(** Identifies one inserted entry, for cancellation. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> time:float -> 'a -> handle
+(** [push h ~time v] inserts [v] with priority [time] and returns a handle
+    that can later be passed to {!cancel}. *)
+
+val cancel : 'a t -> handle -> unit
+(** [cancel h hd] removes the entry identified by [hd] if it is still
+    present; cancelling an already-popped or already-cancelled entry is a
+    no-op. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns the entry with the smallest [(time, seq)]
+    key, or [None] if the heap is empty. *)
+
+val peek_time : 'a t -> float option
+(** [peek_time h] is the priority of the next entry {!pop} would return. *)

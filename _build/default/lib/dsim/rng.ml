@@ -1,0 +1,50 @@
+type t = Random.State.t
+
+(* Seeds are stretched through splitmix64-style mixing so that nearby integer
+   seeds (0, 1, 2, ...) yield uncorrelated streams. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let z0 = mix64 (Int64.of_int seed) in
+  let z1 = mix64 (Int64.add z0 0x9e3779b97f4a7c15L) in
+  Random.State.make
+    [| Int64.to_int z0; Int64.to_int z1; Int64.to_int (mix64 z1) |]
+
+let split t = create ~seed:(Random.State.bits t lxor (Random.State.bits t lsl 30))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+
+let bool t = Random.State.bool t
+
+let bernoulli t ~p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Random.State.float t 1. < p
+
+let bits t ~n = Array.init n (fun _ -> Random.State.bool t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(Random.State.int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (Random.State.int t (List.length l))

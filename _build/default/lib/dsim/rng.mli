@@ -1,0 +1,42 @@
+(** Deterministic random-number generation.
+
+    Every source of randomness in the library flows through a value of this
+    type, created from an explicit integer seed, so that simulations,
+    experiments, and property tests are reproducible bit-for-bit from their
+    printed seeds.  [split] derives an independent stream, used to give each
+    node (or each subsystem) its own generator — mirroring the paper's lower
+    bound convention of handing each node its random bits up front. *)
+
+type t
+
+val create : seed:int -> t
+(** Generator deterministically derived from [seed]. *)
+
+val split : t -> t
+(** A new generator whose future output is independent of the parent's;
+    advances the parent. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val bits : t -> n:int -> bool array
+(** [bits t ~n] is an array of [n] fair coin flips (e.g. the 4·log n election
+    bit-strings of the FMMB MIS subroutine). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)

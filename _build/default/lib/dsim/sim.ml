@@ -1,0 +1,57 @@
+type handle = Heap.handle
+
+exception Causality of { now : float; requested : float }
+
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Heap.t;
+  mutable stopping : bool;
+}
+
+type outcome = Drained | Hit_time_limit | Hit_event_limit | Stopped
+
+let create () = { clock = 0.; queue = Heap.create (); stopping = false }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then raise (Causality { now = t.clock; requested = time });
+  Heap.push t.queue ~time f
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel t handle = Heap.cancel t.queue handle
+
+let pending t = Heap.length t.queue
+
+let stop t = t.stopping <- true
+
+let run ?until ?max_events t =
+  t.stopping <- false;
+  let executed = ref 0 in
+  let within_event_budget () =
+    match max_events with None -> true | Some m -> !executed < m
+  in
+  let rec loop () =
+    if t.stopping then Stopped
+    else if not (within_event_budget ()) then Hit_event_limit
+    else
+      match Heap.peek_time t.queue with
+      | None -> Drained
+      | Some time -> (
+          match until with
+          | Some horizon when time > horizon ->
+              t.clock <- Float.max t.clock horizon;
+              Hit_time_limit
+          | _ -> (
+              match Heap.pop t.queue with
+              | None -> Drained
+              | Some (time, f) ->
+                  t.clock <- time;
+                  incr executed;
+                  f ();
+                  loop ()))
+  in
+  loop ()

@@ -1,0 +1,52 @@
+(** Discrete-event simulation core.
+
+    A simulation owns a virtual clock and an event queue of timestamped
+    callbacks.  Running the simulation repeatedly pops the earliest event,
+    advances the clock to its timestamp, and executes its callback; callbacks
+    may schedule further events.  Time never flows backwards. *)
+
+type t
+(** A simulation instance. *)
+
+type handle
+(** Identifies a scheduled event, for cancellation. *)
+
+exception Causality of { now : float; requested : float }
+(** Raised by {!schedule_at} when asked to schedule strictly in the past. *)
+
+val create : unit -> t
+(** A fresh simulation with the clock at time [0.]. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at sim ~time f] runs [f] when the clock reaches [time].
+    Raises {!Causality} if [time < now sim].  Events with equal times run in
+    scheduling order. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule sim ~delay f] is [schedule_at sim ~time:(now sim +. delay) f].
+    Raises [Invalid_argument] if [delay < 0.]. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; a no-op if it already ran or was cancelled. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+type outcome =
+  | Drained  (** the event queue emptied *)
+  | Hit_time_limit  (** the [until] horizon was reached *)
+  | Hit_event_limit  (** the [max_events] budget was exhausted *)
+  | Stopped  (** a callback called {!stop} *)
+
+val run : ?until:float -> ?max_events:int -> t -> outcome
+(** [run sim] executes queued events in timestamp order until one of the
+    stop conditions triggers.  [until] bounds virtual time (events strictly
+    later stay queued and the clock is advanced to [until]); [max_events]
+    bounds the number of callbacks executed. *)
+
+val stop : t -> unit
+(** When called from inside a callback, makes the current {!run} return
+    [Stopped] after the callback finishes. *)

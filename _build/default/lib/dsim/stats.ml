@@ -1,0 +1,72 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile xs ~p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty input"
+  | _ ->
+      if p < 0. || p > 100. then
+        invalid_arg "Stats.percentile: p outside [0, 100]";
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+      in
+      List.nth sorted (max 0 (min (n - 1) rank))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty input"
+  | _ ->
+      let n = List.length xs in
+      let fn = float_of_int n in
+      let mean = List.fold_left ( +. ) 0. xs /. fn in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. fn
+      in
+      {
+        count = n;
+        mean;
+        stddev = sqrt var;
+        min = List.fold_left Float.min infinity xs;
+        max = List.fold_left Float.max neg_infinity xs;
+        p50 = percentile xs ~p:50.;
+        p90 = percentile xs ~p:90.;
+        p99 = percentile xs ~p:99.;
+      }
+
+let histogram ?(bins = 10) xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      if bins < 1 then invalid_arg "Stats.histogram: need bins >= 1";
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      let width =
+        if hi > lo then (hi -. lo) /. float_of_int bins else 1.
+      in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun x ->
+          let b =
+            min (bins - 1) (int_of_float ((x -. lo) /. width))
+          in
+          counts.(b) <- counts.(b) + 1)
+        xs;
+      List.init bins (fun b ->
+          ( lo +. (float_of_int b *. width),
+            lo +. (float_of_int (b + 1) *. width),
+            counts.(b) ))
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,25 @@
+(** Small descriptive-statistics helpers for experiment harnesses:
+    summaries (mean/deviation/percentiles) and fixed-width histograms. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [[0, 100]].  Raises on empty input. *)
+
+val histogram : ?bins:int -> float list -> (float * float * int) list
+(** [histogram xs] buckets values into [bins] (default 10) equal-width
+    intervals over [[min, max]]; returns [(lo, hi, count)] per bucket. *)
+
+val pp_summary : Format.formatter -> summary -> unit

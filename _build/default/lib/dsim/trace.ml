@@ -1,0 +1,43 @@
+type event =
+  | Arrive of { node : int; msg : int }
+  | Deliver of { node : int; msg : int }
+  | Bcast of { node : int; msg : int; instance : int }
+  | Rcv of { node : int; msg : int; instance : int }
+  | Ack of { node : int; msg : int; instance : int }
+  | Abort of { node : int; msg : int; instance : int }
+
+type entry = { time : float; event : event }
+
+type t = { mutable entries : entry list; mutable count : int; enabled : bool }
+
+let create ?(enabled = true) () = { entries = []; count = 0; enabled }
+
+let enabled t = t.enabled
+
+let record t ~time event =
+  if t.enabled then begin
+    t.entries <- { time; event } :: t.entries;
+    t.count <- t.count + 1
+  end
+
+let length t = t.count
+
+let entries t = List.rev t.entries
+
+let iter t f = List.iter f (entries t)
+
+let pp_event ppf = function
+  | Arrive { node; msg } -> Fmt.pf ppf "arrive(m%d)@%d" msg node
+  | Deliver { node; msg } -> Fmt.pf ppf "deliver(m%d)@%d" msg node
+  | Bcast { node; msg; instance } ->
+      Fmt.pf ppf "bcast(m%d)@%d#i%d" msg node instance
+  | Rcv { node; msg; instance } ->
+      Fmt.pf ppf "rcv(m%d)@%d#i%d" msg node instance
+  | Ack { node; msg; instance } ->
+      Fmt.pf ppf "ack(m%d)@%d#i%d" msg node instance
+  | Abort { node; msg; instance } ->
+      Fmt.pf ppf "abort(m%d)@%d#i%d" msg node instance
+
+let pp_entry ppf { time; event } = Fmt.pf ppf "%10.4f  %a" time pp_event event
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_entry) (entries t)

@@ -1,0 +1,49 @@
+(** Typed execution traces.
+
+    A trace records every externally visible event of a simulated execution:
+    problem-level events ([Arrive]/[Deliver]), MAC-level events
+    ([Bcast]/[Rcv]/[Ack]/[Abort]), each tagged with its broadcast-instance
+    id, which materializes the paper's "cause" function (Section 3.2.1) and
+    lets {!Amac.Compliance} audit executions post-hoc. *)
+
+type event =
+  | Arrive of { node : int; msg : int }
+      (** the environment injects MMB message [msg] at [node] *)
+  | Deliver of { node : int; msg : int }
+      (** the protocol delivers MMB message [msg] at [node] *)
+  | Bcast of { node : int; msg : int; instance : int }
+      (** [node] hands [msg] to the MAC layer; starts instance [instance] *)
+  | Rcv of { node : int; msg : int; instance : int }
+      (** the MAC layer delivers instance [instance]'s message to [node] *)
+  | Ack of { node : int; msg : int; instance : int }
+      (** the MAC layer acknowledges instance [instance] to its sender *)
+  | Abort of { node : int; msg : int; instance : int }
+      (** the sender aborts instance [instance] (enhanced model only) *)
+
+type entry = { time : float; event : event }
+
+type t
+(** A mutable, append-only event log. *)
+
+val create : ?enabled:bool -> unit -> t
+(** [create ()] is an empty trace.  With [~enabled:false] the trace drops
+    every record — used by large benchmark sweeps to avoid O(events) memory
+    while keeping one code path. *)
+
+val enabled : t -> bool
+
+val record : t -> time:float -> event -> unit
+(** Append one event (no-op when the trace is disabled). *)
+
+val length : t -> int
+
+val entries : t -> entry list
+(** All recorded entries, oldest first. *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Renders the whole trace, one entry per line. *)

@@ -1,0 +1,20 @@
+(** Serialization of execution traces as JSON-lines, for inspection with
+    external tooling (jq, pandas, ...) and for archiving runs.
+
+    Each entry becomes one JSON object, e.g.
+    [{"t":1.5,"e":"rcv","node":3,"msg":9,"inst":4}].
+    The format round-trips exactly: [of_jsonl (to_jsonl tr)] reproduces the
+    entries of [tr]. *)
+
+val entry_to_json : Trace.entry -> string
+
+val to_jsonl : Trace.t -> string
+(** One line per entry, oldest first, trailing newline. *)
+
+val write_file : Trace.t -> path:string -> unit
+
+val of_jsonl : string -> (Trace.entry list, string) result
+(** Parses the exact format produced by {!to_jsonl}; the error string names
+    the first offending line. *)
+
+val read_file : path:string -> (Trace.entry list, string) result

@@ -1,0 +1,1 @@
+lib/graphs/bfs.ml: Array Graph Queue

@@ -1,0 +1,1 @@
+lib/graphs/bfs.mli: Graph

@@ -1,0 +1,1 @@
+lib/graphs/dual.ml: Array Bfs Dsim Fmt Geometry Graph List

@@ -1,0 +1,1 @@
+lib/graphs/dual.mli: Dsim Format Geometry Graph

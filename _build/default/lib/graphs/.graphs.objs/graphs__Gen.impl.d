@@ -1,0 +1,1 @@
+lib/graphs/gen.ml: Array Bfs Dsim Geometry Graph List

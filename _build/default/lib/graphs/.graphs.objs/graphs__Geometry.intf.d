@@ -1,0 +1,1 @@
+lib/graphs/geometry.mli: Dsim Format

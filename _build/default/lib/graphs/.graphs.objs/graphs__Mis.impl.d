@@ -1,0 +1,1 @@
+lib/graphs/mis.ml: Array Dsim Fun Graph List

@@ -1,0 +1,1 @@
+lib/graphs/svg.ml: Array Buffer Dual Float Fun Geometry Graph List Printf

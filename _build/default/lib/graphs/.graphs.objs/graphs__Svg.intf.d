@@ -1,0 +1,1 @@
+lib/graphs/svg.mli: Dual

@@ -1,0 +1,63 @@
+let unreachable = max_int
+
+let distances g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n unreachable in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = unreachable then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let distance g u v = (distances g ~src:u).(v)
+
+let eccentricity g v =
+  Array.fold_left
+    (fun acc d -> if d = unreachable then acc else max acc d)
+    0
+    (distances g ~src:v)
+
+let diameter g =
+  let best = ref 0 in
+  Graph.iter_nodes g (fun v -> best := max !best (eccentricity g v));
+  !best
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  for src = 0 to n - 1 do
+    if comp.(src) = -1 then begin
+      let id = !next in
+      incr next;
+      let queue = Queue.create () in
+      comp.(src) <- id;
+      Queue.push src queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun v ->
+            if comp.(v) = -1 then begin
+              comp.(v) <- id;
+              Queue.push v queue
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  comp
+
+let component_count g =
+  let comp = components g in
+  Array.fold_left (fun acc id -> max acc (id + 1)) 0 comp
+
+let is_connected g = Graph.n g <= 1 || component_count g = 1

@@ -1,0 +1,28 @@
+(** Breadth-first search utilities: shortest hop distances, diameter,
+    connected components.  Distances are hop counts in an unweighted graph,
+    matching the paper's [d_G(u,v)]. *)
+
+val unreachable : int
+(** Sentinel distance for unreachable nodes ([max_int]). *)
+
+val distances : Graph.t -> src:int -> int array
+(** [distances g ~src] is the array of hop distances from [src];
+    [unreachable] where there is no path. *)
+
+val distance : Graph.t -> int -> int -> int
+(** Pairwise hop distance (runs one BFS). *)
+
+val eccentricity : Graph.t -> int -> int
+(** Greatest finite distance from the node to any reachable node. *)
+
+val diameter : Graph.t -> int
+(** Largest eccentricity over all nodes (ignoring unreachable pairs);
+    [0] for an empty or edgeless graph.  O(n·(n+m)). *)
+
+val components : Graph.t -> int array
+(** [components g] maps each node to a component id in [0..c-1]; nodes in
+    the same component share an id. *)
+
+val component_count : Graph.t -> int
+
+val is_connected : Graph.t -> bool

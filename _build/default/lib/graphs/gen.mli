@@ -1,0 +1,45 @@
+(** Graph generators: the deterministic topologies used by the paper's
+    constructions and benchmarks, plus random families for Monte-Carlo
+    experiments. *)
+
+val line : int -> Graph.t
+(** [line n]: path [0 - 1 - ... - n-1]; diameter [n-1]. *)
+
+val ring : int -> Graph.t
+(** [ring n]: cycle on [n >= 3] nodes. *)
+
+val star : int -> Graph.t
+(** [star n]: node [0] is the hub, nodes [1..n-1] are leaves. *)
+
+val complete : int -> Graph.t
+
+val grid : rows:int -> cols:int -> Graph.t
+(** [grid ~rows ~cols]: node [(r,c)] has index [r*cols + c]; 4-neighbor
+    lattice; diameter [rows+cols-2]. *)
+
+val balanced_tree : arity:int -> depth:int -> Graph.t
+(** Complete [arity]-ary tree of the given depth (root at node [0]). *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** [grid] with wrap-around edges in both dimensions (4-regular when both
+    dimensions exceed 2); diameter [⌊rows/2⌋ + ⌊cols/2⌋]. *)
+
+val hypercube : dim:int -> Graph.t
+(** The [dim]-dimensional hypercube on [2^dim] nodes: edge iff the node
+    indices differ in exactly one bit; diameter [dim]. *)
+
+val gnp : Dsim.Rng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi [G(n,p)]. *)
+
+val random_geometric :
+  Dsim.Rng.t -> n:int -> width:float -> height:float -> radius:float ->
+  Graph.t * Geometry.point array
+(** [n] uniform points in a [width × height] box; edge iff Euclidean
+    distance [<= radius].  Returns the graph and the embedding (the
+    unit-disk model of Section 2 when [radius = 1]). *)
+
+val random_connected_geometric :
+  Dsim.Rng.t -> n:int -> width:float -> height:float -> radius:float ->
+  max_tries:int -> Graph.t * Geometry.point array
+(** Rejection-samples {!random_geometric} until connected.
+    Raises [Failure] after [max_tries] failures. *)

@@ -1,0 +1,14 @@
+type point = { x : float; y : float }
+
+let point x y = { x; y }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+let random_in_box rng ~width ~height =
+  { x = Dsim.Rng.float rng width; y = Dsim.Rng.float rng height }
+
+let pp ppf { x; y } = Fmt.pf ppf "(%.3f, %.3f)" x y

@@ -1,0 +1,17 @@
+(** 2-D Euclidean geometry helpers for geometric graph models (unit-disk
+    reliable graphs and grey-zone unreliable graphs, Section 2). *)
+
+type point = { x : float; y : float }
+
+val point : float -> float -> point
+
+val dist : point -> point -> float
+(** Euclidean distance. *)
+
+val dist2 : point -> point -> float
+(** Squared distance (no sqrt), for threshold tests. *)
+
+val random_in_box : Dsim.Rng.t -> width:float -> height:float -> point
+(** Uniform point in [[0,width] × [0,height]]. *)
+
+val pp : Format.formatter -> point -> unit

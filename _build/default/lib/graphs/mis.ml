@@ -1,0 +1,40 @@
+let is_independent g nodes =
+  let rec check = function
+    | [] -> true
+    | u :: rest ->
+        List.for_all (fun v -> not (Graph.mem_edge g u v)) rest && check rest
+  in
+  check nodes
+
+let is_maximal_independent g nodes =
+  is_independent g nodes
+  &&
+  let in_set = Array.make (Graph.n g) false in
+  List.iter (fun v -> in_set.(v) <- true) nodes;
+  let covered v =
+    in_set.(v) || Array.exists (fun u -> in_set.(u)) (Graph.neighbors g v)
+  in
+  let ok = ref true in
+  Graph.iter_nodes g (fun v -> if not (covered v) then ok := false);
+  !ok
+
+let greedy_in_order g order =
+  let n = Graph.n g in
+  let blocked = Array.make n false in
+  let chosen = ref [] in
+  Array.iter
+    (fun v ->
+      if not blocked.(v) then begin
+        chosen := v :: !chosen;
+        Array.iter (fun u -> blocked.(u) <- true) (Graph.neighbors g v);
+        blocked.(v) <- true
+      end)
+    order;
+  List.rev !chosen
+
+let greedy g = greedy_in_order g (Array.init (Graph.n g) Fun.id)
+
+let greedy_seeded rng g =
+  let order = Array.init (Graph.n g) Fun.id in
+  Dsim.Rng.shuffle rng order;
+  greedy_in_order g order

@@ -1,0 +1,17 @@
+(** Maximal independent sets: a sequential reference construction and the
+    validity checkers used to audit FMMB's distributed MIS subroutine
+    (Lemma 4.5). *)
+
+val is_independent : Graph.t -> int list -> bool
+(** No two listed nodes are adjacent. *)
+
+val is_maximal_independent : Graph.t -> int list -> bool
+(** Independent, and every node outside the set has a neighbor inside. *)
+
+val greedy : Graph.t -> int list
+(** Deterministic reference MIS: scan nodes in increasing id order, add a
+    node whenever none of its neighbors was added.  Always valid; used as a
+    test oracle. *)
+
+val greedy_seeded : Dsim.Rng.t -> Graph.t -> int list
+(** Greedy over a uniformly shuffled node order, for randomized oracles. *)

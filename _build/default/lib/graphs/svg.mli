@@ -1,0 +1,18 @@
+(** Self-contained SVG rendering of embedded dual graphs — reliable links
+    solid, unreliable links dashed, optional node highlighting (MIS,
+    backbone, message frontier).  No dependencies; output is a standalone
+    [.svg] document. *)
+
+val render :
+  ?width:int ->
+  ?highlight:(int -> bool) ->
+  ?label:(int -> string option) ->
+  Dual.t ->
+  string option
+(** [render dual] is the SVG document, or [None] when the dual graph has no
+    plane embedding.  [width] (default [640]) is the pixel width; height
+    preserves the embedding's aspect ratio.  [highlight] fills matching
+    nodes in the accent color; [label] annotates nodes. *)
+
+val write : path:string -> string -> unit
+(** Write an SVG document to a file. *)

@@ -1,0 +1,1 @@
+lib/mmb/bmmb.ml: Amac Array Dsim Hashtbl List

@@ -1,0 +1,1 @@
+lib/mmb/bmmb.mli: Amac

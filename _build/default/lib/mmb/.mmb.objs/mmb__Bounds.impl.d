@@ -1,0 +1,1 @@
+lib/mmb/bounds.ml: Float Graphs List

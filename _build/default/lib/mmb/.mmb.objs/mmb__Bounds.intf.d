@@ -1,0 +1,1 @@
+lib/mmb/bounds.mli: Graphs Problem

@@ -1,0 +1,1 @@
+lib/mmb/consensus.ml: Amac Array Dsim Fun Graphs Hashtbl

@@ -1,0 +1,1 @@
+lib/mmb/consensus.mli: Amac Graphs

@@ -1,0 +1,1 @@
+lib/mmb/fmmb.ml: Amac Array Dsim Fmmb_gather Fmmb_mis Fmmb_spread Fun Graphs Hashtbl List Problem

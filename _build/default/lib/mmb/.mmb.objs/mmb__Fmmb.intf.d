@@ -1,0 +1,1 @@
+lib/mmb/fmmb.mli: Amac Dsim Fmmb_gather Fmmb_mis Fmmb_msg Fmmb_spread Graphs Problem

@@ -1,0 +1,1 @@
+lib/mmb/fmmb_gather.ml: Amac Array Dsim Float Fmmb_msg Graphs Hashtbl List

@@ -1,0 +1,1 @@
+lib/mmb/fmmb_gather.mli: Amac Dsim Fmmb_msg Graphs Hashtbl

@@ -1,0 +1,1 @@
+lib/mmb/fmmb_mis.ml: Amac Array Dsim Float Fmmb_msg Graphs List

@@ -1,0 +1,1 @@
+lib/mmb/fmmb_mis.mli: Amac Dsim Fmmb_msg Graphs

@@ -1,0 +1,1 @@
+lib/mmb/fmmb_msg.ml: Fmt

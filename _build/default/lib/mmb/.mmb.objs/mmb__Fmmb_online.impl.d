@@ -1,0 +1,1 @@
+lib/mmb/fmmb_online.ml: Amac Array Dsim Float Fmmb_mis Fmmb_msg Fun Graphs Hashtbl List Problem

@@ -1,0 +1,1 @@
+lib/mmb/fmmb_online.mli: Amac Dsim Fmmb_mis Fmmb_msg Graphs Problem

@@ -1,0 +1,1 @@
+lib/mmb/fmmb_spread.ml: Amac Array Dsim Float Fmmb_msg Graphs Hashtbl List

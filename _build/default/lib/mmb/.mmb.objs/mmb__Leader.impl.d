@@ -1,0 +1,1 @@
+lib/mmb/leader.ml: Amac Array Dsim Fun Graphs Hashtbl

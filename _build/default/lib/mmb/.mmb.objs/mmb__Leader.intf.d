@@ -1,0 +1,1 @@
+lib/mmb/leader.mli: Amac Graphs

@@ -1,0 +1,1 @@
+lib/mmb/lower_bound.ml: Amac Array Bounds Graphs List Runner

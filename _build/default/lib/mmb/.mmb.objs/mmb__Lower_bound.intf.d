@@ -1,0 +1,1 @@
+lib/mmb/lower_bound.mli: Amac Bmmb

@@ -1,0 +1,1 @@
+lib/mmb/problem.ml: Array Dsim Float Fun Graphs Hashtbl List

@@ -1,0 +1,1 @@
+lib/mmb/problem.mli: Dsim Graphs

@@ -1,0 +1,1 @@
+lib/mmb/properties.ml: Array Dsim Graphs Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/mmb/properties.mli: Dsim Graphs

@@ -1,0 +1,1 @@
+lib/mmb/runner.ml: Amac Bmmb Bounds Dsim Float Fmmb Graphs List Problem Properties

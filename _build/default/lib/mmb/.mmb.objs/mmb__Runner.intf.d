@@ -1,0 +1,1 @@
+lib/mmb/runner.mli: Amac Bmmb Dsim Fmmb Fmmb_msg Graphs Problem

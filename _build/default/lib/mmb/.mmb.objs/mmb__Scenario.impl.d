@@ -1,0 +1,1 @@
+lib/mmb/scenario.ml: Amac Buffer Dsim Fmmb Fmmb_online Fmt Graphs List Printf Problem Result Runner

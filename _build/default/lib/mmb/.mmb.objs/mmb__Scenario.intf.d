@@ -1,0 +1,1 @@
+lib/mmb/scenario.mli: Amac Dsim Graphs

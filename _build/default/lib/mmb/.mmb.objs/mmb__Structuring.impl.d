@@ -1,0 +1,1 @@
+lib/mmb/structuring.ml: Amac Array Dsim Float Fmmb_mis Fmmb_msg Fun Graphs Hashtbl List Queue

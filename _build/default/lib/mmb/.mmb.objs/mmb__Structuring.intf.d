@@ -1,0 +1,1 @@
+lib/mmb/structuring.mli: Amac Dsim Fmmb_mis Fmmb_msg Graphs

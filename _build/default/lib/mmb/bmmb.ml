@@ -1,0 +1,127 @@
+type discipline = [ `Fifo | `Lifo ]
+
+type node_state = {
+  rcvd : (int, unit) Hashtbl.t;
+  (* [bcastq] as a double-ended structure: [front] holds messages to send
+     next (in order), [back] holds newly enqueued ones in reverse. *)
+  mutable front : int list;
+  mutable back : int list;
+  mutable queued : int;
+  mutable in_flight : int option;
+}
+
+type t = {
+  mac : int Amac.Mac_handle.t;
+  on_deliver : node:int -> msg:int -> time:float -> unit;
+  discipline : discipline;
+  relay : int -> bool;
+  states : node_state array;
+}
+
+let now t = t.mac.Amac.Mac_handle.h_now ()
+
+let record_trace t event =
+  match t.mac.Amac.Mac_handle.h_trace with
+  | None -> ()
+  | Some tr -> Dsim.Trace.record tr ~time:(now t) event
+
+let push t st msg =
+  (match t.discipline with
+  | `Fifo -> st.back <- msg :: st.back
+  | `Lifo -> st.front <- msg :: st.front);
+  st.queued <- st.queued + 1
+
+let pop st =
+  let refill () =
+    match List.rev st.back with
+    | [] -> None
+    | m :: rest ->
+        st.front <- m :: rest;
+        st.back <- [];
+        Some m
+  in
+  let head = match st.front with m :: _ -> Some m | [] -> refill () in
+  match head with
+  | None -> None
+  | Some m ->
+      (match st.front with
+      | _ :: rest -> st.front <- rest
+      | [] -> assert false);
+      st.queued <- st.queued - 1;
+      Some m
+
+(* Hand the queue head to the MAC if idle ("immediately, without any
+   time-passage").  The in-flight message is logically still the queue
+   head until its ack; we remove it eagerly and remember it, which is
+   behaviorally identical. *)
+let maybe_send t node =
+  let st = t.states.(node) in
+  if st.in_flight = None then begin
+    match pop st with
+    | None -> ()
+    | Some m ->
+        st.in_flight <- Some m;
+        t.mac.Amac.Mac_handle.h_bcast ~node m
+  end
+
+let get t node msg ~from_env =
+  let st = t.states.(node) in
+  if not (Hashtbl.mem st.rcvd msg) then begin
+    Hashtbl.replace st.rcvd msg ();
+    record_trace t (Dsim.Trace.Deliver { node; msg });
+    t.on_deliver ~node ~msg ~time:(now t);
+    (* Own arrivals are always broadcast; received messages only by relay
+       nodes (backbone flooding). *)
+    if from_env || t.relay node then begin
+      push t st msg;
+      maybe_send t node
+    end
+  end
+  else if from_env then
+    invalid_arg "Bmmb.arrive: message already known (non-unique arrival?)"
+
+let install ?(discipline = `Fifo) ?(relay = fun _ -> true) ~mac ~on_deliver
+    () =
+  let n = mac.Amac.Mac_handle.h_n in
+  let t =
+    {
+      mac;
+      on_deliver;
+      discipline;
+      relay;
+      states =
+        Array.init n (fun _ ->
+            {
+              rcvd = Hashtbl.create 16;
+              front = [];
+              back = [];
+              queued = 0;
+              in_flight = None;
+            });
+    }
+  in
+  for node = 0 to n - 1 do
+    mac.Amac.Mac_handle.h_attach ~node
+      {
+        Amac.Mac_intf.on_rcv =
+          (fun ~src:_ msg -> get t node msg ~from_env:false);
+        on_ack =
+          (fun msg ->
+            let st = t.states.(node) in
+            (match st.in_flight with
+            | Some m when m = msg -> st.in_flight <- None
+            | _ -> invalid_arg "Bmmb: ack for a message not in flight");
+            maybe_send t node);
+      }
+  done;
+  t
+
+let arrive t ~node ~msg =
+  record_trace t (Dsim.Trace.Arrive { node; msg });
+  get t node msg ~from_env:true
+
+let queue_length t ~node =
+  let st = t.states.(node) in
+  st.queued + match st.in_flight with Some _ -> 1 | None -> 0
+
+let received t ~node ~msg = Hashtbl.mem t.states.(node).rcvd msg

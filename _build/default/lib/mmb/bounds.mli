@@ -1,0 +1,32 @@
+(** The paper's closed-form complexity bounds, used as oracles by the tests
+    and benchmarks.  The BMMB bounds (Theorems 3.1 and 3.16) are exact — no
+    hidden constants — so every compliant execution must respect them. *)
+
+val thm_3_1 : d:int -> k:int -> fack:float -> float
+(** [(D + k) * Fack]: BMMB's completion bound for arbitrary G' (the proof of
+    Theorem 3.1 gives exactly [(d_v + k) * Fack] per node [v]). *)
+
+val thm_3_16 : d:int -> k:int -> r:int -> fack:float -> fprog:float -> float
+(** [(D + (r+1)k - 2) * Fprog + r(k-1) * Fack]: BMMB's completion bound for
+    an r-restricted G' (the exact bound of Theorem 3.16). *)
+
+val fmmb_shape : n:int -> d:int -> k:int -> float
+(** The unit-coefficient round-count shape of Theorem 4.1,
+    [D log n + k log n + log^3 n] (natural log, for curve fitting). *)
+
+val bmmb_upper :
+  dual:Graphs.Dual.t -> assignment:Problem.assignment ->
+  fack:float -> fprog:float -> float
+(** The tightest applicable exact BMMB bound for a concrete run: per-message
+    origin eccentricities replace [D], the assignment size replaces [k], and
+    the r-restricted bound is included whenever G' has a finite restriction
+    radius.  Every compliant BMMB execution completes within this time. *)
+
+val lower_two_line : d:int -> fack:float -> float
+(** The floor the Section 3.3 adversary must force on the two-line network:
+    [(d - 1) * Fack] (each of the [d-1] frontier hops is stalled for a full
+    acknowledgment delay). *)
+
+val lower_choke : k:int -> fack:float -> float
+(** The floor on the Lemma 3.18 choke network: [(k - 1) * Fack] (the hub
+    forwards [k-1] relayed messages one ack at a time). *)

@@ -1,0 +1,37 @@
+(** One-shot consensus on the standard abstract MAC layer (Section 5 names
+    consensus as a natural follow-up problem).
+
+    Leader-based: every node floods the (id, proposal) pair of the largest
+    id it has seen, suppressing re-broadcasts that carry no news; when the
+    network quiesces every node holds the maximum id's proposal.  Agreement
+    and validity hold per G-component under any compliant scheduler and any
+    G' — like {!Leader} (and BMMB's Theorem 3.4), the flooded maximum is
+    monotone and idempotent, so unreliable links cannot break safety.
+
+    Termination is observed externally (standard-model nodes have no
+    clocks; with the enhanced model's knowledge of Fack one could decide
+    after a [D·(Fack+Fprog)]-timeout, which is the same observation made
+    locally). *)
+
+type result = {
+  decisions : int array;  (** per node, the decided value *)
+  agreed : bool;  (** each G-component decided one value *)
+  valid : bool;  (** every decision was some node's proposal *)
+  time : float;  (** time of the last belief change *)
+  bcasts : int;
+}
+
+val run :
+  dual:Graphs.Dual.t ->
+  fack:float ->
+  fprog:float ->
+  policy:(int * int) Amac.Mac_intf.policy ->
+  proposals:int array ->
+  seed:int ->
+  ?ids:int array ->
+  ?check_compliance:bool ->
+  ?max_events:int ->
+  unit ->
+  result * Amac.Compliance.violation list
+(** [proposals.(v)] is node [v]'s input value; [ids] (default the node
+    indices) are the distinct identities the leader is chosen by. *)

@@ -1,0 +1,110 @@
+type params = {
+  c : float;
+  mis : Fmmb_mis.params;
+  gather : Fmmb_gather.params;
+  spread : Fmmb_spread.params;
+}
+
+let default_params ~n ~k ~c =
+  {
+    c;
+    mis = Fmmb_mis.default_params ~n ~c;
+    gather = Fmmb_gather.default_params ~n ~k ~c;
+    spread = Fmmb_spread.default_params ~n ~c;
+  }
+
+type backend = Rounds | Continuous of Amac.Round_sync.mode
+
+let make_engine ~backend ~dual ~fprog ~rng ~policy ?trace () =
+  match backend with
+  | Rounds ->
+      Amac.Round_engine.of_enhanced
+        (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
+  | Continuous mode ->
+      let sim = Dsim.Sim.create () in
+      let mac =
+        Amac.Standard_mac.create ~sim ~dual ~fack:(100. *. fprog) ~fprog
+          ~policy:(Amac.Round_sync.policy ~mode)
+          ~rng ?trace ()
+      in
+      Amac.Round_engine.of_round_sync (Amac.Round_sync.create ~mac ())
+
+type result = {
+  complete : bool;
+  rounds_mis : int;
+  rounds_gather : int;
+  rounds_spread : int;
+  total_rounds : int;
+  time : float;
+  mis_valid : bool;
+  mis_size : int;
+  gather_leftover : int;
+}
+
+let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
+    ?(backend = Rounds) ?max_spread_phases ?trace () =
+  let fresh_engine () =
+    make_engine ~backend ~dual ~fprog ~rng ~policy ?trace ()
+  in
+  let n = Graphs.Dual.n dual in
+  let g = Graphs.Dual.reliable dual in
+  let k = List.length assignment in
+  (* Per-node delivery dedup: the tracker must see at most one deliver per
+     (node, message).  Delivery timestamps are stage-granular (the overall
+     completion time is measured in rounds, below). *)
+  let known = Array.init n (fun _ -> Hashtbl.create 8) in
+  let stage_base = ref 0. in
+  let deliver ~node ~payload =
+    if not (Hashtbl.mem known.(node) payload) then begin
+      Hashtbl.replace known.(node) payload ();
+      Problem.on_deliver tracker ~node ~msg:payload ~time:!stage_base
+    end
+  in
+  (* Arrivals: payloads are delivered at their origins at time 0. *)
+  let initial = Array.make n [] in
+  List.iter
+    (fun (node, msg) ->
+      initial.(node) <- msg :: initial.(node);
+      deliver ~node ~payload:msg)
+    assignment;
+  (* Stage 1: MIS. *)
+  let mis_res =
+    Fmmb_mis.run ~dual ~rng ~policy ~params:params.mis
+      ~engine:(fresh_engine ()) ()
+  in
+  let mis = mis_res.Fmmb_mis.mis in
+  stage_base := float_of_int mis_res.Fmmb_mis.rounds_run *. fprog;
+  (* Stage 2: gather. *)
+  let gather_res =
+    Fmmb_gather.run ~dual ~rng ~policy ~params:params.gather ~mis ~initial
+      ~on_payload:deliver ~engine:(fresh_engine ()) ~fprog ()
+  in
+  stage_base :=
+    !stage_base +. (float_of_int gather_res.Fmmb_gather.rounds_run *. fprog);
+  (* Stage 3: spread, until the tracker observes completion. *)
+  let d = Graphs.Bfs.diameter g in
+  let max_phases =
+    match max_spread_phases with Some p -> p | None -> (4 * (d + k)) + 8
+  in
+  let stop () = Problem.complete tracker in
+  let spread_res =
+    Fmmb_spread.run ~dual ~rng ~policy ~params:params.spread ~mis
+      ~sets:gather_res.Fmmb_gather.mis_sets ~on_payload:deliver ~stop
+      ~max_phases ~engine:(fresh_engine ()) ~fprog ()
+  in
+  let total_rounds =
+    mis_res.Fmmb_mis.rounds_run + gather_res.Fmmb_gather.rounds_run
+    + spread_res.Fmmb_spread.rounds_run
+  in
+  let mis_list = List.filter (fun v -> mis.(v)) (List.init n Fun.id) in
+  {
+    complete = Problem.complete tracker;
+    rounds_mis = mis_res.Fmmb_mis.rounds_run;
+    rounds_gather = gather_res.Fmmb_gather.rounds_run;
+    rounds_spread = spread_res.Fmmb_spread.rounds_run;
+    total_rounds;
+    time = float_of_int total_rounds *. fprog;
+    mis_valid = Graphs.Mis.is_maximal_independent g mis_list;
+    mis_size = List.length mis_list;
+    gather_leftover = gather_res.Fmmb_gather.leftover;
+  }

@@ -1,0 +1,59 @@
+(** The Fast Multi-Message Broadcast algorithm (Section 4, Theorem 4.1).
+
+    Composes the three subroutines — MIS construction, gathering, spreading
+    — on the enhanced abstract MAC layer, in lock-step rounds of length
+    [fprog].  Under a grey-zone restricted G' it solves MMB w.h.p. in
+    [O((D log n + k log n + log³ n) · Fprog)] time, with no [Fack] term.
+
+    Faithfulness notes (also in DESIGN.md): nodes know [n] and the
+    grey-zone constant [c] (as the paper's round budgets assume), and the
+    gather budget is computed from [k]; the paper leaves the k-unknown
+    phase-transition mechanism unspecified, and a standard guess-and-double
+    wrapper would add only a constant factor.  Spreading runs until the
+    external tracker observes completion (nodes themselves never detect
+    it), bounded by a [D+k]-proportional phase budget. *)
+
+type params = {
+  c : float;  (** grey-zone constant used to size budgets *)
+  mis : Fmmb_mis.params;
+  gather : Fmmb_gather.params;
+  spread : Fmmb_spread.params;
+}
+
+(** How the lock-step rounds are executed. *)
+type backend =
+  | Rounds
+      (** {!Amac.Enhanced_mac}: direct round semantics (default) *)
+  | Continuous of Amac.Round_sync.mode
+      (** {!Amac.Round_sync}: rounds constructed from the continuous
+          engine's abort + timer primitives, as Section 4.1 prescribes;
+          the [policy] argument is superseded by the mode's scheduler *)
+
+val default_params : n:int -> k:int -> c:float -> params
+
+type result = {
+  complete : bool;
+  rounds_mis : int;
+  rounds_gather : int;
+  rounds_spread : int;
+  total_rounds : int;
+  time : float;  (** [total_rounds * fprog] *)
+  mis_valid : bool;  (** was the constructed set a valid MIS of G? *)
+  mis_size : int;
+  gather_leftover : int;
+}
+
+val run :
+  dual:Graphs.Dual.t ->
+  fprog:float ->
+  rng:Dsim.Rng.t ->
+  policy:Fmmb_msg.t Amac.Enhanced_mac.round_policy ->
+  params:params ->
+  assignment:Problem.assignment ->
+  tracker:Problem.tracker ->
+  ?backend:backend ->
+  ?max_spread_phases:int ->
+  ?trace:Dsim.Trace.t ->
+  unit ->
+  result
+(** [max_spread_phases] defaults to [4 * (D + k) + 8]. *)

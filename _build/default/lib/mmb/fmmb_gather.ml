@@ -1,0 +1,150 @@
+type params = { periods : int; p_active : float; use_acks : bool }
+
+let default_params ~n ~k ~c =
+  let c2 = c *. c in
+  {
+    periods =
+      8
+      + int_of_float
+          (ceil (6. *. c2 *. (float_of_int k +. log (float_of_int (max 2 n)))));
+    p_active = Float.min 0.5 (1. /. (2. *. c2));
+    use_acks = true;
+  }
+
+type result = {
+  mis_sets : (int, unit) Hashtbl.t array;
+  leftover : int;
+  rounds_run : int;
+  budget_rounds : int;
+  data_broadcasts : int;
+}
+
+let run ~dual ~rng ~policy ~params ~mis ~initial ~on_payload ?engine ?trace
+    ?(fprog = 1.) () =
+  let n = Graphs.Dual.n dual in
+  let g = Graphs.Dual.reliable dual in
+  let { periods; p_active; use_acks } = params in
+  let budget_rounds = 3 * periods in
+  let sets = Array.init n (fun _ -> Hashtbl.create 8) in
+  Array.iteri
+    (fun v payloads ->
+      List.iter (fun m -> Hashtbl.replace sets.(v) m ()) payloads)
+    initial;
+  let heard_probe = Array.make n false in
+  let data_broadcasts = ref 0 in
+  let absorbed = Array.make n None in
+  let active = Array.make n false in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+        Amac.Round_engine.of_enhanced
+          (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
+  in
+  let smallest_payload v =
+    Hashtbl.fold
+      (fun m () acc ->
+        match acc with Some best when best <= m -> acc | _ -> Some m)
+      sets.(v) None
+  in
+  let note_payloads v inbox =
+    List.iter
+      (fun env ->
+        match Fmmb_msg.payload env.Amac.Message.body with
+        | Some payload -> on_payload ~node:v ~payload
+        | None -> ())
+      inbox
+  in
+  let process_inbox v ~prev_round inbox =
+    note_payloads v inbox;
+    match prev_round mod 3 with
+    | 0 ->
+        if not mis.(v) then
+          heard_probe.(v) <-
+            List.exists
+              (fun env ->
+                match env.Amac.Message.body with
+                | Fmmb_msg.Probe { origin } ->
+                    Graphs.Graph.mem_edge g origin v
+                | _ -> false)
+              inbox
+    | 1 ->
+        if mis.(v) then
+          List.iter
+            (fun env ->
+              match env.Amac.Message.body with
+              | Fmmb_msg.Data { origin; payload }
+                when Graphs.Graph.mem_edge g origin v ->
+                  Hashtbl.replace sets.(v) payload ();
+                  if absorbed.(v) = None then absorbed.(v) <- Some payload
+              | _ -> ())
+            inbox
+    | _ ->
+        if (not mis.(v)) && use_acks then
+          List.iter
+            (fun env ->
+              match env.Amac.Message.body with
+              | Fmmb_msg.Ack_data { origin; payload }
+                when Graphs.Graph.mem_edge g origin v ->
+                  Hashtbl.remove sets.(v) payload
+              | _ -> ())
+            inbox
+  in
+  for v = 0 to n - 1 do
+    engine.Amac.Round_engine.set_node ~node:v (fun ~round ~inbox ->
+        if round > 0 then process_inbox v ~prev_round:(round - 1) inbox;
+        match round mod 3 with
+        | 0 ->
+            absorbed.(v) <- None;
+            if mis.(v) then begin
+              active.(v) <- Dsim.Rng.bernoulli rng ~p:p_active;
+              if active.(v) then
+                Amac.Enhanced_mac.Broadcast (Fmmb_msg.Probe { origin = v })
+              else Amac.Enhanced_mac.Listen
+            end
+            else Amac.Enhanced_mac.Listen
+        | 1 ->
+            if (not mis.(v)) && heard_probe.(v) then begin
+              match smallest_payload v with
+              | Some payload ->
+                  incr data_broadcasts;
+                  Amac.Enhanced_mac.Broadcast
+                    (Fmmb_msg.Data { origin = v; payload })
+              | None -> Amac.Enhanced_mac.Listen
+            end
+            else Amac.Enhanced_mac.Listen
+        | _ -> (
+            match (mis.(v) && use_acks, absorbed.(v)) with
+            | true, Some payload ->
+                Amac.Enhanced_mac.Broadcast
+                  (Fmmb_msg.Ack_data { origin = v; payload })
+            | _ -> Amac.Enhanced_mac.Listen))
+  done;
+  let drained () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if (not mis.(v)) && Hashtbl.length sets.(v) > 0 then ok := false
+    done;
+    !ok
+  in
+  (* Stop only at period boundaries so in-flight acks land. *)
+  let stop () =
+    engine.Amac.Round_engine.rounds_done () mod 3 = 0 && drained ()
+  in
+  let rounds_run =
+    engine.Amac.Round_engine.run_until ~max_rounds:budget_rounds ~stop
+  in
+  let leftover =
+    let total = ref 0 in
+    for v = 0 to n - 1 do
+      if not mis.(v) then total := !total + Hashtbl.length sets.(v)
+    done;
+    !total
+  in
+  {
+    mis_sets = sets;
+    leftover;
+    rounds_run;
+    budget_rounds;
+    data_broadcasts = !data_broadcasts;
+  }

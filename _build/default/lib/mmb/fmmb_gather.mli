@@ -1,0 +1,50 @@
+(** The FMMB message-gathering subroutine (Section 4.3).
+
+    Runs in 3-round periods.  Round 1: each MIS node, active with
+    probability Θ(1/c²), announces itself.  Round 2: each non-MIS node that
+    heard a G-neighbor's announcement and still owns messages broadcasts one
+    of them; MIS nodes absorb every payload received from a G-neighbor.
+    Round 3: an MIS node that absorbed a payload acknowledges it; a non-MIS
+    node hearing a G-neighbor's acknowledgment drops that payload from its
+    set.  After Θ(c²(k + log n)) periods every payload is owned by at least
+    one MIS node w.h.p. (Lemma 4.6). *)
+
+type params = {
+  periods : int;
+  p_active : float;  (** per-period MIS activation probability, Θ(1/c²) *)
+  use_acks : bool;
+      (** ablation switch: when [false] the third (acknowledgment) round is
+          skipped, so non-MIS nodes never learn their payloads were absorbed
+          and keep re-offering them — gathering still happens, but the
+          subroutine cannot quiesce (E9) *)
+}
+
+val default_params : n:int -> k:int -> c:float -> params
+
+type result = {
+  mis_sets : (int, unit) Hashtbl.t array;
+      (** per-node owned payload set after gathering (MIS custody sets) *)
+  leftover : int;
+      (** payloads still stranded at non-MIS nodes (0 on a w.h.p. run) *)
+  rounds_run : int;
+  budget_rounds : int;
+  data_broadcasts : int;
+      (** round-2 payload broadcasts by non-MIS nodes (redundancy metric) *)
+}
+
+val run :
+  dual:Graphs.Dual.t ->
+  rng:Dsim.Rng.t ->
+  policy:Fmmb_msg.t Amac.Enhanced_mac.round_policy ->
+  params:params ->
+  mis:bool array ->
+  initial:int list array ->
+  on_payload:(node:int -> payload:int -> unit) ->
+  ?engine:Fmmb_msg.t Amac.Round_engine.t ->
+  ?trace:Dsim.Trace.t ->
+  ?fprog:float ->
+  unit ->
+  result
+(** [initial] gives each node's starting payload list (the MMB arrival
+    assignment); [on_payload] is invoked on every payload-bearing reception
+    (the delivery hook). *)

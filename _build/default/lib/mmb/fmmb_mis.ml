@@ -1,0 +1,124 @@
+type params = {
+  phases : int;
+  election_rounds : int;
+  announce_rounds : int;
+  p_announce : float;
+}
+
+let ceil_log2 n =
+  let rec go acc pow = if pow >= n then acc else go (acc + 1) (2 * pow) in
+  go 0 1
+
+let default_params ~n ~c =
+  let c2 = c *. c in
+  let logn = float_of_int (max 1 (ceil_log2 (max 2 n))) in
+  {
+    phases = max 4 (int_of_float (ceil (4. *. c2 *. logn *. logn)));
+    election_rounds = max 4 (4 * ceil_log2 (max 2 n));
+    announce_rounds =
+      max 8 (int_of_float (ceil (12. *. c2 *. log (float_of_int (max 2 n)))));
+    p_announce = Float.min 0.5 (1. /. (2. *. c2));
+  }
+
+type status = Active | Temp | Joined | Mis | Covered
+
+type result = {
+  mis : bool array;
+  rounds_run : int;
+  budget_rounds : int;
+  undecided : int;
+}
+
+let run ~dual ~rng ~policy ~params ?engine ?trace ?(fprog = 1.) () =
+  let n = Graphs.Dual.n dual in
+  let g = Graphs.Dual.reliable dual in
+  let { phases; election_rounds; announce_rounds; p_announce } = params in
+  let phase_len = election_rounds + announce_rounds in
+  let budget_rounds = phases * phase_len in
+  let status = Array.make n Active in
+  let word = Array.make n 0 in
+  let bcast_last = Array.make n false in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+        Amac.Round_engine.of_enhanced
+          (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
+  in
+  let fresh_word () =
+    (* election_rounds independent bits, packed little-endian *)
+    let w = ref 0 in
+    for bit = 0 to election_rounds - 1 do
+      if Dsim.Rng.bool rng then w := !w lor (1 lsl bit)
+    done;
+    !w
+  in
+  let process_inbox v ~prev_round inbox =
+    let prev_sub = prev_round mod phase_len in
+    if prev_sub < election_rounds then begin
+      (* Election: a silent active node hearing anything (G or G') steps
+         aside for the rest of the phase. *)
+      if status.(v) = Active && (not bcast_last.(v)) && inbox <> [] then
+        status.(v) <- Temp
+    end
+    else begin
+      (* Announcement: hearing a G-neighbor's announcement covers v. *)
+      let covered_by env =
+        match env.Amac.Message.body with
+        | Fmmb_msg.Announce { origin } ->
+            Graphs.Graph.mem_edge g origin v
+        | _ -> false
+      in
+      match status.(v) with
+      | Active | Temp | Covered ->
+          if List.exists covered_by inbox then status.(v) <- Covered
+      | Joined | Mis -> ()
+    end
+  in
+  for v = 0 to n - 1 do
+    engine.Amac.Round_engine.set_node ~node:v (fun ~round ~inbox ->
+        if round > 0 then process_inbox v ~prev_round:(round - 1) inbox;
+        let sub = round mod phase_len in
+        if sub = 0 then begin
+          (* Phase boundary: new members retire into the MIS, temporarily
+             inactive nodes wake up, survivors draw a fresh word. *)
+          (match status.(v) with
+          | Joined -> status.(v) <- Mis
+          | Temp -> status.(v) <- Active
+          | Active | Mis | Covered -> ());
+          if status.(v) = Active then word.(v) <- fresh_word ()
+        end;
+        if sub = election_rounds && status.(v) = Active then
+          status.(v) <- Joined;
+        bcast_last.(v) <- false;
+        if sub < election_rounds then begin
+          if status.(v) = Active && word.(v) land (1 lsl sub) <> 0 then begin
+            bcast_last.(v) <- true;
+            Amac.Enhanced_mac.Broadcast
+              (Fmmb_msg.Election { origin = v; word = word.(v) })
+          end
+          else Amac.Enhanced_mac.Listen
+        end
+        else if status.(v) = Joined && Dsim.Rng.bernoulli rng ~p:p_announce
+        then begin
+          bcast_last.(v) <- true;
+          Amac.Enhanced_mac.Broadcast (Fmmb_msg.Announce { origin = v })
+        end
+        else Amac.Enhanced_mac.Listen)
+  done;
+  let quiescent () =
+    Array.for_all (fun s -> s = Mis || s = Covered) status
+  in
+  let rounds_run =
+    engine.Amac.Round_engine.run_until ~max_rounds:budget_rounds
+      ~stop:quiescent
+  in
+  (* A Joined node at the horizon has survived its election; it is in the
+     set even though its announcement part was cut short. *)
+  let mis = Array.map (fun s -> s = Mis || s = Joined) status in
+  let undecided =
+    Array.fold_left
+      (fun acc s -> match s with Active | Temp -> acc + 1 | _ -> acc)
+      0 status
+  in
+  { mis; rounds_run; budget_rounds; undecided }

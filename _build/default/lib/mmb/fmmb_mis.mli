@@ -1,0 +1,49 @@
+(** The FMMB MIS subroutine (Section 4.2).
+
+    Runs in phases of an election part (each active node broadcasts its
+    random bit-string's set bits; a silent node hearing anything goes
+    temporarily inactive; survivors join the MIS) followed by an
+    announcement part (new MIS members broadcast their id with probability
+    Θ(1/c²); a node hearing a G-neighbor's announcement goes permanently
+    inactive).  With the default Θ(c⁴ log³ n)-round budget the resulting set
+    is a maximal independent set of G w.h.p. (Lemma 4.5).
+
+    The simulation stops early once no node can change state again (all
+    nodes are in the MIS or covered); [rounds_run] reports that point while
+    [budget_rounds] reports the fixed budget the algorithm would run —
+    complexity claims are stated against the budget, convergence against
+    [rounds_run]. *)
+
+type params = {
+  phases : int;
+  election_rounds : int;  (** rounds per election part (= bits per word) *)
+  announce_rounds : int;  (** rounds per announcement part *)
+  p_announce : float;  (** per-round broadcast probability, Θ(1/c²) *)
+}
+
+val default_params : n:int -> c:float -> params
+(** [phases = Θ(c² log² n)], [election_rounds = 4 ⌈log₂ n⌉],
+    [announce_rounds = Θ(c² ln n)], [p_announce = Θ(1/c²)]. *)
+
+type result = {
+  mis : bool array;  (** membership of the constructed set *)
+  rounds_run : int;  (** rounds simulated before quiescence *)
+  budget_rounds : int;  (** the algorithm's fixed budget *)
+  undecided : int;
+      (** nodes neither in the MIS nor covered when the budget expired
+          (0 on every w.h.p.-successful run) *)
+}
+
+val run :
+  dual:Graphs.Dual.t ->
+  rng:Dsim.Rng.t ->
+  policy:Fmmb_msg.t Amac.Enhanced_mac.round_policy ->
+  params:params ->
+  ?engine:Fmmb_msg.t Amac.Round_engine.t ->
+  ?trace:Dsim.Trace.t ->
+  ?fprog:float ->
+  unit ->
+  result
+(** When [engine] is given, the subroutine runs over it (e.g. rounds
+    constructed from the continuous engine via {!Amac.Round_sync}) and
+    [policy]/[trace]/[fprog] only apply to the default engine. *)

@@ -1,0 +1,23 @@
+type t =
+  | Election of { origin : int; word : int }
+  | Announce of { origin : int }
+  | Probe of { origin : int }
+  | Data of { origin : int; payload : int }
+  | Ack_data of { origin : int; payload : int }
+  | Spread of { payload : int }
+  | Doms of { origin : int; doms : int list }
+
+let payload = function
+  | Election _ | Announce _ | Probe _ | Doms _ -> None
+  | Data { payload; _ } | Ack_data { payload; _ } | Spread { payload } ->
+      Some payload
+
+let pp ppf = function
+  | Election { origin; word } -> Fmt.pf ppf "election(%d, %#x)" origin word
+  | Announce { origin } -> Fmt.pf ppf "announce(%d)" origin
+  | Probe { origin } -> Fmt.pf ppf "probe(%d)" origin
+  | Data { origin; payload } -> Fmt.pf ppf "data(%d, m%d)" origin payload
+  | Ack_data { origin; payload } -> Fmt.pf ppf "ack-data(%d, m%d)" origin payload
+  | Spread { payload } -> Fmt.pf ppf "spread(m%d)" payload
+  | Doms { origin; doms } ->
+      Fmt.pf ppf "doms(%d, {%a})" origin Fmt.(list ~sep:comma int) doms

@@ -1,0 +1,26 @@
+(** Message bodies used by the FMMB subroutines (Section 4).
+
+    Every body fits the model's packet-size constraint: at most one MMB
+    payload plus O(log n) bits of protocol header (ids, election words). *)
+
+type t =
+  | Election of { origin : int; word : int }
+      (** MIS election part: the sender's random bit-string (packed) *)
+  | Announce of { origin : int }
+      (** MIS announcement part: "I joined the MIS" *)
+  | Probe of { origin : int }
+      (** gather, round 1: an active MIS node soliciting messages *)
+  | Data of { origin : int; payload : int }
+      (** gather, round 2: a non-MIS node handing a payload up *)
+  | Ack_data of { origin : int; payload : int }
+      (** gather, round 3: an MIS node confirming custody of a payload *)
+  | Spread of { payload : int }
+      (** dissemination: overlay broadcast and its relays *)
+  | Doms of { origin : int; doms : int list }
+      (** structuring: a node's dominator set (adjacent MIS ids); O(c²)
+          ids, constant for fixed c *)
+
+val payload : t -> int option
+(** The MMB payload carried, if any. *)
+
+val pp : Format.formatter -> t -> unit

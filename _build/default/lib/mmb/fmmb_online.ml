@@ -1,0 +1,281 @@
+type params = { p_active : float; spread_periods_per_phase : int }
+
+let default_params ~n ~c =
+  let c2 = c *. c in
+  {
+    p_active = Float.min 0.5 (1. /. (2. *. c2));
+    spread_periods_per_phase =
+      4 + int_of_float (ceil (6. *. c2 *. log (float_of_int (max 2 n))));
+  }
+
+type t = {
+  dual : Graphs.Dual.t;
+  params : params;
+  rng : Dsim.Rng.t;
+  mis : bool array;
+  on_payload : node:int -> payload:int -> unit;
+  engine : Fmmb_msg.t Amac.Round_engine.t;
+  (* Per-node state.  [pending] is a non-MIS node's not-yet-acknowledged
+     payloads; [custody] is an MIS node's message set Mv. *)
+  pending : (int, unit) Hashtbl.t array;
+  custody : (int, unit) Hashtbl.t array;
+  sent : (int, unit) Hashtbl.t array;
+  current : int option array;
+  heard_probe : bool array;
+  absorbed : int option array;
+  relay_buf : int option array;
+  mutable spread_periods_done : int;
+}
+
+(* Round [r] belongs to period [r/3] (sub-round [r mod 3]); even periods
+   gather, odd periods spread. *)
+let is_gather_period period = period mod 2 = 0
+
+let smallest set except =
+  Hashtbl.fold
+    (fun m () acc ->
+      if Hashtbl.mem except m then acc
+      else match acc with Some best when best <= m -> acc | _ -> Some m)
+    set None
+
+let no_except : (int, unit) Hashtbl.t = Hashtbl.create 1
+
+let process_inbox t v ~prev_round inbox =
+  let g = Graphs.Dual.reliable t.dual in
+  let prev_period = prev_round / 3 and prev_sub = prev_round mod 3 in
+  (* Payload-bearing receptions are knowledge regardless of sub-round. *)
+  List.iter
+    (fun env ->
+      match Fmmb_msg.payload env.Amac.Message.body with
+      | Some payload -> t.on_payload ~node:v ~payload
+      | None -> ())
+    inbox;
+  if is_gather_period prev_period then begin
+    match prev_sub with
+    | 0 ->
+        if not t.mis.(v) then
+          t.heard_probe.(v) <-
+            List.exists
+              (fun env ->
+                match env.Amac.Message.body with
+                | Fmmb_msg.Probe { origin } -> Graphs.Graph.mem_edge g origin v
+                | _ -> false)
+              inbox
+    | 1 ->
+        if t.mis.(v) then
+          List.iter
+            (fun env ->
+              match env.Amac.Message.body with
+              | Fmmb_msg.Data { origin; payload }
+                when Graphs.Graph.mem_edge g origin v ->
+                  Hashtbl.replace t.custody.(v) payload ();
+                  if t.absorbed.(v) = None then t.absorbed.(v) <- Some payload
+              | _ -> ())
+            inbox
+    | _ ->
+        if not t.mis.(v) then
+          List.iter
+            (fun env ->
+              match env.Amac.Message.body with
+              | Fmmb_msg.Ack_data { origin; payload }
+                when Graphs.Graph.mem_edge g origin v ->
+                  Hashtbl.remove t.pending.(v) payload
+              | _ -> ())
+            inbox
+  end
+  else begin
+    (* Spread period: absorb overlay messages and arm relays. *)
+    List.iter
+      (fun env ->
+        match env.Amac.Message.body with
+        | Fmmb_msg.Spread { payload } ->
+            if t.mis.(v) then Hashtbl.replace t.custody.(v) payload ();
+            if
+              prev_sub < 2
+              && t.relay_buf.(v) = None
+              && Graphs.Graph.mem_edge g env.Amac.Message.src v
+            then t.relay_buf.(v) <- Some payload
+        | _ -> ())
+      inbox
+  end
+
+let act t v ~round =
+  let period = round / 3 and sub = round mod 3 in
+  if is_gather_period period then begin
+    match sub with
+    | 0 ->
+        t.absorbed.(v) <- None;
+        if t.mis.(v) && Dsim.Rng.bernoulli t.rng ~p:t.params.p_active then
+          Amac.Enhanced_mac.Broadcast (Fmmb_msg.Probe { origin = v })
+        else Amac.Enhanced_mac.Listen
+    | 1 ->
+        if (not t.mis.(v)) && t.heard_probe.(v) then begin
+          match smallest t.pending.(v) no_except with
+          | Some payload ->
+              Amac.Enhanced_mac.Broadcast (Fmmb_msg.Data { origin = v; payload })
+          | None -> Amac.Enhanced_mac.Listen
+        end
+        else Amac.Enhanced_mac.Listen
+    | _ -> (
+        match (t.mis.(v), t.absorbed.(v)) with
+        | true, Some payload ->
+            Amac.Enhanced_mac.Broadcast
+              (Fmmb_msg.Ack_data { origin = v; payload })
+        | _ -> Amac.Enhanced_mac.Listen)
+  end
+  else begin
+    (* Spread period.  Phase boundaries are counted in spread periods. *)
+    if sub = 0 then begin
+      t.relay_buf.(v) <- None;
+      if v = 0 then t.spread_periods_done <- t.spread_periods_done + 1;
+      if
+        t.mis.(v)
+        && (t.spread_periods_done - 1) mod t.params.spread_periods_per_phase
+           = 0
+      then begin
+        (* Messages are picked up only at phase boundaries so each gets a
+           full phase of overlay broadcasts (Lemma 4.7's guarantee). *)
+        (match t.current.(v) with
+        | Some m -> Hashtbl.replace t.sent.(v) m ()
+        | None -> ());
+        t.current.(v) <- smallest t.custody.(v) t.sent.(v)
+      end
+    end;
+    match sub with
+    | 0 -> (
+        if t.mis.(v) && Dsim.Rng.bernoulli t.rng ~p:t.params.p_active then
+          match t.current.(v) with
+          | Some payload ->
+              Amac.Enhanced_mac.Broadcast (Fmmb_msg.Spread { payload })
+          | None -> Amac.Enhanced_mac.Listen
+        else Amac.Enhanced_mac.Listen)
+    | _ -> (
+        match t.relay_buf.(v) with
+        | Some payload ->
+            t.relay_buf.(v) <- None;
+            Amac.Enhanced_mac.Broadcast (Fmmb_msg.Spread { payload })
+        | None -> Amac.Enhanced_mac.Listen)
+  end
+
+let create ~dual ~rng ~policy ~params ~mis ~on_payload ?engine ?trace
+    ?(fprog = 1.) () =
+  let n = Graphs.Dual.n dual in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+        Amac.Round_engine.of_enhanced
+          (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
+  in
+  let t =
+    {
+      dual;
+      params;
+      rng;
+      mis;
+      on_payload;
+      engine;
+      pending = Array.init n (fun _ -> Hashtbl.create 4);
+      custody = Array.init n (fun _ -> Hashtbl.create 8);
+      sent = Array.init n (fun _ -> Hashtbl.create 8);
+      current = Array.make n None;
+      heard_probe = Array.make n false;
+      absorbed = Array.make n None;
+      relay_buf = Array.make n None;
+      spread_periods_done = 0;
+    }
+  in
+  for v = 0 to n - 1 do
+    engine.Amac.Round_engine.set_node ~node:v (fun ~round ~inbox ->
+        if round > 0 then process_inbox t v ~prev_round:(round - 1) inbox;
+        act t v ~round)
+  done;
+  t
+
+let inject t ~node ~payload =
+  t.on_payload ~node ~payload;
+  if t.mis.(node) then Hashtbl.replace t.custody.(node) payload ()
+  else Hashtbl.replace t.pending.(node) payload ()
+
+let run_until t ~max_rounds ~stop =
+  t.engine.Amac.Round_engine.run_until ~max_rounds ~stop
+
+let rounds t = t.engine.Amac.Round_engine.rounds_done ()
+
+type result = {
+  complete : bool;
+  rounds_mis : int;
+  rounds_stream : int;
+  total_rounds : int;
+  time : float;
+  mis_valid : bool;
+}
+
+let run ~dual ~fprog ~rng ~policy ~c ~arrivals ~tracker ~max_rounds
+    ?mis_params ?params () =
+  let n = Graphs.Dual.n dual in
+  let mis_params =
+    match mis_params with
+    | Some p -> p
+    | None -> Fmmb_mis.default_params ~n ~c
+  in
+  let params =
+    match params with Some p -> p | None -> default_params ~n ~c
+  in
+  let mis_res = Fmmb_mis.run ~dual ~rng ~policy ~params:mis_params ~fprog () in
+  let mis = mis_res.Fmmb_mis.mis in
+  let mis_rounds = mis_res.Fmmb_mis.rounds_run in
+  let known = Array.init n (fun _ -> Hashtbl.create 8) in
+  let stream_ref = ref None in
+  let deliver ~node ~payload =
+    if not (Hashtbl.mem known.(node) payload) then begin
+      Hashtbl.replace known.(node) payload ();
+      let time =
+        match !stream_ref with
+        | Some s -> (float_of_int (mis_rounds + rounds s)) *. fprog
+        | None -> float_of_int mis_rounds *. fprog
+      in
+      Problem.on_deliver tracker ~node ~msg:payload ~time
+    end
+  in
+  let stream =
+    create ~dual ~rng ~policy ~params ~mis ~on_payload:deliver ~fprog ()
+  in
+  stream_ref := Some stream;
+  (* Injection schedule: arrival at time T maps to stream round
+     max(0, ceil((T - mis_end) / fprog)). *)
+  let mis_end = float_of_int mis_rounds *. fprog in
+  let by_round =
+    List.sort compare
+      (List.map
+         (fun (time, node, msg) ->
+           let r =
+             if time <= mis_end then 0
+             else int_of_float (ceil ((time -. mis_end) /. fprog))
+           in
+           (r, node, msg))
+         arrivals)
+  in
+  let stop () = Problem.complete tracker in
+  let rec drive remaining =
+    match remaining with
+    | [] -> ignore (run_until stream ~max_rounds:(max_rounds - rounds stream) ~stop)
+    | (r, node, msg) :: rest ->
+        let gap = r - rounds stream in
+        if gap > 0 then
+          ignore (run_until stream ~max_rounds:gap ~stop:(fun () -> false));
+        inject stream ~node ~payload:msg;
+        drive rest
+  in
+  drive by_round;
+  let stream_rounds = rounds stream in
+  let mis_list = List.filter (fun v -> mis.(v)) (List.init n Fun.id) in
+  {
+    complete = Problem.complete tracker;
+    rounds_mis = mis_rounds;
+    rounds_stream = stream_rounds;
+    total_rounds = mis_rounds + stream_rounds;
+    time = float_of_int (mis_rounds + stream_rounds) *. fprog;
+    mis_valid =
+      Graphs.Mis.is_maximal_independent (Graphs.Dual.reliable dual) mis_list;
+  }

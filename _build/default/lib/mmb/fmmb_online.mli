@@ -1,0 +1,76 @@
+(** A k-oblivious, online variant of FMMB.
+
+    The paper's FMMB sizes its gather budget with k and transitions from
+    gathering to spreading on a global schedule — but the MMB problem says
+    k is unknown, and footnote 4 points at online arrivals.  This module
+    closes both gaps with a steady-state composition: after the MIS stage,
+    {e gather periods and spread periods interleave forever} (even periods
+    gather, odd periods spread).  Every rule is local:
+
+    - a non-MIS node offers a pending payload whenever probed, and retires
+      it when it hears an acknowledgment — no budget needed;
+    - an MIS node probes, absorbs, and spreads whatever custody it has,
+      picking the next unsent message at each spread-phase boundary.
+
+    Messages may be injected at any round ({!inject}); they are gathered
+    and spread exactly like initial ones.  The interleaving costs at most a
+    factor 2 in rounds over the staged algorithm (each subroutine runs at
+    half speed), preserving the Theorem 4.1 shape. *)
+
+type params = {
+  p_active : float;  (** Θ(1/c²) activation probability, both subroutines *)
+  spread_periods_per_phase : int;  (** Θ(c² log n), as in {!Fmmb_spread} *)
+}
+
+val default_params : n:int -> c:float -> params
+
+type t
+
+val create :
+  dual:Graphs.Dual.t ->
+  rng:Dsim.Rng.t ->
+  policy:Fmmb_msg.t Amac.Enhanced_mac.round_policy ->
+  params:params ->
+  mis:bool array ->
+  on_payload:(node:int -> payload:int -> unit) ->
+  ?engine:Fmmb_msg.t Amac.Round_engine.t ->
+  ?trace:Dsim.Trace.t ->
+  ?fprog:float ->
+  unit ->
+  t
+
+val inject : t -> node:int -> payload:int -> unit
+(** Hand a newly arrived payload to a node (callable between rounds). *)
+
+val run_until : t -> max_rounds:int -> stop:(unit -> bool) -> int
+
+val rounds : t -> int
+
+(** {1 End-to-end online runner} *)
+
+type result = {
+  complete : bool;
+  rounds_mis : int;
+  rounds_stream : int;
+  total_rounds : int;
+  time : float;
+  mis_valid : bool;
+}
+
+val run :
+  dual:Graphs.Dual.t ->
+  fprog:float ->
+  rng:Dsim.Rng.t ->
+  policy:Fmmb_msg.t Amac.Enhanced_mac.round_policy ->
+  c:float ->
+  arrivals:Problem.timed_assignment ->
+  tracker:Problem.tracker ->
+  max_rounds:int ->
+  ?mis_params:Fmmb_mis.params ->
+  ?params:params ->
+  unit ->
+  result
+(** MIS first, then the steady-state stream; arrivals are injected at the
+    stream round matching their arrival time (arrivals during the MIS
+    stage are buffered to stream round 0).  Runs until the tracker
+    completes or [max_rounds] stream rounds elapse. *)

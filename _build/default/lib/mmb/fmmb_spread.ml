@@ -1,0 +1,84 @@
+type params = { periods_per_phase : int; p_active : float; relays : bool }
+
+let default_params ~n ~c =
+  let c2 = c *. c in
+  {
+    periods_per_phase =
+      4 + int_of_float (ceil (6. *. c2 *. log (float_of_int (max 2 n))));
+    p_active = Float.min 0.5 (1. /. (2. *. c2));
+    relays = true;
+  }
+
+type result = { rounds_run : int; phases_run : int }
+
+let run ~dual ~rng ~policy ~params ~mis ~sets ~on_payload ~stop ~max_phases
+    ?engine ?trace ?(fprog = 1.) () =
+  let n = Graphs.Dual.n dual in
+  let g = Graphs.Dual.reliable dual in
+  let { periods_per_phase; p_active; relays } = params in
+  let phase_len = 3 * periods_per_phase in
+  let budget_rounds = max_phases * phase_len in
+  let sent = Array.init n (fun _ -> Hashtbl.create 8) in
+  let current = Array.make n None in
+  let relay_buf = Array.make n None in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+        Amac.Round_engine.of_enhanced
+          (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
+  in
+  let next_unsent v =
+    Hashtbl.fold
+      (fun m () acc ->
+        if Hashtbl.mem sent.(v) m then acc
+        else match acc with Some best when best <= m -> acc | _ -> Some m)
+      sets.(v) None
+  in
+  let process_inbox v ~prev_round inbox =
+    let prev_sub = prev_round mod 3 in
+    List.iter
+      (fun env ->
+        match env.Amac.Message.body with
+        | Fmmb_msg.Spread { payload } ->
+            on_payload ~node:v ~payload;
+            if mis.(v) then Hashtbl.replace sets.(v) payload ();
+            if
+              relays && prev_sub < 2
+              && relay_buf.(v) = None
+              && Graphs.Graph.mem_edge g env.Amac.Message.src v
+            then relay_buf.(v) <- Some payload
+        | _ -> ())
+      inbox
+  in
+  for v = 0 to n - 1 do
+    engine.Amac.Round_engine.set_node ~node:v (fun ~round ~inbox ->
+        if round mod 3 = 0 then relay_buf.(v) <- None;
+        if round > 0 then process_inbox v ~prev_round:(round - 1) inbox;
+        if round mod phase_len = 0 && mis.(v) then begin
+          (* Phase boundary: retire the previous phase's message, pick the
+             next unsent one. *)
+          (match current.(v) with
+          | Some m -> Hashtbl.replace sent.(v) m ()
+          | None -> ());
+          current.(v) <- next_unsent v
+        end;
+        match round mod 3 with
+        | 0 -> (
+            if mis.(v) && Dsim.Rng.bernoulli rng ~p:p_active then
+              match current.(v) with
+              | Some payload ->
+                  Amac.Enhanced_mac.Broadcast (Fmmb_msg.Spread { payload })
+              | None -> Amac.Enhanced_mac.Listen
+            else Amac.Enhanced_mac.Listen)
+        | _ -> (
+            match relay_buf.(v) with
+            | Some payload ->
+                relay_buf.(v) <- None;
+                Amac.Enhanced_mac.Broadcast (Fmmb_msg.Spread { payload })
+            | None -> Amac.Enhanced_mac.Listen))
+  done;
+  let rounds_run =
+    engine.Amac.Round_engine.run_until ~max_rounds:budget_rounds ~stop
+  in
+  { rounds_run; phases_run = (rounds_run + phase_len - 1) / phase_len }

@@ -1,0 +1,48 @@
+(** Executable lower-bound constructions (Section 3.3).
+
+    {b Two-line adversary} (Theorem 3.17, Lemma 3.20, Figure 2): on network
+    [C] with [k = 2] — message [m0] at [a_1], [m1] at [b_1] — the scheduler
+    stalls every frontier broadcast ([m0] moving down the A line, [m1] down
+    the B line) for the full [Fack], while satisfying each frontier
+    successor's progress bound with a cross-edge delivery of the {e other}
+    line's message (a duplicate by then, which BMMB discards).  Every other
+    broadcast is delivered to G-neighbors and acknowledged instantly.  Each
+    hop therefore costs [Fack], forcing [Ω(D · Fack)].
+
+    {b Choke} (Lemma 3.18): on the star-plus-bridge network with [G' = G]
+    and a singleton assignment, the hub can move only one message per
+    acknowledgment to the sink, forcing [Ω(k · Fack)].
+
+    The paper proves the bound for {e every} MMB algorithm via the
+    case analysis of Lemma 3.19; the executable scheduler here implements
+    that schedule against concrete flooding algorithms (BMMB and its
+    variants), which is the measurable half of the claim. *)
+
+val two_line_policy : d:int -> int Amac.Mac_intf.policy
+(** The Figure-2 scheduler for the [Dual.two_line ~d] network, acting on
+    BMMB bodies (payload [0] = m0 starting at [a_1], payload [1] = m1
+    starting at [b_1]). *)
+
+type result = {
+  time : float;  (** measured MMB completion time *)
+  floor : float;  (** the Ω-bound the adversary must force *)
+  achieved : bool;  (** [time >= floor] *)
+  complete : bool;
+  upper : float;  (** the matching Theorem-3.1 upper bound *)
+}
+
+val run_two_line :
+  d:int ->
+  fack:float ->
+  fprog:float ->
+  ?discipline:Bmmb.discipline ->
+  ?seed:int ->
+  unit ->
+  result
+(** BMMB on network [C] under the two-line adversary;
+    [floor = (d-1) * Fack]. *)
+
+val run_choke :
+  k:int -> fack:float -> fprog:float -> ?seed:int -> unit -> result
+(** BMMB on the choke network under the generic adversarial scheduler;
+    [floor = (k-1) * Fack]. *)

@@ -1,0 +1,54 @@
+let check ~dual trace =
+  let findings = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> findings := s :: !findings) fmt in
+  let g = Graphs.Dual.reliable dual in
+  let n = Graphs.Graph.n g in
+  let comp = Graphs.Bfs.components g in
+  let arrive_index : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  (* msg -> (trace index, origin) *)
+  let delivered : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* (node, msg) -> first delivery index *)
+  let rcv_seen = Array.make n (-1) in
+  (* node -> index of first MAC reception *)
+  let entries = Array.of_list (Dsim.Trace.entries trace) in
+  Array.iteri
+    (fun idx { Dsim.Trace.event; _ } ->
+      match event with
+      | Dsim.Trace.Arrive { node; msg } ->
+          if Hashtbl.mem arrive_index msg then
+            add "message m%d arrived twice (MMB-well-formedness)" msg
+          else Hashtbl.replace arrive_index msg (idx, node)
+      | Dsim.Trace.Rcv { node; _ } ->
+          if rcv_seen.(node) = -1 then rcv_seen.(node) <- idx
+      | Dsim.Trace.Deliver { node; msg } -> (
+          (match Hashtbl.find_opt delivered (node, msg) with
+          | Some _ ->
+              add "node %d delivered m%d twice (condition (b))" node msg
+          | None -> Hashtbl.replace delivered (node, msg) idx);
+          match Hashtbl.find_opt arrive_index msg with
+          | None ->
+              add
+                "node %d delivered m%d before (or without) its arrival \
+                 (condition (b))"
+                node msg
+          | Some (a_idx, origin) ->
+              if idx < a_idx then
+                add "node %d delivered m%d before its arrival" node msg;
+              if
+                node <> origin
+                && (rcv_seen.(node) = -1 || rcv_seen.(node) > idx)
+              then
+                add
+                  "node %d delivered m%d without any prior MAC reception"
+                  node msg)
+      | Dsim.Trace.Bcast _ | Dsim.Trace.Ack _ | Dsim.Trace.Abort _ -> ())
+    entries;
+  (* Completeness: every message must reach its origin's whole component. *)
+  Hashtbl.iter
+    (fun msg (_, origin) ->
+      for v = 0 to n - 1 do
+        if comp.(v) = comp.(origin) && not (Hashtbl.mem delivered (v, msg))
+        then add "node %d never delivered m%d (condition (a))" v msg
+      done)
+    arrive_index;
+  List.rev !findings

@@ -1,0 +1,19 @@
+(** Protocol-level trace properties — the MMB specification of Section
+    3.2.2, checked over a recorded execution (complementing
+    {!Amac.Compliance}, which audits the MAC layer below).
+
+    Conditions checked (each failure is one human-readable finding):
+
+    - {b unique arrival}: at most one [arrive(m)] per message
+      (MMB-well-formedness);
+    - {b exactly-once delivery}: at most one [deliver(m)] per (node,
+      message) (MMB condition (b));
+    - {b delivery causality}: every [deliver(m)] comes after the
+      [arrive(m)] (condition (b)), and a delivery at a non-origin node is
+      preceded by some MAC-level reception there;
+    - {b completeness} (given the network): every message reaches every
+      node of its origin's G-component (condition (a)). *)
+
+val check :
+  dual:Graphs.Dual.t -> Dsim.Trace.t -> string list
+(** Empty result = the trace satisfies the MMB specification. *)

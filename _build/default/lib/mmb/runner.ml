@@ -1,0 +1,172 @@
+type bmmb_result = {
+  complete : bool;
+  time : float;
+  upper_bound : float;
+  within_bound : bool;
+  bcasts : int;
+  rcvs : int;
+  acks : int;
+  forced : int;
+  duplicate_deliveries : int;
+  compliance_violations : Amac.Compliance.violation list;
+  outcome : Dsim.Sim.outcome;
+  message_times : (int * float) list;
+  trace : Dsim.Trace.t option;
+  spec_violations : string list;
+}
+
+let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
+    ?(discipline = `Fifo) ?(check_compliance = false)
+    ?(max_events = 50_000_000) () =
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed in
+  let trace =
+    if check_compliance then Some (Dsim.Trace.create ()) else None
+  in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace ()
+  in
+  let tracker = Problem.tracker ~dual assignment in
+  let bmmb =
+    Bmmb.install ~discipline ~mac:(Amac.Mac_handle.of_standard mac)
+      ~on_deliver:(fun ~node ~msg ~time ->
+        Problem.on_deliver tracker ~node ~msg ~time)
+      ()
+  in
+  List.iter
+    (fun (node, msg) ->
+      ignore
+        (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+             Bmmb.arrive bmmb ~node ~msg)))
+    assignment;
+  let outcome = Dsim.Sim.run ~max_events sim in
+  let violations =
+    match trace with
+    | None -> []
+    | Some tr -> Amac.Compliance.audit ~dual ~fack ~fprog tr
+  in
+  let upper_bound = Bounds.bmmb_upper ~dual ~assignment ~fack ~fprog in
+  let time =
+    match Problem.completion_time tracker with
+    | Some t -> t
+    | None -> Float.infinity
+  in
+  let tolerance = 1e-6 *. Float.max 1. upper_bound in
+  {
+    complete = Problem.complete tracker;
+    time;
+    upper_bound;
+    within_bound = Problem.complete tracker && time <= upper_bound +. tolerance;
+    bcasts = Amac.Standard_mac.bcast_count mac;
+    rcvs = Amac.Standard_mac.rcv_count mac;
+    acks = Amac.Standard_mac.ack_count mac;
+    forced = Amac.Standard_mac.forced_count mac;
+    duplicate_deliveries = Problem.duplicate_deliveries tracker;
+    compliance_violations = violations;
+    outcome;
+    message_times =
+      List.filter_map
+        (fun (_, msg) ->
+          match Problem.message_completion_time tracker ~msg with
+          | Some t -> Some (msg, t)
+          | None -> None)
+        assignment;
+    trace;
+    spec_violations =
+      (match trace with
+      | None -> []
+      | Some tr -> Properties.check ~dual tr);
+  }
+
+type online_result = {
+  complete' : bool;
+  makespan : float;
+  latencies : (int * float) list;
+  mean_latency : float;
+  max_latency : float;
+  bcasts' : int;
+  forced' : int;
+  compliance_violations' : Amac.Compliance.violation list;
+}
+
+let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
+    ?(discipline = `Fifo) ?(check_compliance = false)
+    ?(max_events = 50_000_000) () =
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed in
+  let trace =
+    if check_compliance then Some (Dsim.Trace.create ()) else None
+  in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace ()
+  in
+  let tracker = Problem.tracker_timed ~dual arrivals in
+  let bmmb =
+    Bmmb.install ~discipline ~mac:(Amac.Mac_handle.of_standard mac)
+      ~on_deliver:(fun ~node ~msg ~time ->
+        Problem.on_deliver tracker ~node ~msg ~time)
+      ()
+  in
+  List.iter
+    (fun (time, node, msg) ->
+      ignore
+        (Dsim.Sim.schedule_at sim ~time (fun () ->
+             Bmmb.arrive bmmb ~node ~msg)))
+    arrivals;
+  ignore (Dsim.Sim.run ~max_events sim);
+  let latencies =
+    List.filter_map
+      (fun (_, _, msg) ->
+        match Problem.message_latency tracker ~msg with
+        | Some l -> Some (msg, l)
+        | None -> None)
+      arrivals
+  in
+  let lat_values = List.map snd latencies in
+  let mean_latency =
+    if lat_values = [] then 0.
+    else List.fold_left ( +. ) 0. lat_values /. float_of_int (List.length lat_values)
+  in
+  let max_latency = List.fold_left Float.max 0. lat_values in
+  {
+    complete' = Problem.complete tracker;
+    makespan =
+      (match Problem.completion_time tracker with
+      | Some t -> t
+      | None -> Float.infinity);
+    latencies;
+    mean_latency;
+    max_latency;
+    bcasts' = Amac.Standard_mac.bcast_count mac;
+    forced' = Amac.Standard_mac.forced_count mac;
+    compliance_violations' =
+      (match trace with
+      | None -> []
+      | Some tr -> Amac.Compliance.audit ~dual ~fack ~fprog tr);
+  }
+
+type fmmb_result = {
+  fmmb : Fmmb.result;
+  shape_bound : float;
+  duplicate_deliveries' : int;
+}
+
+let run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
+    ?max_spread_phases () =
+  let rng = Dsim.Rng.create ~seed in
+  let n = Graphs.Dual.n dual in
+  let k = List.length assignment in
+  let params =
+    match params with Some p -> p | None -> Fmmb.default_params ~n ~k ~c
+  in
+  let tracker = Problem.tracker ~dual assignment in
+  let fmmb =
+    Fmmb.run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker ?backend
+      ?max_spread_phases ()
+  in
+  let d = Graphs.Bfs.diameter (Graphs.Dual.reliable dual) in
+  {
+    fmmb;
+    shape_bound = Bounds.fmmb_shape ~n ~d ~k;
+    duplicate_deliveries' = Problem.duplicate_deliveries tracker;
+  }

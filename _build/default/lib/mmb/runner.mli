@@ -1,0 +1,93 @@
+(** End-to-end wiring: network × protocol × scheduler → executed run with
+    metrics.  This is the entry point examples, tests, and benchmarks use. *)
+
+type bmmb_result = {
+  complete : bool;
+  time : float;  (** MMB completion time (meaningful when [complete]) *)
+  upper_bound : float;  (** the exact applicable paper bound for this run *)
+  within_bound : bool;
+  bcasts : int;
+  rcvs : int;
+  acks : int;
+  forced : int;  (** watchdog-injected progress deliveries *)
+  duplicate_deliveries : int;  (** MMB spec violations (must be 0) *)
+  compliance_violations : Amac.Compliance.violation list;
+      (** non-empty only when [check_compliance] and the engine misbehaved *)
+  outcome : Dsim.Sim.outcome;
+  message_times : (int * float) list;
+      (** per-message completion times (msg id, time), completed ones only *)
+  trace : Dsim.Trace.t option;
+      (** the recorded execution trace, when [check_compliance] was set *)
+  spec_violations : string list;
+      (** MMB-specification findings ({!Properties.check}), when
+          [check_compliance] was set *)
+}
+
+val run_bmmb :
+  dual:Graphs.Dual.t ->
+  fack:float ->
+  fprog:float ->
+  policy:int Amac.Mac_intf.policy ->
+  assignment:Problem.assignment ->
+  seed:int ->
+  ?discipline:Bmmb.discipline ->
+  ?check_compliance:bool ->
+  ?max_events:int ->
+  unit ->
+  bmmb_result
+(** Runs BMMB to natural quiescence (the protocol terminates on its own once
+    every queue drains), so the full execution — including the tail after
+    completion — is audited when [check_compliance] is set.
+    [max_events] (default [50_000_000]) is a runaway backstop. *)
+
+(** {1 Online MMB}
+
+    The general MMB variant of footnote 4: messages arrive over time.  The
+    static theorems do not apply; the interesting metrics are per-message
+    latencies (completion − arrival). *)
+
+type online_result = {
+  complete' : bool;
+  makespan : float;  (** time when the last message finished *)
+  latencies : (int * float) list;  (** per completed message *)
+  mean_latency : float;
+  max_latency : float;
+  bcasts' : int;
+  forced' : int;
+  compliance_violations' : Amac.Compliance.violation list;
+}
+
+val run_bmmb_online :
+  dual:Graphs.Dual.t ->
+  fack:float ->
+  fprog:float ->
+  policy:int Amac.Mac_intf.policy ->
+  arrivals:Problem.timed_assignment ->
+  seed:int ->
+  ?discipline:Bmmb.discipline ->
+  ?check_compliance:bool ->
+  ?max_events:int ->
+  unit ->
+  online_result
+(** BMMB with arrivals injected at their own times (the protocol is
+    unchanged — it is event-driven and never assumed batch arrivals). *)
+
+type fmmb_result = {
+  fmmb : Fmmb.result;
+  shape_bound : float;
+      (** the unit-coefficient Theorem-4.1 round shape for this instance *)
+  duplicate_deliveries' : int;
+}
+
+val run_fmmb :
+  dual:Graphs.Dual.t ->
+  fprog:float ->
+  c:float ->
+  policy:Fmmb_msg.t Amac.Enhanced_mac.round_policy ->
+  assignment:Problem.assignment ->
+  seed:int ->
+  ?backend:Fmmb.backend ->
+  ?params:Fmmb.params ->
+  ?max_spread_phases:int ->
+  unit ->
+  fmmb_result

@@ -1,0 +1,368 @@
+type arrivals = Batch | Poisson of float | Staggered of float
+
+type spec = {
+  name : string;
+  protocol : [ `Bmmb | `Fmmb | `Fmmb_online ];
+  topology : string;
+  n : int;
+  gprime : string;
+  r : int;
+  extra : int;
+  k : int;
+  fack : float;
+  fprog : float;
+  seed : int;
+  scheduler : string;
+  arrivals : arrivals;
+  check : bool;
+  repeat : int;
+}
+
+type run_result = {
+  seed : int;
+  complete : bool;
+  time : float;
+  bound : float option;
+  bcasts : int option;
+  mean_latency : float option;
+  violations : int;
+}
+
+(* --- Building blocks ----------------------------------------------------- *)
+
+let build_dual ~topology ~gprime ~n ~r ~extra ~seed =
+  let rng = Dsim.Rng.create ~seed:(seed + 911) in
+  match gprime with
+  | "greyzone" ->
+      let side = sqrt (float_of_int n /. 3.) in
+      Ok
+        (Graphs.Dual.grey_zone_connected rng ~n ~width:side ~height:side
+           ~c:2. ~p:0.4 ~max_tries:2000)
+  | regime -> (
+      let base =
+        match topology with
+        | "line" -> Ok (Graphs.Gen.line n)
+        | "ring" -> Ok (Graphs.Gen.ring (max 3 n))
+        | "star" -> Ok (Graphs.Gen.star n)
+        | "grid" ->
+            let side = int_of_float (ceil (sqrt (float_of_int n))) in
+            Ok (Graphs.Gen.grid ~rows:side ~cols:side)
+        | "geometric" ->
+            let side = sqrt (float_of_int n /. 3.) in
+            let g, _ =
+              Graphs.Gen.random_connected_geometric rng ~n ~width:side
+                ~height:side ~radius:1. ~max_tries:2000
+            in
+            Ok g
+        | other -> Error (Printf.sprintf "unknown topology %S" other)
+      in
+      match base with
+      | Error e -> Error e
+      | Ok g -> (
+          match regime with
+          | "equal" -> Ok (Graphs.Dual.of_equal g)
+          | "r-restricted" ->
+              Ok (Graphs.Dual.r_restricted_random rng ~g ~r ~extra)
+          | "arbitrary" -> Ok (Graphs.Dual.arbitrary_random rng ~g ~extra)
+          | other -> Error (Printf.sprintf "unknown G' regime %S" other)))
+
+let build_scheduler = function
+  | "eager" -> Ok (Amac.Schedulers.eager ())
+  | "random" -> Ok (Amac.Schedulers.random_compliant ())
+  | "adversarial" -> Ok (Amac.Schedulers.adversarial ())
+  | "bursty" -> Ok (Amac.Schedulers.bursty ())
+  | other -> Error (Printf.sprintf "unknown scheduler %S" other)
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let of_json json =
+  let* name = Dsim.Json.member_str json "name" ~default:"scenario" in
+  let* protocol_str = Dsim.Json.member_str json "protocol" ~default:"bmmb" in
+  let* protocol =
+    match protocol_str with
+    | "bmmb" -> Ok `Bmmb
+    | "fmmb" -> Ok `Fmmb
+    | "fmmb-online" -> Ok `Fmmb_online
+    | other -> Error (Printf.sprintf "unknown protocol %S" other)
+  in
+  let* topology = Dsim.Json.member_str json "topology" ~default:"line" in
+  let* n = Dsim.Json.member_int json "n" ~default:30 in
+  let* gprime = Dsim.Json.member_str json "gprime" ~default:"equal" in
+  let* r = Dsim.Json.member_int json "r" ~default:2 in
+  let* extra = Dsim.Json.member_int json "extra" ~default:10 in
+  let* k = Dsim.Json.member_int json "k" ~default:4 in
+  let* fack = Dsim.Json.member_float json "fack" ~default:20. in
+  let* fprog = Dsim.Json.member_float json "fprog" ~default:1. in
+  let* seed = Dsim.Json.member_int json "seed" ~default:1 in
+  let* scheduler = Dsim.Json.member_str json "scheduler" ~default:"random" in
+  let* arrivals_str = Dsim.Json.member_str json "arrivals" ~default:"batch" in
+  let* arrivals =
+    match arrivals_str with
+    | "batch" -> Ok Batch
+    | "poisson" ->
+        let* rate = Dsim.Json.member_float json "rate" ~default:0.01 in
+        Ok (Poisson rate)
+    | "staggered" ->
+        let* gap = Dsim.Json.member_float json "gap" ~default:10. in
+        Ok (Staggered gap)
+    | other -> Error (Printf.sprintf "unknown arrivals %S" other)
+  in
+  let* check =
+    match Dsim.Json.member_opt json "check" with
+    | None -> Ok false
+    | Some v -> Dsim.Json.to_bool v
+  in
+  let* repeat = Dsim.Json.member_int json "repeat" ~default:1 in
+  if n < 1 then Error "need n >= 1"
+  else if k < 0 then Error "need k >= 0"
+  else if repeat < 1 then Error "need repeat >= 1"
+  else if not (fprog > 0. && fprog <= fack) then
+    Error "need 0 < fprog <= fack"
+  else
+    Ok
+      {
+        name;
+        protocol;
+        topology;
+        n;
+        gprime;
+        r;
+        extra;
+        k;
+        fack;
+        fprog;
+        seed;
+        scheduler;
+        arrivals;
+        check;
+        repeat;
+      }
+
+let of_string text =
+  let* json = Dsim.Json.parse text in
+  of_json json
+
+let override json key value =
+  match json with
+  | Dsim.Json.Obj members ->
+      Dsim.Json.Obj ((key, value) :: List.remove_assoc key members)
+  | other -> other
+
+let expand json =
+  match Dsim.Json.member_opt json "sweep" with
+  | None ->
+      let* spec = of_json json in
+      Ok [ spec ]
+  | Some sweep ->
+      let* param = Dsim.Json.member_str sweep "param" ~default:"" in
+      if param = "" then Error "sweep: missing \"param\""
+      else
+        let* values =
+          match Dsim.Json.member sweep "values" with
+          | Ok v -> Dsim.Json.to_list v
+          | Error e -> Error e
+        in
+        if values = [] then Error "sweep: empty \"values\""
+        else begin
+          let base = override json "sweep" Dsim.Json.Null in
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | v :: rest -> (
+                match v with
+                | Dsim.Json.Number x ->
+                    let named =
+                      override
+                        (override base param (Dsim.Json.Number x))
+                        "name"
+                        (Dsim.Json.String
+                           (Printf.sprintf "%s [%s=%s]"
+                              (match Dsim.Json.member_opt json "name" with
+                              | Some (Dsim.Json.String s) -> s
+                              | _ -> "scenario")
+                              param
+                              (Dsim.Json.to_string (Dsim.Json.Number x))))
+                    in
+                    let* spec = of_json named in
+                    go (spec :: acc) rest
+                | _ -> Error "sweep: values must be numbers")
+          in
+          go [] values
+        end
+
+let expand_string text =
+  let* json = Dsim.Json.parse text in
+  expand json
+
+(* --- Execution ------------------------------------------------------------ *)
+
+let run_once spec ~seed =
+  let* dual =
+    build_dual ~topology:spec.topology ~gprime:spec.gprime ~n:spec.n ~r:spec.r
+      ~extra:spec.extra ~seed
+  in
+  let n = Graphs.Dual.n dual in
+  let rng = Dsim.Rng.create ~seed:(seed + 13) in
+  match spec.protocol with
+  | `Bmmb -> (
+      let* policy = build_scheduler spec.scheduler in
+      match spec.arrivals with
+      | Batch ->
+          let assignment = Problem.random rng ~n ~k:spec.k in
+          let res =
+            Runner.run_bmmb ~dual ~fack:spec.fack ~fprog:spec.fprog ~policy
+              ~assignment ~seed ~check_compliance:spec.check ()
+          in
+          Ok
+            {
+              seed;
+              complete = res.Runner.complete;
+              time = res.Runner.time;
+              bound = Some res.Runner.upper_bound;
+              bcasts = Some res.Runner.bcasts;
+              mean_latency = None;
+              violations = List.length res.Runner.compliance_violations;
+            }
+      | Poisson _ | Staggered _ ->
+          let arrivals =
+            match spec.arrivals with
+            | Poisson rate -> Problem.poisson_arrivals rng ~n ~k:spec.k ~rate
+            | Staggered gap ->
+                Problem.staggered_arrivals ~node:(Dsim.Rng.int rng n)
+                  ~k:spec.k ~gap
+            | Batch -> assert false
+          in
+          let res =
+            Runner.run_bmmb_online ~dual ~fack:spec.fack ~fprog:spec.fprog
+              ~policy ~arrivals ~seed ~check_compliance:spec.check ()
+          in
+          Ok
+            {
+              seed;
+              complete = res.Runner.complete';
+              time = res.Runner.makespan;
+              bound = None;
+              bcasts = Some res.Runner.bcasts';
+              mean_latency = Some res.Runner.mean_latency;
+              violations = List.length res.Runner.compliance_violations';
+            })
+  | `Fmmb -> (
+      match spec.arrivals with
+      | Batch ->
+          let assignment = Problem.random rng ~n ~k:spec.k in
+          let res =
+            Runner.run_fmmb ~dual ~fprog:spec.fprog ~c:2.
+              ~policy:(Amac.Enhanced_mac.minimal_random ())
+              ~assignment ~seed ()
+          in
+          Ok
+            {
+              seed;
+              complete = res.Runner.fmmb.Fmmb.complete;
+              time = res.Runner.fmmb.Fmmb.time;
+              bound = None;
+              bcasts = None;
+              mean_latency = None;
+              violations = 0;
+            }
+      | _ -> Error "protocol fmmb supports batch arrivals only (use fmmb-online)")
+  | `Fmmb_online ->
+      let arrivals =
+        match spec.arrivals with
+        | Batch -> Problem.at_time_zero (Problem.random rng ~n ~k:spec.k)
+        | Poisson rate -> Problem.poisson_arrivals rng ~n ~k:spec.k ~rate
+        | Staggered gap ->
+            Problem.staggered_arrivals ~node:(Dsim.Rng.int rng n) ~k:spec.k
+              ~gap
+      in
+      let tracker = Problem.tracker_timed ~dual arrivals in
+      let res =
+        Fmmb_online.run ~dual ~fprog:spec.fprog
+          ~rng:(Dsim.Rng.create ~seed:(seed + 31))
+          ~policy:(Amac.Enhanced_mac.minimal_random ())
+          ~c:2. ~arrivals ~tracker ~max_rounds:1_000_000 ()
+      in
+      let latencies =
+        List.filter_map
+          (fun (_, _, msg) -> Problem.message_latency tracker ~msg)
+          arrivals
+      in
+      let mean_latency =
+        match latencies with
+        | [] -> None
+        | ls ->
+            Some
+              (List.fold_left ( +. ) 0. ls /. float_of_int (List.length ls))
+      in
+      Ok
+        {
+          seed;
+          complete = res.Fmmb_online.complete;
+          time = res.Fmmb_online.time;
+          bound = None;
+          bcasts = None;
+          mean_latency;
+          violations = 0;
+        }
+
+let execute spec =
+  let rec go acc i =
+    if i >= spec.repeat then Ok (List.rev acc)
+    else
+      let* run = run_once spec ~seed:(spec.seed + i) in
+      go (run :: acc) (i + 1)
+  in
+  go [] 0
+
+(* --- Reporting ------------------------------------------------------------ *)
+
+let report spec runs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "scenario: %s\n" spec.name);
+  Buffer.add_string buf
+    (Printf.sprintf "%6s %9s %10s %10s %8s %9s %6s\n" "seed" "complete"
+       "time" "bound" "bcasts" "latency" "viols");
+  List.iter
+    (fun r ->
+      let opt_f = function Some f -> Printf.sprintf "%.1f" f | None -> "-" in
+      let opt_i = function Some i -> string_of_int i | None -> "-" in
+      Buffer.add_string buf
+        (Printf.sprintf "%6d %9b %10.1f %10s %8s %9s %6d\n" r.seed r.complete
+           r.time (opt_f r.bound) (opt_i r.bcasts) (opt_f r.mean_latency)
+           r.violations))
+    runs;
+  let times = List.map (fun r -> r.time) runs in
+  (match times with
+  | [] -> ()
+  | _ ->
+      let s = Dsim.Stats.summarize times in
+      Buffer.add_string buf
+        (Fmt.str "summary: time %a@." Dsim.Stats.pp_summary s));
+  Buffer.contents buf
+
+let result_json spec runs =
+  let run_to_json r =
+    Dsim.Json.Obj
+      ([
+         ("seed", Dsim.Json.Number (float_of_int r.seed));
+         ("complete", Dsim.Json.Bool r.complete);
+         ("time", Dsim.Json.Number r.time);
+         ("violations", Dsim.Json.Number (float_of_int r.violations));
+       ]
+      @ (match r.bound with
+        | Some b -> [ ("bound", Dsim.Json.Number b) ]
+        | None -> [])
+      @ (match r.bcasts with
+        | Some b -> [ ("bcasts", Dsim.Json.Number (float_of_int b)) ]
+        | None -> [])
+      @
+      match r.mean_latency with
+      | Some l -> [ ("mean_latency", Dsim.Json.Number l) ]
+      | None -> [])
+  in
+  Dsim.Json.Obj
+    [
+      ("name", Dsim.Json.String spec.name);
+      ("runs", Dsim.Json.List (List.map run_to_json runs));
+    ]

@@ -1,0 +1,91 @@
+(** Config-file-driven experiments: parse a JSON scenario, run it, report.
+
+    Lets downstream users run their own sweeps without writing OCaml:
+
+    {[
+      {
+        "name": "flaky grid",
+        "protocol": "bmmb",
+        "topology": "grid", "n": 36,
+        "gprime": "r-restricted", "r": 3, "extra": 12,
+        "k": 5, "fack": 20, "fprog": 1,
+        "scheduler": "adversarial",
+        "arrivals": "batch",
+        "check": true, "repeat": 3, "seed": 1
+      }
+    ]}
+
+    Protocols: ["bmmb"] (standard model; arrivals [batch]/[poisson]/
+    [staggered]), ["fmmb"] (enhanced model, batch), ["fmmb-online"]
+    (enhanced model, any arrivals, k-oblivious).  Topologies: [line],
+    [ring], [star], [grid], [geometric].  G' regimes: [equal],
+    [r-restricted], [arbitrary], [greyzone]. *)
+
+type arrivals =
+  | Batch
+  | Poisson of float  (** rate *)
+  | Staggered of float  (** gap *)
+
+type spec = {
+  name : string;
+  protocol : [ `Bmmb | `Fmmb | `Fmmb_online ];
+  topology : string;
+  n : int;
+  gprime : string;
+  r : int;
+  extra : int;
+  k : int;
+  fack : float;
+  fprog : float;
+  seed : int;
+  scheduler : string;
+  arrivals : arrivals;
+  check : bool;
+  repeat : int;
+}
+
+type run_result = {
+  seed : int;
+  complete : bool;
+  time : float;
+  bound : float option;  (** the applicable exact bound (BMMB batch only) *)
+  bcasts : int option;
+  mean_latency : float option;  (** online runs *)
+  violations : int;  (** compliance violations when [check] *)
+}
+
+(** {1 Building blocks} (also used by the CLI) *)
+
+val build_dual :
+  topology:string ->
+  gprime:string ->
+  n:int ->
+  r:int ->
+  extra:int ->
+  seed:int ->
+  (Graphs.Dual.t, string) result
+
+val build_scheduler : string -> (int Amac.Mac_intf.policy, string) result
+
+(** {1 Scenario pipeline} *)
+
+val of_json : Dsim.Json.t -> (spec, string) result
+val of_string : string -> (spec, string) result
+
+val expand : Dsim.Json.t -> (spec list, string) result
+(** Like {!of_json}, but honoring an optional sweep directive:
+    [{"sweep": {"param": "k", "values": [1, 2, 4]}, ...}] yields one spec
+    per value with the parameter overridden (params: any numeric scenario
+    field — "n", "k", "r", "extra", "fack", "fprog", "seed", "rate",
+    "gap").  Without a sweep, a singleton list. *)
+
+val expand_string : string -> (spec list, string) result
+
+val execute : spec -> (run_result list, string) result
+(** One run per repeat, seeds [spec.seed, spec.seed+1, ...]. *)
+
+val report : spec -> run_result list -> string
+(** Human-readable table. *)
+
+val result_json : spec -> run_result list -> Dsim.Json.t
+(** Machine-readable results (one object per run). *)

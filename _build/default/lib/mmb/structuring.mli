@@ -1,0 +1,54 @@
+(** Network structuring (Section 5's third future-work problem): a
+    distributed connected-dominating-set backbone on the enhanced model.
+
+    Construction (all rules local, w.h.p. correctness):
+
+    + build an MIS of G ({!Fmmb_mis}) — a dominating set;
+    + {e discovery}: MIS nodes announce themselves for Θ(c² log n) rounds;
+      every node learns its set of dominators (adjacent MIS ids);
+    + {e exchange}: every node broadcasts its dominator set for
+      Θ(Δ' log n) rounds (activation ~1/Δ');
+    + {e decision} (silent): a non-MIS node volunteers as a connector iff
+      it has two dominators, or it heard a neighbor whose dominator set
+      contains an MIS id it does not dominate itself.
+
+    The backbone (MIS ∪ connectors) is then a connected dominating set of
+    each G-component w.h.p.: any two MIS nodes within 3 hops get their
+    intermediate node(s) volunteered, and the 3-hop MIS overlay is
+    connected whenever G is.  Flooding restricted to the backbone
+    ([Bmmb.install ~relay]) still reaches everyone — with far fewer
+    broadcasts (experiment E16). *)
+
+type params = {
+  discover_rounds : int;
+  exchange_rounds : int;
+  p_discover : float;  (** MIS activation while announcing, Θ(1/c²) *)
+  p_exchange : float;  (** per-node activation while exchanging, Θ(1/Δ') *)
+}
+
+val default_params : dual:Graphs.Dual.t -> c:float -> params
+
+type result = {
+  mis : bool array;
+  backbone : bool array;  (** MIS ∪ connectors *)
+  backbone_size : int;
+  rounds_mis : int;
+  rounds_structuring : int;
+  valid : bool;  (** connected dominating set of every G-component *)
+}
+
+val run :
+  dual:Graphs.Dual.t ->
+  rng:Dsim.Rng.t ->
+  policy:Fmmb_msg.t Amac.Enhanced_mac.round_policy ->
+  c:float ->
+  ?mis_params:Fmmb_mis.params ->
+  ?params:params ->
+  ?fprog:float ->
+  unit ->
+  result
+
+val is_connected_dominating : g:Graphs.Graph.t -> member:(int -> bool) -> bool
+(** Does the member set dominate G and induce a connected subgraph within
+    every G-component (components without any member fail unless they are
+    singletons... a component fails if it has nodes but no member)? *)

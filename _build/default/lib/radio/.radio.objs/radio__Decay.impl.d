@@ -1,0 +1,1 @@
+lib/radio/decay.ml: Amac Array Dsim Graphs Hashtbl List Radio_intf Slotted

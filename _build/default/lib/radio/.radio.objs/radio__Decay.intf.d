@@ -1,0 +1,1 @@
+lib/radio/decay.mli: Amac Dsim Graphs Radio_intf Slotted

@@ -1,0 +1,1 @@
+lib/radio/radio_intf.ml: Slotted

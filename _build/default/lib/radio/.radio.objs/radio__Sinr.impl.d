@@ -1,0 +1,1 @@
+lib/radio/sinr.ml: Array Dsim Float Graphs List Option Seq Slotted

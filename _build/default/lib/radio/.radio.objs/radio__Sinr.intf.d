@@ -1,0 +1,1 @@
+lib/radio/sinr.mli: Dsim Graphs Slotted

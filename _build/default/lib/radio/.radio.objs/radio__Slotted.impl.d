@@ -1,0 +1,1 @@
+lib/radio/slotted.ml: Array Dsim Graphs Hashtbl List

@@ -1,0 +1,1 @@
+lib/radio/slotted.mli: Dsim Graphs

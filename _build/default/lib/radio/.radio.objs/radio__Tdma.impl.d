@@ -1,0 +1,1 @@
+lib/radio/tdma.ml: Amac Array Dsim Graphs Hashtbl List Slotted

@@ -1,0 +1,1 @@
+lib/radio/tdma.mli: Amac Dsim Graphs Slotted

@@ -1,0 +1,15 @@
+module type RADIO = sig
+  type 'pkt t
+
+  val set_node :
+    'pkt t ->
+    node:int ->
+    (slot:int -> received:'pkt Slotted.reception list -> 'pkt Slotted.action) ->
+    unit
+
+  val slot : 'pkt t -> int
+  val now : 'pkt t -> float
+  val transmissions : 'pkt t -> int
+  val run_slot : 'pkt t -> unit
+  val run_until : 'pkt t -> max_slots:int -> stop:(unit -> bool) -> int
+end

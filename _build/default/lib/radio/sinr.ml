@@ -1,0 +1,139 @@
+type params = {
+  power : float;
+  alpha : float;
+  noise : float;
+  beta : float;
+  f_min : float;
+  f_max : float;
+}
+
+(* Calibration: solo decode at distance d under fading F requires
+   P·F/d^α >= β·N, i.e. d <= (P·F/(β·N))^(1/α).  With f_min = 1 and
+   N = P/β the worst-case range is exactly 1; f_max = c^α makes the
+   best-case range c. *)
+let default_params ?(alpha = 3.) ?(c = 2.) () =
+  if c < 1. then invalid_arg "Sinr.default_params: need c >= 1";
+  let power = 1. and beta = 2. in
+  {
+    power;
+    alpha;
+    noise = power /. beta;
+    beta;
+    f_min = 1.;
+    f_max = c ** alpha;
+  }
+
+let solo_range p ~worst =
+  let f = if worst then p.f_min else p.f_max in
+  (p.power *. f /. (p.beta *. p.noise)) ** (1. /. p.alpha)
+
+type 'pkt node_fn =
+  slot:int -> received:'pkt Slotted.reception list -> 'pkt Slotted.action
+
+type 'pkt t = {
+  points : Graphs.Geometry.point array;
+  params : params;
+  rng : Dsim.Rng.t;
+  slot_len : float;
+  nodes : 'pkt node_fn option array;
+  inbox : 'pkt Slotted.reception list array;
+  mutable slot : int;
+  mutable n_tx : int;
+}
+
+let create ~points ~params ~rng ?(slot_len = 1.) () =
+  if slot_len <= 0. then invalid_arg "Sinr.create: need slot_len > 0";
+  let n = Array.length points in
+  {
+    points;
+    params;
+    rng;
+    slot_len;
+    nodes = Array.make n None;
+    inbox = Array.make n [];
+    slot = 0;
+    n_tx = 0;
+  }
+
+let set_node t ~node fn =
+  (match t.nodes.(node) with
+  | Some _ -> invalid_arg "Sinr.set_node: node already set"
+  | None -> ());
+  t.nodes.(node) <- Some fn
+
+let slot t = t.slot
+let now t = float_of_int t.slot *. t.slot_len
+let transmissions t = t.n_tx
+
+let fading t = t.params.f_min +. Dsim.Rng.float t.rng (t.params.f_max -. t.params.f_min)
+
+let received_power t ~from ~at =
+  let d2 = Graphs.Geometry.dist2 t.points.(from) t.points.(at) in
+  let d = sqrt (Float.max 1e-12 d2) in
+  t.params.power *. fading t /. (d ** t.params.alpha)
+
+let run_slot t =
+  let n = Array.length t.points in
+  let transmitting : 'pkt option array = Array.make n None in
+  for v = 0 to n - 1 do
+    match t.nodes.(v) with
+    | None -> ()
+    | Some fn ->
+        let received = List.rev t.inbox.(v) in
+        t.inbox.(v) <- [];
+        (match fn ~slot:t.slot ~received with
+        | Slotted.Idle -> ()
+        | Slotted.Transmit pkt ->
+            t.n_tx <- t.n_tx + 1;
+            transmitting.(v) <- Some pkt)
+  done;
+  let transmitters =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun (u, p) -> Option.map (fun pkt -> (u, pkt)) p)
+            (Array.to_seq (Array.mapi (fun u p -> (u, p)) transmitting))))
+  in
+  if transmitters <> [] then
+    for j = 0 to n - 1 do
+      if transmitting.(j) = None && t.nodes.(j) <> None then begin
+        (* Fresh fading per (link, slot); decode the strongest transmitter
+           if its SINR clears the threshold. *)
+        let gains =
+          List.map
+            (fun (u, pkt) -> (u, pkt, received_power t ~from:u ~at:j))
+            transmitters
+        in
+        let total = List.fold_left (fun a (_, _, g) -> a +. g) 0. gains in
+        let decoded =
+          List.find_opt
+            (fun (_, _, g) ->
+              g >= t.params.beta *. (t.params.noise +. (total -. g)))
+            gains
+        in
+        match decoded with
+        | Some (u, pkt, _) ->
+            t.inbox.(j) <-
+              { Slotted.rx_slot = t.slot; rx_from = u; rx_pkt = pkt }
+              :: t.inbox.(j)
+        | None -> ()
+      end
+    done;
+  t.slot <- t.slot + 1
+
+let run_until t ~max_slots ~stop =
+  let executed = ref 0 in
+  while !executed < max_slots && not (stop ()) do
+    run_slot t;
+    incr executed
+  done;
+  !executed
+
+let decode_probability t ~u ~j ~trials =
+  if trials <= 0 then invalid_arg "Sinr.decode_probability: need trials > 0";
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    let signal = received_power t ~from:u ~at:j in
+    if signal >= t.params.beta *. t.params.noise then incr ok
+  done;
+  float_of_int !ok /. float_of_int trials

@@ -1,0 +1,63 @@
+(** A geometric SINR physical layer (the low-level models of the paper's
+    introduction, e.g. [13, 20, 22]), from which the grey-zone dual-graph
+    abstraction {e emerges} rather than being assumed.
+
+    Nodes live in the plane.  In each slot a listener [j] decodes
+    transmitter [u]'s packet iff
+
+    {[ P·F / d(u,j)^α  >=  β · (N + Σ_w P·F_w / d(w,j)^α) ]}
+
+    where the sum ranges over the other transmitters and each link draws a
+    fresh fading factor [F ∈ [f_min, f_max]] per slot.  With the default
+    calibration the {e worst-case} solo-transmission range is exactly 1
+    (pairs within distance 1 always decode when alone — the reliable graph
+    G of the grey-zone model) and the {e best-case} range is
+    [c = (f_max/f_min)^(1/α)] (pairs in [(1, c]] decode only under
+    favorable fading — the unreliable band G′ \ G).  Beyond [c] decoding is
+    impossible.  Experiment E15 measures this emergence. *)
+
+type params = {
+  power : float;  (** transmit power P *)
+  alpha : float;  (** path-loss exponent *)
+  noise : float;  (** ambient noise N *)
+  beta : float;  (** decode threshold *)
+  f_min : float;  (** worst-case fading gain *)
+  f_max : float;  (** best-case fading gain *)
+}
+
+val default_params : ?alpha:float -> ?c:float -> unit -> params
+(** Calibrated so the guaranteed solo range is [1] and the lucky-fading
+    solo range is [c] (default [alpha = 3.], [c = 2.]). *)
+
+val solo_range : params -> worst:bool -> float
+(** Interference-free decoding range under worst- or best-case fading. *)
+
+type 'pkt t
+
+val create :
+  points:Graphs.Geometry.point array ->
+  params:params ->
+  rng:Dsim.Rng.t ->
+  ?slot_len:float ->
+  unit ->
+  'pkt t
+
+(* The {!Radio_intf.RADIO} driving interface. *)
+
+val set_node :
+  'pkt t ->
+  node:int ->
+  (slot:int -> received:'pkt Slotted.reception list -> 'pkt Slotted.action) ->
+  unit
+
+val slot : 'pkt t -> int
+val now : 'pkt t -> float
+val transmissions : 'pkt t -> int
+val run_slot : 'pkt t -> unit
+val run_until : 'pkt t -> max_slots:int -> stop:(unit -> bool) -> int
+
+val decode_probability :
+  'pkt t -> u:int -> j:int -> trials:int -> float
+(** Monte-Carlo estimate of the probability that [j] decodes a solo
+    transmission from [u] (fresh fading each trial; no interference).
+    Used to measure the emergent G / grey-zone / silent classification. *)

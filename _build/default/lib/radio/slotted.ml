@@ -1,0 +1,126 @@
+type 'pkt action = Transmit of 'pkt | Idle
+
+type 'pkt reception = { rx_slot : int; rx_from : int; rx_pkt : 'pkt }
+
+type edge_oracle = slot:int -> u:int -> v:int -> bool
+
+let oracle_always ~slot:_ ~u:_ ~v:_ = true
+let oracle_never ~slot:_ ~u:_ ~v:_ = false
+
+let oracle_bernoulli rng ~p ~slot:_ ~u:_ ~v:_ = Dsim.Rng.bernoulli rng ~p
+
+let oracle_gilbert_elliott rng ~p_bad ~p_good =
+  (* state per directed edge: true = Good; last slot the state was
+     advanced, so multiple queries within a slot are consistent. *)
+  let state : (int * int, bool * int) Hashtbl.t = Hashtbl.create 64 in
+  fun ~slot ~u ~v ->
+    let key = (u, v) in
+    let good, last =
+      match Hashtbl.find_opt state key with
+      | Some s -> s
+      | None -> (true, slot - 1)
+    in
+    let rec advance good from =
+      if from >= slot then good
+      else
+        let good' =
+          if good then not (Dsim.Rng.bernoulli rng ~p:p_bad)
+          else Dsim.Rng.bernoulli rng ~p:p_good
+        in
+        advance good' (from + 1)
+    in
+    let good = advance good last in
+    Hashtbl.replace state key (good, slot);
+    good
+
+type 'pkt node_fn = slot:int -> received:'pkt reception list -> 'pkt action
+
+type 'pkt t = {
+  dual : Graphs.Dual.t;
+  slot_len : float;
+  oracle : edge_oracle;
+  nodes : 'pkt node_fn option array;
+  inbox : 'pkt reception list array;
+  mutable slot : int;
+  mutable n_tx : int;
+  mutable n_collisions : int;
+}
+
+let create ~dual ~slot_len ~oracle () =
+  if slot_len <= 0. then invalid_arg "Slotted.create: need slot_len > 0";
+  let n = Graphs.Dual.n dual in
+  {
+    dual;
+    slot_len;
+    oracle;
+    nodes = Array.make n None;
+    inbox = Array.make n [];
+    slot = 0;
+    n_tx = 0;
+    n_collisions = 0;
+  }
+
+let set_node t ~node fn =
+  (match t.nodes.(node) with
+  | Some _ -> invalid_arg "Slotted.set_node: node already set"
+  | None -> ());
+  t.nodes.(node) <- Some fn
+
+let slot t = t.slot
+let now t = float_of_int t.slot *. t.slot_len
+let transmissions t = t.n_tx
+let collisions t = t.n_collisions
+
+let run_slot t =
+  let n = Graphs.Dual.n t.dual in
+  let g = Graphs.Dual.reliable t.dual in
+  let g' = Graphs.Dual.unreliable t.dual in
+  (* Phase 1: collect actions (inboxes are the previous slot's). *)
+  let transmitting : 'pkt option array = Array.make n None in
+  for v = 0 to n - 1 do
+    match t.nodes.(v) with
+    | None -> ()
+    | Some fn ->
+        let received = List.rev t.inbox.(v) in
+        t.inbox.(v) <- [];
+        (match fn ~slot:t.slot ~received with
+        | Idle -> ()
+        | Transmit pkt ->
+            t.n_tx <- t.n_tx + 1;
+            transmitting.(v) <- Some pkt)
+  done;
+  (* Phase 2: resolve receptions with the exactly-one rule. *)
+  for j = 0 to n - 1 do
+    if transmitting.(j) = None then begin
+      let reaching = ref [] and count = ref 0 in
+      Array.iter
+        (fun u ->
+          match transmitting.(u) with
+          | None -> ()
+          | Some pkt ->
+              let up =
+                Graphs.Graph.mem_edge g u j
+                || t.oracle ~slot:t.slot ~u ~v:j
+              in
+              if up then begin
+                incr count;
+                reaching := (u, pkt) :: !reaching
+              end)
+        (Graphs.Graph.neighbors g' j);
+      match !reaching with
+      | [ (u, pkt) ] ->
+          t.inbox.(j) <-
+            { rx_slot = t.slot; rx_from = u; rx_pkt = pkt } :: t.inbox.(j)
+      | [] -> ()
+      | _ -> t.n_collisions <- t.n_collisions + 1
+    end
+  done;
+  t.slot <- t.slot + 1
+
+let run_until t ~max_slots ~stop =
+  let executed = ref 0 in
+  while !executed < max_slots && not (stop ()) do
+    run_slot t;
+    incr executed
+  done;
+  !executed

@@ -1,0 +1,70 @@
+(** The low-level radio model the abstract MAC layer abstracts away: a
+    slotted, synchronous, collision-prone radio network over a dual graph
+    (the "dual graph" / "dynamic fault" model of Kuhn-Lynch-Newport [29]
+    and Clementi et al. [8], cited in the paper's related work).
+
+    Per slot, every node either transmits one packet or listens.  A
+    listening node [j] receives a packet iff {e exactly one} transmitter
+    reaches it: reliable (G) edges always carry transmissions, unreliable
+    (G' \ G) edges carry them only when the edge oracle says the edge is up
+    that slot.  Two or more reaching transmitters collide — the listener
+    hears nothing and cannot distinguish collision from silence (no
+    collision detection).  Transmitters hear nothing (half-duplex). *)
+
+type 'pkt action =
+  | Transmit of 'pkt
+  | Idle
+
+type 'pkt reception = { rx_slot : int; rx_from : int; rx_pkt : 'pkt }
+
+type edge_oracle = slot:int -> u:int -> v:int -> bool
+(** Activation of an unreliable edge in a slot (queried once per slot per
+    directed use; [u] is the transmitter). *)
+
+val oracle_always : edge_oracle
+(** Every unreliable edge up every slot. *)
+
+val oracle_never : edge_oracle
+(** Unreliable edges never deliver (communication = G only). *)
+
+val oracle_bernoulli : Dsim.Rng.t -> p:float -> edge_oracle
+(** Each unreliable edge up independently with probability [p] per slot. *)
+
+val oracle_gilbert_elliott :
+  Dsim.Rng.t -> p_bad:float -> p_good:float -> edge_oracle
+(** Bursty losses: each unreliable edge follows a two-state Markov chain —
+    in the Good state it is up and turns Bad with probability [p_bad] per
+    slot; in the Bad state it is down and recovers with probability
+    [p_good].  The classic Gilbert-Elliott channel model; state is kept per
+    directed edge use and advanced once per slot. *)
+
+type 'pkt t
+
+val create :
+  dual:Graphs.Dual.t -> slot_len:float -> oracle:edge_oracle -> unit -> 'pkt t
+
+val set_node :
+  'pkt t ->
+  node:int ->
+  (slot:int -> received:'pkt reception list -> 'pkt action) ->
+  unit
+(** The node's behavior: called at the start of each slot with the packets
+    received during the previous slot. *)
+
+val slot : 'pkt t -> int
+(** Completed slots. *)
+
+val now : 'pkt t -> float
+(** [slot * slot_len]. *)
+
+val transmissions : 'pkt t -> int
+(** Total transmit actions so far (energy proxy). *)
+
+val collisions : 'pkt t -> int
+(** Listener-slots in which two or more transmissions collided. *)
+
+val run_slot : 'pkt t -> unit
+
+val run_until : 'pkt t -> max_slots:int -> stop:(unit -> bool) -> int
+(** Run slots until [stop ()] (checked before each slot) or the budget;
+    returns the number of slots executed. *)

@@ -1,0 +1,38 @@
+(** A TDMA (time-division) MAC implementation: the contrast case to
+    {!Decay}.
+
+    Every node owns one slot per frame of [n] slots and transmits its
+    pending packet only there — collision-free by construction.  Both
+    timing parameters collapse to the frame length: a specific packet is
+    delivered (and acked) within one frame, but a receiver may also wait
+    almost a whole frame before hearing anything, so
+    [Fprog ≈ Fack ≈ n·slot].  Under such a MAC the standard model's
+    Fprog ≪ Fack premise fails and the paper's enhanced-model machinery
+    buys nothing — BMMB is already as good as it gets (Figure-1 row 1 with
+    Fprog = Fack).  Comparing protocols over {!Decay} vs {!Tdma} makes the
+    premise's role concrete (experiment E13). *)
+
+exception Busy of int
+
+type 'msg t
+
+val create :
+  dual:Graphs.Dual.t ->
+  rng:Dsim.Rng.t ->
+  ?slot_len:float ->
+  ?oracle:Slotted.edge_oracle ->
+  ?trace:Dsim.Trace.t ->
+  unit ->
+  'msg t
+(** [oracle] defaults to {!Slotted.oracle_bernoulli} with [p = 0.5]. *)
+
+val handle : 'msg t -> 'msg Amac.Mac_handle.t
+
+val run : 'msg t -> max_slots:int -> stop:(unit -> bool) -> int
+
+val slot : 'msg t -> int
+
+val frame_len : 'msg t -> int
+(** [n] slots: both the ack delay and the worst-case progress delay. *)
+
+val transmissions : 'msg t -> int

@@ -1,0 +1,1 @@
+test/test_bfs.ml: Alcotest Array Dsim Graphs QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bmmb.ml: Alcotest Amac Dsim Graphs List Mmb QCheck QCheck_alcotest

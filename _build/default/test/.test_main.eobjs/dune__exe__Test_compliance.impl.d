@@ -1,0 +1,1 @@
+test/test_compliance.ml: Alcotest Amac Dsim Graphs Lazy List

@@ -1,0 +1,1 @@
+test/test_compliance_mutation.ml: Alcotest Amac Dsim Fun Graphs Hashtbl List Mmb Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dual.ml: Alcotest Dsim Graphs List QCheck QCheck_alcotest

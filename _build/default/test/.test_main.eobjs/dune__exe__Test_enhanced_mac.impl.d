@@ -1,0 +1,1 @@
+test/test_enhanced_mac.ml: Alcotest Amac Array Dsim Graphs List

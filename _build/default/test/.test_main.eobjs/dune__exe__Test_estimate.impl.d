@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Amac Dsim Graphs Mmb Printf Radio

@@ -1,0 +1,1 @@
+test/test_fmmb.ml: Alcotest Amac Array Dsim Fun Graphs Hashtbl List Mmb

@@ -1,0 +1,1 @@
+test/test_fmmb_micro.ml: Alcotest Amac Array Dsim Graphs Hashtbl List Mmb

@@ -1,0 +1,1 @@
+test/test_fmmb_online.ml: Alcotest Amac Dsim Graphs Mmb Printf

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Dsim Filename Fun Graphs QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Amac Dsim Fun Graphs List Mmb String

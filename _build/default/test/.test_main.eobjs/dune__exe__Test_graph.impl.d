@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graphs List QCheck QCheck_alcotest

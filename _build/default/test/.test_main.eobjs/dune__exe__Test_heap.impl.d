@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Dsim Float List QCheck QCheck_alcotest

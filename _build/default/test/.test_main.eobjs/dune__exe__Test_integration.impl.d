@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Amac Dsim Graphs List Mmb

@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Amac Fmt Graphs List Mmb Printf

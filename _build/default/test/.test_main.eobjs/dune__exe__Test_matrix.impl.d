@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Amac Dsim Graphs Hashtbl List Mmb Printf

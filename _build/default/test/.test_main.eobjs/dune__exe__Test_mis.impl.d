@@ -1,0 +1,1 @@
+test/test_mis.ml: Alcotest Dsim Graphs QCheck QCheck_alcotest

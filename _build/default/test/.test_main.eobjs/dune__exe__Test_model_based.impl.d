@@ -1,0 +1,1 @@
+test/test_model_based.ml: Dsim Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Amac Array Dsim Float Graphs List Mmb Printf

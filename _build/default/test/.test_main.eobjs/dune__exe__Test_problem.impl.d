@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Dsim Graphs List Mmb

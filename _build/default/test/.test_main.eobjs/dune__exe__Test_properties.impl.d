@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Amac Array Dsim Graphs List Mmb String

@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest Amac Array Dsim Graphs Hashtbl Lazy List Mmb Printf Radio

@@ -1,0 +1,1 @@
+test/test_round_sync.ml: Alcotest Amac Array Dsim Graphs List Mmb Printf

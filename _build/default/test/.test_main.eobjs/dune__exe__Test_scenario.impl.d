@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Dsim List Mmb QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Amac Dsim List Mmb

@@ -1,0 +1,1 @@
+test/test_sinr.ml: Alcotest Array Dsim Graphs List Mmb Printf Radio

@@ -1,0 +1,1 @@
+test/test_stats_io.ml: Alcotest Dsim Filename Fun Gen List QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_structuring.ml: Alcotest Amac Array Dsim Graphs List Mmb Printf

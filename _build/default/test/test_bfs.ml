@@ -1,0 +1,77 @@
+let test_line_distances () =
+  let g = Graphs.Gen.line 5 in
+  Alcotest.(check (array int)) "distances from 0" [| 0; 1; 2; 3; 4 |]
+    (Graphs.Bfs.distances g ~src:0);
+  Alcotest.(check int) "pairwise" 3 (Graphs.Bfs.distance g 1 4);
+  Alcotest.(check int) "diameter" 4 (Graphs.Bfs.diameter g);
+  Alcotest.(check int) "eccentricity of middle" 2 (Graphs.Bfs.eccentricity g 2)
+
+let test_grid_diameter () =
+  let g = Graphs.Gen.grid ~rows:3 ~cols:4 in
+  Alcotest.(check int) "diameter rows+cols-2" 5 (Graphs.Bfs.diameter g)
+
+let test_disconnected () =
+  let g = Graphs.Graph.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  let d = Graphs.Bfs.distances g ~src:0 in
+  Alcotest.(check int) "unreachable" Graphs.Bfs.unreachable d.(2);
+  Alcotest.(check int) "components" 3 (Graphs.Bfs.component_count g);
+  Alcotest.(check bool) "not connected" false (Graphs.Bfs.is_connected g);
+  let comp = Graphs.Bfs.components g in
+  Alcotest.(check bool) "0 and 1 together" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "0 and 2 apart" true (comp.(0) <> comp.(2))
+
+let test_singleton () =
+  let g = Graphs.Graph.empty ~n:1 in
+  Alcotest.(check int) "diameter" 0 (Graphs.Bfs.diameter g);
+  Alcotest.(check bool) "connected" true (Graphs.Bfs.is_connected g)
+
+let test_ring () =
+  let g = Graphs.Gen.ring 8 in
+  Alcotest.(check int) "antipodal distance" 4 (Graphs.Bfs.distance g 0 4);
+  Alcotest.(check int) "diameter" 4 (Graphs.Bfs.diameter g)
+
+let random_graph rng n p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Dsim.Rng.bernoulli rng ~p then edges := (u, v) :: !edges
+    done
+  done;
+  Graphs.Graph.of_edges ~n !edges
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"BFS distances satisfy the triangle inequality"
+    ~count:50 QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Dsim.Rng.create ~seed in
+      let n = 2 + Dsim.Rng.int rng 15 in
+      let g = random_graph rng n 0.3 in
+      let dist = Array.init n (fun u -> Graphs.Bfs.distances g ~src:u) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if dist.(u).(v) <> dist.(v).(u) then ok := false;
+          for w = 0 to n - 1 do
+            let duw = dist.(u).(w) and dwv = dist.(w).(v) in
+            if
+              duw <> Graphs.Bfs.unreachable
+              && dwv <> Graphs.Bfs.unreachable
+              && dist.(u).(v) > duw + dwv
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "graphs.bfs",
+      [
+        Alcotest.test_case "line distances" `Quick test_line_distances;
+        Alcotest.test_case "grid diameter" `Quick test_grid_diameter;
+        Alcotest.test_case "disconnected graphs" `Quick test_disconnected;
+        Alcotest.test_case "singleton graph" `Quick test_singleton;
+        Alcotest.test_case "ring" `Quick test_ring;
+        QCheck_alcotest.to_alcotest prop_triangle_inequality;
+      ] );
+  ]

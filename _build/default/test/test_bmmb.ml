@@ -1,0 +1,164 @@
+let run ?(seed = 0) ?(fack = 8.) ?(fprog = 1.) ?(policy = Amac.Schedulers.eager ())
+    ?discipline ?(check_compliance = true) dual assignment =
+  Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed ?discipline
+    ~check_compliance ()
+
+let test_single_message_line () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 6) in
+  let res = run dual [ (0, 0) ] in
+  Alcotest.(check bool) "complete" true res.Mmb.Runner.complete;
+  Alcotest.(check bool) "within paper bound" true res.Mmb.Runner.within_bound;
+  Alcotest.(check int) "no duplicate deliveries" 0
+    res.Mmb.Runner.duplicate_deliveries;
+  Alcotest.(check int) "compliant" 0
+    (List.length res.Mmb.Runner.compliance_violations);
+  (* Every node broadcasts each message exactly once: n * k broadcasts. *)
+  Alcotest.(check int) "bcasts = n*k" 6 res.Mmb.Runner.bcasts
+
+let test_multi_message_star () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.star 8) in
+  let assignment = Mmb.Problem.all_at ~node:0 ~k:5 in
+  let res = run dual assignment in
+  Alcotest.(check bool) "complete" true res.Mmb.Runner.complete;
+  Alcotest.(check bool) "within bound" true res.Mmb.Runner.within_bound;
+  Alcotest.(check int) "bcasts = n*k" (8 * 5) res.Mmb.Runner.bcasts
+
+let test_disconnected () =
+  let g = Graphs.Graph.of_edges ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  let dual = Graphs.Dual.of_equal g in
+  let res = run dual [ (0, 0); (3, 1) ] in
+  Alcotest.(check bool) "both components complete" true res.Mmb.Runner.complete
+
+let test_fifo_order_preserved () =
+  (* With the adversarial scheduler on a 2-node line, messages leave node 0
+     in FIFO order and arrive in that order. *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let order = ref [] in
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed:1 in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack:5. ~fprog:5.
+      ~policy:(Amac.Schedulers.adversarial ()) ~rng ()
+  in
+  let bmmb =
+    Mmb.Bmmb.install ~mac:(Amac.Mac_handle.of_standard mac)
+      ~on_deliver:(fun ~node ~msg ~time:_ ->
+        if node = 1 then order := msg :: !order)
+      ()
+  in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Mmb.Bmmb.arrive bmmb ~node:0 ~msg:10;
+         Mmb.Bmmb.arrive bmmb ~node:0 ~msg:20;
+         Mmb.Bmmb.arrive bmmb ~node:0 ~msg:30));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check (list int)) "FIFO delivery order" [ 10; 20; 30 ]
+    (List.rev !order)
+
+let test_lifo_discipline () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 4) in
+  let assignment = Mmb.Problem.all_at ~node:0 ~k:3 in
+  let res = run ~discipline:`Lifo dual assignment in
+  Alcotest.(check bool) "LIFO variant still solves MMB" true
+    res.Mmb.Runner.complete
+
+let test_queue_introspection () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed:2 in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack:100. ~fprog:10.
+      ~policy:(Amac.Schedulers.adversarial ()) ~rng ()
+  in
+  let bmmb =
+    Mmb.Bmmb.install ~mac:(Amac.Mac_handle.of_standard mac)
+      ~on_deliver:(fun ~node:_ ~msg:_ ~time:_ -> ())
+      ()
+  in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Mmb.Bmmb.arrive bmmb ~node:0 ~msg:1;
+         Mmb.Bmmb.arrive bmmb ~node:0 ~msg:2));
+  ignore (Dsim.Sim.run ~until:1. sim);
+  Alcotest.(check int) "two queued (one in flight)" 2
+    (Mmb.Bmmb.queue_length bmmb ~node:0);
+  Alcotest.(check bool) "received known" true
+    (Mmb.Bmmb.received bmmb ~node:0 ~msg:1);
+  Alcotest.(check bool) "not yet received downstream" false
+    (Mmb.Bmmb.received bmmb ~node:1 ~msg:2)
+
+let test_duplicate_arrival_rejected () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed:3 in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack:10. ~fprog:1.
+      ~policy:(Amac.Schedulers.eager ()) ~rng ()
+  in
+  let bmmb =
+    Mmb.Bmmb.install ~mac:(Amac.Mac_handle.of_standard mac)
+      ~on_deliver:(fun ~node:_ ~msg:_ ~time:_ -> ())
+      ()
+  in
+  Mmb.Bmmb.arrive bmmb ~node:0 ~msg:7;
+  Alcotest.(check bool) "second arrive of same message raises" true
+    (try
+       Mmb.Bmmb.arrive bmmb ~node:0 ~msg:7;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_bmmb_solves_and_respects_bounds =
+  QCheck.Test.make
+    ~name:"BMMB solves MMB within the exact paper bound (random nets/policies)"
+    ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dsim.Rng.create ~seed in
+      let n = 4 + Dsim.Rng.int rng 12 in
+      let k = 1 + Dsim.Rng.int rng 4 in
+      let base =
+        match Dsim.Rng.int rng 3 with
+        | 0 -> Graphs.Gen.line n
+        | 1 -> Graphs.Gen.ring (max 3 n)
+        | _ -> Graphs.Gen.gnp rng ~n ~p:0.4
+      in
+      let n = Graphs.Graph.n base in
+      let dual =
+        match Dsim.Rng.int rng 3 with
+        | 0 -> Graphs.Dual.of_equal base
+        | 1 -> Graphs.Dual.r_restricted_random rng ~g:base ~r:2 ~extra:6
+        | _ -> Graphs.Dual.arbitrary_random rng ~g:base ~extra:6
+      in
+      let policy =
+        match Dsim.Rng.int rng 3 with
+        | 0 -> Amac.Schedulers.eager ()
+        | 1 -> Amac.Schedulers.random_compliant ()
+        | _ -> Amac.Schedulers.adversarial ()
+      in
+      let assignment = Mmb.Problem.random rng ~n ~k in
+      let res =
+        Mmb.Runner.run_bmmb ~dual ~fack:4. ~fprog:1. ~policy ~assignment ~seed
+          ~check_compliance:true ()
+      in
+      res.Mmb.Runner.complete && res.Mmb.Runner.within_bound
+      && res.Mmb.Runner.duplicate_deliveries = 0
+      && res.Mmb.Runner.compliance_violations = []
+      && res.Mmb.Runner.spec_violations = [])
+
+let suite =
+  [
+    ( "mmb.bmmb",
+      [
+        Alcotest.test_case "single message on a line" `Quick
+          test_single_message_line;
+        Alcotest.test_case "k messages at a star hub" `Quick
+          test_multi_message_star;
+        Alcotest.test_case "disconnected components" `Quick test_disconnected;
+        Alcotest.test_case "FIFO order preserved" `Quick test_fifo_order_preserved;
+        Alcotest.test_case "LIFO ablation variant" `Quick test_lifo_discipline;
+        Alcotest.test_case "queue introspection" `Quick test_queue_introspection;
+        Alcotest.test_case "duplicate arrival rejected" `Quick
+          test_duplicate_arrival_rejected;
+        QCheck_alcotest.to_alcotest prop_bmmb_solves_and_respects_bounds;
+      ] );
+  ]

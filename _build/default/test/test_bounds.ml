@@ -1,0 +1,66 @@
+let test_thm_3_1 () =
+  Alcotest.(check (float 1e-9)) "(D+k)Fack" 70.
+    (Mmb.Bounds.thm_3_1 ~d:4 ~k:3 ~fack:10.)
+
+let test_thm_3_16 () =
+  (* (D + (r+1)k - 2) Fprog + r(k-1) Fack *)
+  Alcotest.(check (float 1e-9)) "r=1 reduces to (D+2k-2)Fprog + (k-1)Fack"
+    ((4. +. 4.) *. 1. +. 2. *. 10.)
+    (Mmb.Bounds.thm_3_16 ~d:4 ~k:3 ~r:1 ~fack:10. ~fprog:1.);
+  Alcotest.(check (float 1e-9)) "k=1 has no Fack term"
+    (float_of_int (4 + 3 - 2) *. 1.)
+    (Mmb.Bounds.thm_3_16 ~d:4 ~k:1 ~r:2 ~fack:10. ~fprog:1.)
+
+let test_monotonicity () =
+  let b r = Mmb.Bounds.thm_3_16 ~d:10 ~k:5 ~r ~fack:20. ~fprog:1. in
+  Alcotest.(check bool) "bound grows with r" true (b 1 < b 2 && b 2 < b 4)
+
+let test_bmmb_upper_uses_min () =
+  (* On a G'=G line, the r-restricted (r=1) bound is far below the
+     arbitrary-G' bound when Fack >> Fprog. *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 10) in
+  let assignment = [ (0, 0); (0, 1) ] in
+  let u = Mmb.Bounds.bmmb_upper ~dual ~assignment ~fack:100. ~fprog:1. in
+  let arbitrary = Mmb.Bounds.thm_3_1 ~d:9 ~k:2 ~fack:100. in
+  let restricted = Mmb.Bounds.thm_3_16 ~d:9 ~k:2 ~r:1 ~fack:100. ~fprog:1. in
+  Alcotest.(check (float 1e-9)) "picks the r-restricted bound" restricted u;
+  Alcotest.(check bool) "which is smaller" true (restricted < arbitrary)
+
+let test_bmmb_upper_cross_component () =
+  (* Two-line network: cross edges join different G-components, so only the
+     arbitrary-G' bound applies. *)
+  let dual = Graphs.Dual.two_line ~d:6 in
+  let assignment =
+    [ (Graphs.Dual.two_line_a ~d:6 1, 0); (Graphs.Dual.two_line_b ~d:6 1, 1) ]
+  in
+  let u = Mmb.Bounds.bmmb_upper ~dual ~assignment ~fack:10. ~fprog:1. in
+  Alcotest.(check (float 1e-9)) "arbitrary bound: (5 + 2) * 10" 70. u
+
+let test_fmmb_shape () =
+  let s1 = Mmb.Bounds.fmmb_shape ~n:100 ~d:10 ~k:5 in
+  let s2 = Mmb.Bounds.fmmb_shape ~n:100 ~d:20 ~k:5 in
+  let s3 = Mmb.Bounds.fmmb_shape ~n:100 ~d:10 ~k:10 in
+  Alcotest.(check bool) "grows with D" true (s2 > s1);
+  Alcotest.(check bool) "grows with k" true (s3 > s1)
+
+let test_lower_bound_floors () =
+  Alcotest.(check (float 1e-9)) "two-line floor" 90.
+    (Mmb.Bounds.lower_two_line ~d:10 ~fack:10.);
+  Alcotest.(check (float 1e-9)) "choke floor" 40.
+    (Mmb.Bounds.lower_choke ~k:5 ~fack:10.)
+
+let suite =
+  [
+    ( "mmb.bounds",
+      [
+        Alcotest.test_case "Theorem 3.1 closed form" `Quick test_thm_3_1;
+        Alcotest.test_case "Theorem 3.16 closed form" `Quick test_thm_3_16;
+        Alcotest.test_case "r-monotonicity" `Quick test_monotonicity;
+        Alcotest.test_case "bmmb_upper takes the min" `Quick
+          test_bmmb_upper_uses_min;
+        Alcotest.test_case "bmmb_upper across components" `Quick
+          test_bmmb_upper_cross_component;
+        Alcotest.test_case "Theorem 4.1 shape" `Quick test_fmmb_shape;
+        Alcotest.test_case "lower-bound floors" `Quick test_lower_bound_floors;
+      ] );
+  ]

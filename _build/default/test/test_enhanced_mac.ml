@@ -1,0 +1,190 @@
+(* Round-engine tests with tiny hand-rolled automata over string bodies. *)
+
+let dual_line3_with_cross () =
+  let g = Graphs.Gen.line 3 in
+  let g' = Graphs.Graph.of_edges ~n:3 (Graphs.Graph.edges g @ [ (0, 2) ]) in
+  Graphs.Dual.create ~g ~g' ()
+
+let test_single_broadcaster_delivers () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 3) in
+  let rng = Dsim.Rng.create ~seed:0 in
+  let mac =
+    Amac.Enhanced_mac.create ~dual ~fprog:1.
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~rng ()
+  in
+  let got = Array.make 3 [] in
+  Amac.Enhanced_mac.set_node mac ~node:0 (fun ~round ~inbox:_ ->
+      if round = 0 then Amac.Enhanced_mac.Broadcast "hello"
+      else Amac.Enhanced_mac.Listen);
+  for v = 1 to 2 do
+    Amac.Enhanced_mac.set_node mac ~node:v (fun ~round:_ ~inbox ->
+        got.(v) <-
+          got.(v) @ List.map (fun e -> e.Amac.Message.body) inbox;
+        Amac.Enhanced_mac.Listen)
+  done;
+  Amac.Enhanced_mac.run_round mac;
+  Amac.Enhanced_mac.run_round mac;
+  Alcotest.(check (list string)) "G-neighbor must receive" [ "hello" ] got.(1);
+  Alcotest.(check (list string)) "distant node receives nothing" [] got.(2)
+
+let test_progress_requires_delivery_under_contention () =
+  (* Nodes 0 and 2 broadcast simultaneously; node 1 (G-neighbor of both)
+     must receive at least one message under every policy. *)
+  List.iter
+    (fun policy ->
+      let dual = Graphs.Dual.of_equal (Graphs.Gen.line 3) in
+      let rng = Dsim.Rng.create ~seed:1 in
+      let mac = Amac.Enhanced_mac.create ~dual ~fprog:1. ~policy ~rng () in
+      let got = ref [] in
+      Amac.Enhanced_mac.set_node mac ~node:0 (fun ~round ~inbox:_ ->
+          if round = 0 then Amac.Enhanced_mac.Broadcast "left"
+          else Amac.Enhanced_mac.Listen);
+      Amac.Enhanced_mac.set_node mac ~node:2 (fun ~round ~inbox:_ ->
+          if round = 0 then Amac.Enhanced_mac.Broadcast "right"
+          else Amac.Enhanced_mac.Listen);
+      Amac.Enhanced_mac.set_node mac ~node:1 (fun ~round:_ ~inbox ->
+          got := !got @ List.map (fun e -> e.Amac.Message.body) inbox;
+          Amac.Enhanced_mac.Listen);
+      Amac.Enhanced_mac.run_round mac;
+      Amac.Enhanced_mac.run_round mac;
+      Alcotest.(check bool)
+        ("middle node received something under " ^ policy.Amac.Enhanced_mac.rp_name)
+        true (!got <> []))
+    [
+      Amac.Enhanced_mac.generous ();
+      Amac.Enhanced_mac.minimal_random ();
+      Amac.Enhanced_mac.round_adversarial ();
+    ]
+
+let test_generous_delivers_all () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 3) in
+  let rng = Dsim.Rng.create ~seed:2 in
+  let mac =
+    Amac.Enhanced_mac.create ~dual ~fprog:1.
+      ~policy:(Amac.Enhanced_mac.generous ()) ~rng ()
+  in
+  let got = ref [] in
+  Amac.Enhanced_mac.set_node mac ~node:0 (fun ~round ~inbox:_ ->
+      if round = 0 then Amac.Enhanced_mac.Broadcast "left"
+      else Amac.Enhanced_mac.Listen);
+  Amac.Enhanced_mac.set_node mac ~node:2 (fun ~round ~inbox:_ ->
+      if round = 0 then Amac.Enhanced_mac.Broadcast "right"
+      else Amac.Enhanced_mac.Listen);
+  Amac.Enhanced_mac.set_node mac ~node:1 (fun ~round:_ ~inbox ->
+      got := !got @ List.map (fun e -> e.Amac.Message.body) inbox;
+      Amac.Enhanced_mac.Listen);
+  Amac.Enhanced_mac.run_round mac;
+  Amac.Enhanced_mac.run_round mac;
+  Alcotest.(check (list string)) "both delivered" [ "left"; "right" ]
+    (List.sort compare !got)
+
+let test_adversarial_prefers_unreliable () =
+  (* Node 1 hears node 0 (G-neighbor) and node 2 would not reach it...
+     make node 2 a G'-only neighbor of 1 instead. *)
+  let g = Graphs.Gen.line 2 in
+  let g3 = Graphs.Graph.of_edges ~n:3 (Graphs.Graph.edges g) in
+  let g' = Graphs.Graph.of_edges ~n:3 (Graphs.Graph.edges g3 @ [ (1, 2) ]) in
+  let dual = Graphs.Dual.create ~g:g3 ~g' () in
+  let rng = Dsim.Rng.create ~seed:3 in
+  let mac =
+    Amac.Enhanced_mac.create ~dual ~fprog:1.
+      ~policy:(Amac.Enhanced_mac.round_adversarial ()) ~rng ()
+  in
+  let got = ref [] in
+  Amac.Enhanced_mac.set_node mac ~node:0 (fun ~round ~inbox:_ ->
+      if round = 0 then Amac.Enhanced_mac.Broadcast "reliable"
+      else Amac.Enhanced_mac.Listen);
+  Amac.Enhanced_mac.set_node mac ~node:2 (fun ~round ~inbox:_ ->
+      if round = 0 then Amac.Enhanced_mac.Broadcast "noise"
+      else Amac.Enhanced_mac.Listen);
+  Amac.Enhanced_mac.set_node mac ~node:1 (fun ~round:_ ~inbox ->
+      got := !got @ List.map (fun e -> e.Amac.Message.body) inbox;
+      Amac.Enhanced_mac.Listen);
+  Amac.Enhanced_mac.run_round mac;
+  Amac.Enhanced_mac.run_round mac;
+  Alcotest.(check (list string)) "the unreliable message was chosen"
+    [ "noise" ] !got
+
+let test_inbox_timing () =
+  (* A message broadcast in round r is visible to the receiver's round r+1
+     handler, not round r. *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let rng = Dsim.Rng.create ~seed:4 in
+  let mac =
+    Amac.Enhanced_mac.create ~dual ~fprog:1.
+      ~policy:(Amac.Enhanced_mac.generous ()) ~rng ()
+  in
+  let seen_at = ref None in
+  Amac.Enhanced_mac.set_node mac ~node:0 (fun ~round ~inbox:_ ->
+      if round = 0 then Amac.Enhanced_mac.Broadcast "x"
+      else Amac.Enhanced_mac.Listen);
+  Amac.Enhanced_mac.set_node mac ~node:1 (fun ~round ~inbox ->
+      if inbox <> [] && !seen_at = None then seen_at := Some round;
+      Amac.Enhanced_mac.Listen);
+  for _ = 1 to 3 do
+    Amac.Enhanced_mac.run_round mac
+  done;
+  Alcotest.(check (option int)) "visible at round 1" (Some 1) !seen_at
+
+let test_run_until_stop () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let rng = Dsim.Rng.create ~seed:5 in
+  let mac =
+    Amac.Enhanced_mac.create ~dual ~fprog:2.
+      ~policy:(Amac.Enhanced_mac.generous ()) ~rng ()
+  in
+  for v = 0 to 1 do
+    Amac.Enhanced_mac.set_node mac ~node:v (fun ~round:_ ~inbox:_ ->
+        Amac.Enhanced_mac.Listen)
+  done;
+  let rounds =
+    Amac.Enhanced_mac.run_until mac ~max_rounds:100 ~stop:(fun () ->
+        Amac.Enhanced_mac.round mac >= 7)
+  in
+  Alcotest.(check int) "stopped at 7 rounds" 7 rounds;
+  Alcotest.(check (float 1e-9)) "now = rounds * fprog" 14.
+    (Amac.Enhanced_mac.now mac)
+
+let test_abort_trace () =
+  let dual = dual_line3_with_cross () in
+  let rng = Dsim.Rng.create ~seed:6 in
+  let trace = Dsim.Trace.create () in
+  let mac =
+    Amac.Enhanced_mac.create ~dual ~fprog:1.
+      ~policy:(Amac.Enhanced_mac.generous ()) ~rng ~trace ()
+  in
+  Amac.Enhanced_mac.set_node mac ~node:0 (fun ~round ~inbox:_ ->
+      if round = 0 then Amac.Enhanced_mac.Broadcast "z"
+      else Amac.Enhanced_mac.Listen);
+  for v = 1 to 2 do
+    Amac.Enhanced_mac.set_node mac ~node:v (fun ~round:_ ~inbox:_ ->
+        Amac.Enhanced_mac.Listen)
+  done;
+  Amac.Enhanced_mac.run_round mac;
+  let has_abort =
+    List.exists
+      (fun e ->
+        match e.Dsim.Trace.event with Dsim.Trace.Abort _ -> true | _ -> false)
+      (Dsim.Trace.entries trace)
+  in
+  Alcotest.(check bool) "every round broadcast ends in abort" true has_abort
+
+let suite =
+  [
+    ( "amac.enhanced_mac",
+      [
+        Alcotest.test_case "single broadcaster reaches G-neighbors" `Quick
+          test_single_broadcaster_delivers;
+        Alcotest.test_case "progress under contention (all policies)" `Quick
+          test_progress_requires_delivery_under_contention;
+        Alcotest.test_case "generous delivers everything" `Quick
+          test_generous_delivers_all;
+        Alcotest.test_case "adversary prefers unreliable senders" `Quick
+          test_adversarial_prefers_unreliable;
+        Alcotest.test_case "inbox is previous round's receptions" `Quick
+          test_inbox_timing;
+        Alcotest.test_case "run_until honors stop" `Quick test_run_until_stop;
+        Alcotest.test_case "broadcasts end in abort" `Quick test_abort_trace;
+      ] );
+  ]

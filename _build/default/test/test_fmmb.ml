@@ -1,0 +1,168 @@
+(* FMMB's guarantees are probabilistic; these tests run modest instance
+   sizes across seeds and require a high success rate, plus deterministic
+   checks of the mechanical pieces. *)
+
+let grey_dual ~seed ~n =
+  let rng = Dsim.Rng.create ~seed in
+  Graphs.Dual.grey_zone_connected rng ~n
+    ~width:(sqrt (float_of_int n /. 3.))
+    ~height:(sqrt (float_of_int n /. 3.))
+    ~c:2. ~p:0.4 ~max_tries:500
+
+let test_mis_valid_on_grey_zone () =
+  let failures = ref 0 in
+  let trials = 10 in
+  for seed = 1 to trials do
+    let dual = grey_dual ~seed ~n:40 in
+    let rng = Dsim.Rng.create ~seed:(seed * 77) in
+    let params = Mmb.Fmmb_mis.default_params ~n:40 ~c:2. in
+    let res =
+      Mmb.Fmmb_mis.run ~dual ~rng
+        ~policy:(Amac.Enhanced_mac.minimal_random ())
+        ~params ()
+    in
+    let mis_list =
+      List.filter (fun v -> res.Mmb.Fmmb_mis.mis.(v)) (List.init 40 Fun.id)
+    in
+    if
+      not
+        (Graphs.Mis.is_maximal_independent
+           (Graphs.Dual.reliable dual)
+           mis_list)
+    then incr failures;
+    if res.Mmb.Fmmb_mis.undecided > 0 then incr failures
+  done;
+  Alcotest.(check int) "all trials valid" 0 !failures
+
+let test_mis_single_node () =
+  let dual = Graphs.Dual.of_equal (Graphs.Graph.empty ~n:1) in
+  let rng = Dsim.Rng.create ~seed:0 in
+  let params = Mmb.Fmmb_mis.default_params ~n:1 ~c:1.5 in
+  let res =
+    Mmb.Fmmb_mis.run ~dual ~rng
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~params ()
+  in
+  Alcotest.(check bool) "lone node joins" true res.Mmb.Fmmb_mis.mis.(0)
+
+let test_mis_two_nodes () =
+  let ok = ref 0 in
+  for seed = 0 to 19 do
+    let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+    let rng = Dsim.Rng.create ~seed in
+    let params = Mmb.Fmmb_mis.default_params ~n:2 ~c:1.5 in
+    let res =
+      Mmb.Fmmb_mis.run ~dual ~rng
+        ~policy:(Amac.Enhanced_mac.minimal_random ())
+        ~params ()
+    in
+    let members =
+      List.filter (fun v -> res.Mmb.Fmmb_mis.mis.(v)) [ 0; 1 ]
+    in
+    if List.length members = 1 then incr ok
+  done;
+  Alcotest.(check bool) "exactly one of two adjacent nodes joins (>= 18/20)"
+    true (!ok >= 18)
+
+let test_gather_collects_everything () =
+  let failures = ref 0 in
+  for seed = 1 to 10 do
+    let dual = grey_dual ~seed ~n:30 in
+    let g = Graphs.Dual.reliable dual in
+    let rng = Dsim.Rng.create ~seed:(seed * 13) in
+    (* A known-valid MIS from the reference construction. *)
+    let mis_list = Graphs.Mis.greedy g in
+    let mis = Array.make 30 false in
+    List.iter (fun v -> mis.(v) <- true) mis_list;
+    let k = 5 in
+    let assignment = Mmb.Problem.singleton rng ~n:30 ~k in
+    let initial = Array.make 30 [] in
+    List.iter
+      (fun (node, m) -> initial.(node) <- m :: initial.(node))
+      assignment;
+    let params = Mmb.Fmmb_gather.default_params ~n:30 ~k ~c:2. in
+    let res =
+      Mmb.Fmmb_gather.run ~dual ~rng
+        ~policy:(Amac.Enhanced_mac.minimal_random ())
+        ~params ~mis ~initial
+        ~on_payload:(fun ~node:_ ~payload:_ -> ())
+        ()
+    in
+    if res.Mmb.Fmmb_gather.leftover > 0 then incr failures;
+    (* Every message must now be in some MIS node's custody set. *)
+    for m = 0 to k - 1 do
+      let held =
+        List.exists
+          (fun v -> Hashtbl.mem res.Mmb.Fmmb_gather.mis_sets.(v) m)
+          mis_list
+      in
+      if not held then incr failures
+    done
+  done;
+  Alcotest.(check int) "gather failures" 0 !failures
+
+let test_fmmb_end_to_end () =
+  let failures = ref 0 in
+  for seed = 1 to 8 do
+    let dual = grey_dual ~seed ~n:36 in
+    let k = 4 in
+    let rng = Dsim.Rng.create ~seed:(seed * 31) in
+    let assignment =
+      Mmb.Problem.singleton rng ~n:(Graphs.Dual.n dual) ~k
+    in
+    let res =
+      Mmb.Runner.run_fmmb ~dual ~fprog:1. ~c:2.
+        ~policy:(Amac.Enhanced_mac.minimal_random ())
+        ~assignment ~seed ()
+    in
+    if not res.Mmb.Runner.fmmb.Mmb.Fmmb.complete then incr failures;
+    if res.Mmb.Runner.duplicate_deliveries' > 0 then incr failures
+  done;
+  Alcotest.(check int) "end-to-end failures" 0 !failures
+
+let test_fmmb_under_all_round_policies () =
+  List.iter
+    (fun policy ->
+      let dual = grey_dual ~seed:5 ~n:30 in
+      let rng = Dsim.Rng.create ~seed:99 in
+      let assignment = Mmb.Problem.singleton rng ~n:30 ~k:3 in
+      let res =
+        Mmb.Runner.run_fmmb ~dual ~fprog:1. ~c:2. ~policy ~assignment ~seed:123
+          ()
+      in
+      Alcotest.(check bool)
+        ("complete under " ^ policy.Amac.Enhanced_mac.rp_name)
+        true res.Mmb.Runner.fmmb.Mmb.Fmmb.complete)
+    [
+      Amac.Enhanced_mac.generous ();
+      Amac.Enhanced_mac.minimal_random ();
+      Amac.Enhanced_mac.round_adversarial ();
+    ]
+
+let test_fmmb_all_messages_at_one_node () =
+  let dual = grey_dual ~seed:3 ~n:30 in
+  let assignment = Mmb.Problem.all_at ~node:0 ~k:6 in
+  let res =
+    Mmb.Runner.run_fmmb ~dual ~fprog:1. ~c:2.
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~assignment ~seed:7 ()
+  in
+  Alcotest.(check bool) "complete" true res.Mmb.Runner.fmmb.Mmb.Fmmb.complete
+
+let suite =
+  [
+    ( "mmb.fmmb",
+      [
+        Alcotest.test_case "MIS subroutine valid on grey zones" `Slow
+          test_mis_valid_on_grey_zone;
+        Alcotest.test_case "MIS: single node" `Quick test_mis_single_node;
+        Alcotest.test_case "MIS: two adjacent nodes" `Quick test_mis_two_nodes;
+        Alcotest.test_case "gather collects all payloads" `Slow
+          test_gather_collects_everything;
+        Alcotest.test_case "end-to-end over seeds" `Slow test_fmmb_end_to_end;
+        Alcotest.test_case "all round policies" `Slow
+          test_fmmb_under_all_round_policies;
+        Alcotest.test_case "all messages at one node" `Slow
+          test_fmmb_all_messages_at_one_node;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+let test_line () =
+  let g = Graphs.Gen.line 6 in
+  Alcotest.(check int) "edges" 5 (Graphs.Graph.m g);
+  Alcotest.(check int) "diameter" 5 (Graphs.Bfs.diameter g)
+
+let test_star () =
+  let g = Graphs.Gen.star 7 in
+  Alcotest.(check int) "edges" 6 (Graphs.Graph.m g);
+  Alcotest.(check int) "diameter" 2 (Graphs.Bfs.diameter g)
+
+let test_complete () =
+  let g = Graphs.Gen.complete 6 in
+  Alcotest.(check int) "edges" 15 (Graphs.Graph.m g);
+  Alcotest.(check int) "diameter" 1 (Graphs.Bfs.diameter g)
+
+let test_grid () =
+  let g = Graphs.Gen.grid ~rows:4 ~cols:5 in
+  Alcotest.(check int) "nodes" 20 (Graphs.Graph.n g);
+  Alcotest.(check int) "edges" ((3 * 5) + (4 * 4)) (Graphs.Graph.m g)
+
+let test_tree () =
+  let g = Graphs.Gen.balanced_tree ~arity:2 ~depth:3 in
+  Alcotest.(check int) "nodes" 15 (Graphs.Graph.n g);
+  Alcotest.(check int) "edges" 14 (Graphs.Graph.m g);
+  Alcotest.(check bool) "connected" true (Graphs.Bfs.is_connected g);
+  Alcotest.(check int) "diameter" 6 (Graphs.Bfs.diameter g)
+
+let test_torus () =
+  let g = Graphs.Gen.torus ~rows:4 ~cols:5 in
+  Alcotest.(check int) "nodes" 20 (Graphs.Graph.n g);
+  Alcotest.(check int) "4-regular" 4 (Graphs.Graph.max_degree g);
+  Alcotest.(check int) "edges" 40 (Graphs.Graph.m g);
+  Alcotest.(check int) "diameter" 4 (Graphs.Bfs.diameter g)
+
+let test_hypercube () =
+  let g = Graphs.Gen.hypercube ~dim:4 in
+  Alcotest.(check int) "nodes" 16 (Graphs.Graph.n g);
+  Alcotest.(check int) "dim-regular" 4 (Graphs.Graph.max_degree g);
+  Alcotest.(check int) "edges" 32 (Graphs.Graph.m g);
+  Alcotest.(check int) "diameter = dim" 4 (Graphs.Bfs.diameter g);
+  Alcotest.(check bool) "edge iff one-bit difference" true
+    (Graphs.Graph.mem_edge g 0b0101 0b0001
+    && not (Graphs.Graph.mem_edge g 0b0101 0b0000))
+
+let test_gnp_extremes () =
+  let rng = Dsim.Rng.create ~seed:0 in
+  let empty = Graphs.Gen.gnp rng ~n:10 ~p:0. in
+  Alcotest.(check int) "p=0 has no edges" 0 (Graphs.Graph.m empty);
+  let full = Graphs.Gen.gnp rng ~n:10 ~p:1. in
+  Alcotest.(check int) "p=1 is complete" 45 (Graphs.Graph.m full)
+
+let test_geometric_definition () =
+  let rng = Dsim.Rng.create ~seed:5 in
+  let g, pts =
+    Graphs.Gen.random_geometric rng ~n:40 ~width:5. ~height:5. ~radius:1.
+  in
+  let ok = ref true in
+  for u = 0 to 39 do
+    for v = u + 1 to 39 do
+      let near = Graphs.Geometry.dist pts.(u) pts.(v) <= 1. in
+      if near <> Graphs.Graph.mem_edge g u v then ok := false
+    done
+  done;
+  Alcotest.(check bool) "edge iff distance <= radius" true !ok
+
+let test_connected_geometric () =
+  let rng = Dsim.Rng.create ~seed:1 in
+  let g, _ =
+    Graphs.Gen.random_connected_geometric rng ~n:30 ~width:4. ~height:4.
+      ~radius:1.5 ~max_tries:200
+  in
+  Alcotest.(check bool) "connected" true (Graphs.Bfs.is_connected g)
+
+let suite =
+  [
+    ( "graphs.gen",
+      [
+        Alcotest.test_case "line" `Quick test_line;
+        Alcotest.test_case "star" `Quick test_star;
+        Alcotest.test_case "complete" `Quick test_complete;
+        Alcotest.test_case "grid" `Quick test_grid;
+        Alcotest.test_case "balanced tree" `Quick test_tree;
+        Alcotest.test_case "torus" `Quick test_torus;
+        Alcotest.test_case "hypercube" `Quick test_hypercube;
+        Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+        Alcotest.test_case "geometric edge rule" `Quick test_geometric_definition;
+        Alcotest.test_case "connected geometric sampling" `Quick
+          test_connected_geometric;
+      ] );
+  ]

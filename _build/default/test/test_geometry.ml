@@ -1,0 +1,110 @@
+let test_dist () =
+  let a = Graphs.Geometry.point 0. 0. in
+  let b = Graphs.Geometry.point 3. 4. in
+  Alcotest.(check (float 1e-9)) "3-4-5 triangle" 5. (Graphs.Geometry.dist a b);
+  Alcotest.(check (float 1e-9)) "squared" 25. (Graphs.Geometry.dist2 a b);
+  Alcotest.(check (float 1e-9)) "self distance" 0. (Graphs.Geometry.dist a a)
+
+let test_symmetry () =
+  let a = Graphs.Geometry.point 1.5 (-2.) in
+  let b = Graphs.Geometry.point (-0.5) 7. in
+  Alcotest.(check (float 1e-12)) "symmetric" (Graphs.Geometry.dist a b)
+    (Graphs.Geometry.dist b a)
+
+let test_random_in_box () =
+  let rng = Dsim.Rng.create ~seed:0 in
+  for _ = 1 to 500 do
+    let p = Graphs.Geometry.random_in_box rng ~width:3. ~height:0.5 in
+    if
+      not
+        (p.Graphs.Geometry.x >= 0.
+        && p.Graphs.Geometry.x < 3.
+        && p.Graphs.Geometry.y >= 0.
+        && p.Graphs.Geometry.y < 0.5)
+    then Alcotest.fail "point outside box"
+  done
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"euclidean triangle inequality" ~count:200
+    QCheck.(
+      triple
+        (pair (float_bound_exclusive 100.) (float_bound_exclusive 100.))
+        (pair (float_bound_exclusive 100.) (float_bound_exclusive 100.))
+        (pair (float_bound_exclusive 100.) (float_bound_exclusive 100.)))
+    (fun ((ax, ay), (bx, by), (cx, cy)) ->
+      let a = Graphs.Geometry.point ax ay in
+      let b = Graphs.Geometry.point bx by in
+      let c = Graphs.Geometry.point cx cy in
+      Graphs.Geometry.dist a c
+      <= Graphs.Geometry.dist a b +. Graphs.Geometry.dist b c +. 1e-9)
+
+let suite =
+  [
+    ( "graphs.geometry",
+      [
+        Alcotest.test_case "distance" `Quick test_dist;
+        Alcotest.test_case "symmetry" `Quick test_symmetry;
+        Alcotest.test_case "random points in box" `Quick test_random_in_box;
+        QCheck_alcotest.to_alcotest prop_triangle_inequality;
+      ] );
+  ]
+
+(* --- SVG rendering ---------------------------------------------------------- *)
+
+let count_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub haystack i nn = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_svg_render () =
+  let rng = Dsim.Rng.create ~seed:1 in
+  let dual =
+    Graphs.Dual.grey_zone_random rng ~n:12 ~width:3. ~height:2. ~c:2. ~p:0.5
+  in
+  match Graphs.Svg.render ~highlight:(fun v -> v < 3) dual with
+  | None -> Alcotest.fail "embedded dual should render"
+  | Some doc ->
+      Alcotest.(check int) "one circle per node" 12 (count_sub doc "<circle");
+      Alcotest.(check int) "line per edge"
+        (Graphs.Graph.m (Graphs.Dual.unreliable dual))
+        (count_sub doc "<line");
+      Alcotest.(check int) "highlighted nodes" 3 (count_sub doc "#e8a838");
+      Alcotest.(check bool) "closes the document" true
+        (count_sub doc "</svg>" = 1)
+
+let test_svg_no_embedding () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 4) in
+  Alcotest.(check bool) "no embedding, no render" true
+    (Graphs.Svg.render dual = None)
+
+let test_svg_write () =
+  let rng = Dsim.Rng.create ~seed:2 in
+  let dual =
+    Graphs.Dual.grey_zone_random rng ~n:5 ~width:2. ~height:2. ~c:2. ~p:0.3
+  in
+  match Graphs.Svg.render dual with
+  | None -> Alcotest.fail "should render"
+  | Some doc ->
+      let path = Filename.temp_file "amac_net" ".svg" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Graphs.Svg.write ~path doc;
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          close_in ic;
+          Alcotest.(check bool) "non-empty file" true (len > 100))
+
+let svg_suite =
+  ( "graphs.svg",
+    [
+      Alcotest.test_case "renders nodes and edges" `Quick test_svg_render;
+      Alcotest.test_case "no embedding" `Quick test_svg_no_embedding;
+      Alcotest.test_case "writes files" `Quick test_svg_write;
+    ] )
+
+let suite = suite @ [ svg_suite ]

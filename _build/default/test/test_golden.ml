@@ -1,0 +1,73 @@
+(* Determinism regression: canonical runs must reproduce their committed
+   traces byte-for-byte.  A diff here means a seeded code path changed
+   behavior — intentional changes regenerate the golden file (see
+   test/golden/README in the file header below). *)
+
+let golden_two_line () =
+  let dual = Graphs.Dual.two_line ~d:5 in
+  let assignment =
+    [ (Graphs.Dual.two_line_a ~d:5 1, 0); (Graphs.Dual.two_line_b ~d:5 1, 1) ]
+  in
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:8. ~fprog:1.
+      ~policy:(Mmb.Lower_bound.two_line_policy ~d:5)
+      ~assignment ~seed:0 ~check_compliance:true ()
+  in
+  match res.Mmb.Runner.trace with
+  | Some tr -> Dsim.Trace_io.to_jsonl tr
+  | None -> Alcotest.fail "no trace"
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_two_line_golden () =
+  let expected = read_file "golden/two_line_d5_seed0.jsonl" in
+  let actual = golden_two_line () in
+  if String.equal expected actual then ()
+  else begin
+    (* Locate the first differing line for a useful failure message. *)
+    let el = String.split_on_char '\n' expected in
+    let al = String.split_on_char '\n' actual in
+    let rec first_diff i = function
+      | e :: es, a :: as_ ->
+          if e <> a then Some (i, e, a) else first_diff (i + 1) (es, as_)
+      | [], a :: _ -> Some (i, "<eof>", a)
+      | e :: _, [] -> Some (i, e, "<eof>")
+      | [], [] -> None
+    in
+    match first_diff 1 (el, al) with
+    | Some (line, e, a) ->
+        Alcotest.failf
+          "golden trace diverged at line %d:\n  expected: %s\n  actual:   %s\n\
+           (regenerate test/golden/two_line_d5_seed0.jsonl if intentional)"
+          line e a
+    | None -> Alcotest.fail "golden trace length mismatch"
+  end
+
+let test_golden_is_compliant () =
+  (* The committed trace itself must satisfy the five axioms. *)
+  match Dsim.Trace_io.read_file ~path:"golden/two_line_d5_seed0.jsonl" with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      let tr = Dsim.Trace.create () in
+      List.iter
+        (fun { Dsim.Trace.time; event } -> Dsim.Trace.record tr ~time event)
+        entries;
+      let dual = Graphs.Dual.two_line ~d:5 in
+      Alcotest.(check int) "compliant" 0
+        (List.length
+           (Amac.Compliance.audit ~dual ~fack:8. ~fprog:1. tr))
+
+let suite =
+  [
+    ( "golden",
+      [
+        Alcotest.test_case "two-line adversary trace is stable" `Quick
+          test_two_line_golden;
+        Alcotest.test_case "committed trace is axiom-compliant" `Quick
+          test_golden_is_compliant;
+      ] );
+  ]

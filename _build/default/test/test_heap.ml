@@ -1,0 +1,120 @@
+let test_empty () =
+  let h : int Dsim.Heap.t = Dsim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Dsim.Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Dsim.Heap.length h);
+  Alcotest.(check bool) "pop none" true (Dsim.Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Dsim.Heap.peek_time h = None)
+
+let test_ordering () =
+  let h = Dsim.Heap.create () in
+  ignore (Dsim.Heap.push h ~time:3. "c");
+  ignore (Dsim.Heap.push h ~time:1. "a");
+  ignore (Dsim.Heap.push h ~time:2. "b");
+  let drain () =
+    let rec go acc =
+      match Dsim.Heap.pop h with
+      | None -> List.rev acc
+      | Some (_, v) -> go (v :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] (drain ())
+
+let test_fifo_at_equal_times () =
+  let h = Dsim.Heap.create () in
+  List.iter (fun v -> ignore (Dsim.Heap.push h ~time:1. v)) [ 1; 2; 3; 4 ];
+  let rec drain acc =
+    match Dsim.Heap.pop h with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4 ] (drain [])
+
+let test_cancel () =
+  let h = Dsim.Heap.create () in
+  let _a = Dsim.Heap.push h ~time:1. "a" in
+  let b = Dsim.Heap.push h ~time:2. "b" in
+  let _c = Dsim.Heap.push h ~time:3. "c" in
+  Dsim.Heap.cancel h b;
+  Alcotest.(check int) "length after cancel" 2 (Dsim.Heap.length h);
+  Dsim.Heap.cancel h b (* double cancel is a no-op *);
+  Alcotest.(check int) "length unchanged" 2 (Dsim.Heap.length h);
+  let rec drain acc =
+    match Dsim.Heap.pop h with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ] (drain [])
+
+let test_cancel_root () =
+  let h = Dsim.Heap.create () in
+  let a = Dsim.Heap.push h ~time:1. "a" in
+  ignore (Dsim.Heap.push h ~time:2. "b");
+  Dsim.Heap.cancel h a;
+  Alcotest.(check (option (float 1e-9))) "peek skips dead root" (Some 2.)
+    (Dsim.Heap.peek_time h);
+  (match Dsim.Heap.pop h with
+  | Some (_, v) -> Alcotest.(check string) "pop skips dead root" "b" v
+  | None -> Alcotest.fail "expected b")
+
+let test_nan_rejected () =
+  let h = Dsim.Heap.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Heap.push: NaN time")
+    (fun () -> ignore (Dsim.Heap.push h ~time:Float.nan ()))
+
+let prop_drain_sorted =
+  QCheck.Test.make ~name:"heap drains in sorted stable order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.) small_int))
+    (fun entries ->
+      let h = Dsim.Heap.create () in
+      List.iter (fun (time, v) -> ignore (Dsim.Heap.push h ~time v)) entries;
+      let rec drain acc =
+        match Dsim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (time, v) -> drain ((time, v) :: acc)
+      in
+      let out = drain [] in
+      let times = List.map fst out in
+      List.sort compare times = times && List.length out = List.length entries)
+
+let prop_cancel_half =
+  QCheck.Test.make ~name:"cancelling entries removes exactly them" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.))
+    (fun times ->
+      let h = Dsim.Heap.create () in
+      let handles =
+        List.mapi (fun i time -> (i, Dsim.Heap.push h ~time i)) times
+      in
+      let cancelled =
+        List.filter_map
+          (fun (i, hd) ->
+            if i mod 2 = 0 then begin
+              Dsim.Heap.cancel h hd;
+              Some i
+            end
+            else None)
+          handles
+      in
+      let rec drain acc =
+        match Dsim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let out = drain [] in
+      List.for_all (fun i -> not (List.mem i out)) cancelled
+      && List.length out = List.length times - List.length cancelled)
+
+let suite =
+  [
+    ( "dsim.heap",
+      [
+        Alcotest.test_case "empty heap" `Quick test_empty;
+        Alcotest.test_case "pops in time order" `Quick test_ordering;
+        Alcotest.test_case "stable at equal times" `Quick test_fifo_at_equal_times;
+        Alcotest.test_case "cancellation" `Quick test_cancel;
+        Alcotest.test_case "cancel at root" `Quick test_cancel_root;
+        Alcotest.test_case "rejects NaN time" `Quick test_nan_rejected;
+        QCheck_alcotest.to_alcotest prop_drain_sorted;
+        QCheck_alcotest.to_alcotest prop_cancel_half;
+      ] );
+  ]

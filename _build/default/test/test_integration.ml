@@ -1,0 +1,128 @@
+(* Cross-module scenarios: full protocol stacks on structured networks,
+   audited for model compliance, with the paper's bounds as oracles. *)
+
+let test_every_policy_compliant_on_grid () =
+  let g = Graphs.Gen.grid ~rows:4 ~cols:4 in
+  let rng = Dsim.Rng.create ~seed:5 in
+  let dual = Graphs.Dual.r_restricted_random rng ~g ~r:3 ~extra:10 in
+  List.iter
+    (fun (name, make_policy) ->
+      let assignment = [ (0, 0); (15, 1); (5, 2) ] in
+      let res =
+        Mmb.Runner.run_bmmb ~dual ~fack:6. ~fprog:1. ~policy:(make_policy ())
+          ~assignment ~seed:9 ~check_compliance:true ()
+      in
+      Alcotest.(check bool) (name ^ " completes") true res.Mmb.Runner.complete;
+      Alcotest.(check int)
+        (name ^ " compliant")
+        0
+        (List.length res.Mmb.Runner.compliance_violations);
+      Alcotest.(check bool)
+        (name ^ " within bound")
+        true res.Mmb.Runner.within_bound)
+    (Amac.Schedulers.all_standard ())
+
+let test_adversary_slower_than_eager () =
+  (* On a line with unreliable shortcuts and Fack >> Fprog, the adversarial
+     scheduler must cost more than the eager one. *)
+  let g = Graphs.Gen.line 16 in
+  let rng = Dsim.Rng.create ~seed:1 in
+  let dual = Graphs.Dual.r_restricted_random rng ~g ~r:4 ~extra:12 in
+  let assignment = Mmb.Problem.all_at ~node:0 ~k:4 in
+  let run policy =
+    (Mmb.Runner.run_bmmb ~dual ~fack:20. ~fprog:1. ~policy ~assignment ~seed:2
+       ())
+      .Mmb.Runner.time
+  in
+  let t_eager = run (Amac.Schedulers.eager ()) in
+  let t_adv = run (Amac.Schedulers.adversarial ()) in
+  Alcotest.(check bool) "adversarial slower" true (t_adv > t_eager)
+
+let test_r_sensitivity () =
+  (* Theorem 3.2: with everything else fixed, the adversarial completion
+     time's upper envelope grows with r.  Check the bound oracle orders the
+     measured runs. *)
+  let g = Graphs.Gen.line 20 in
+  let assignment = Mmb.Problem.all_at ~node:0 ~k:5 in
+  let run r seed =
+    let rng = Dsim.Rng.create ~seed in
+    let dual = Graphs.Dual.r_restricted_random rng ~g ~r ~extra:16 in
+    (Mmb.Runner.run_bmmb ~dual ~fack:25. ~fprog:1.
+       ~policy:(Amac.Schedulers.adversarial ())
+       ~assignment ~seed ())
+      .Mmb.Runner.time
+  in
+  let avg r = (run r 1 +. run r 2 +. run r 3) /. 3. in
+  let t1 = avg 1 and t8 = avg 8 in
+  Alcotest.(check bool) "more reach for unreliability, slower worst case" true
+    (t8 >= t1)
+
+let test_fack_insensitivity_when_reliable () =
+  (* With G' = G and a single message, completion is governed by Fprog, not
+     Fack (the progress bound drives the frontier). *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 30) in
+  let assignment = [ (0, 0) ] in
+  let time fack =
+    (Mmb.Runner.run_bmmb ~dual ~fack ~fprog:1.
+       ~policy:(Amac.Schedulers.adversarial ())
+       ~assignment ~seed:0 ())
+      .Mmb.Runner.time
+  in
+  let t_small = time 2. and t_huge = time 2000. in
+  Alcotest.(check bool) "Fack barely matters for k=1 reliable flooding" true
+    (t_huge <= t_small *. 3. +. 2000.1 *. 1.)
+    (* the last hop may wait one ack; allow one Fack of slack *)
+
+let test_enhanced_trace_audits_clean () =
+  let rng = Dsim.Rng.create ~seed:4 in
+  let dual =
+    Graphs.Dual.grey_zone_connected rng ~n:25 ~width:3. ~height:3. ~c:2.
+      ~p:0.4 ~max_tries:500
+  in
+  let trace = Dsim.Trace.create () in
+  let params = Mmb.Fmmb_mis.default_params ~n:25 ~c:2. in
+  let _ =
+    Mmb.Fmmb_mis.run ~dual ~rng
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~params ~trace ()
+  in
+  let violations =
+    Amac.Compliance.audit ~dual ~fack:1000. ~fprog:1. ~allow_open:true trace
+  in
+  Alcotest.(check int) "enhanced rounds compliant" 0 (List.length violations)
+
+let test_scale_smoke () =
+  (* A mid-size end-to-end run: 100 nodes, 8 messages, random geometric. *)
+  let rng = Dsim.Rng.create ~seed:11 in
+  let g, _ =
+    Graphs.Gen.random_connected_geometric rng ~n:100 ~width:6. ~height:6.
+      ~radius:1.2 ~max_tries:500
+  in
+  let dual = Graphs.Dual.arbitrary_random rng ~g ~extra:40 in
+  let assignment = Mmb.Problem.singleton rng ~n:100 ~k:8 in
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:10. ~fprog:1.
+      ~policy:(Amac.Schedulers.random_compliant ())
+      ~assignment ~seed:12 ()
+  in
+  Alcotest.(check bool) "complete" true res.Mmb.Runner.complete;
+  Alcotest.(check bool) "within bound" true res.Mmb.Runner.within_bound;
+  Alcotest.(check int) "bcasts = n*k" (100 * 8) res.Mmb.Runner.bcasts
+
+let suite =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "all policies compliant on a grid" `Slow
+          test_every_policy_compliant_on_grid;
+        Alcotest.test_case "adversary slower than eager" `Quick
+          test_adversary_slower_than_eager;
+        Alcotest.test_case "r-sensitivity of worst case" `Slow
+          test_r_sensitivity;
+        Alcotest.test_case "Fack-insensitivity when reliable, k=1" `Quick
+          test_fack_insensitivity_when_reliable;
+        Alcotest.test_case "enhanced traces audit clean" `Slow
+          test_enhanced_trace_audits_clean;
+        Alcotest.test_case "100-node smoke run" `Slow test_scale_smoke;
+      ] );
+  ]

@@ -1,0 +1,100 @@
+let test_two_line_forces_dfack () =
+  let fack = 16. and fprog = 1. in
+  List.iter
+    (fun d ->
+      let res = Mmb.Lower_bound.run_two_line ~d ~fack ~fprog () in
+      Alcotest.(check bool)
+        (Printf.sprintf "complete at d=%d" d)
+        true res.Mmb.Lower_bound.complete;
+      Alcotest.(check bool)
+        (Printf.sprintf "time >= (d-1)Fack at d=%d" d)
+        true res.Mmb.Lower_bound.achieved;
+      Alcotest.(check bool)
+        (Printf.sprintf "upper bound still holds at d=%d" d)
+        true
+        (res.Mmb.Lower_bound.time <= res.Mmb.Lower_bound.upper +. 1e-6))
+    [ 2; 4; 8; 16 ]
+
+let test_two_line_scaling () =
+  (* The achieved time grows linearly in D with slope ~ Fack. *)
+  let fack = 10. and fprog = 1. in
+  let time d = (Mmb.Lower_bound.run_two_line ~d ~fack ~fprog ()).Mmb.Lower_bound.time in
+  let t8 = time 8 and t16 = time 16 in
+  let slope = (t16 -. t8) /. 8. in
+  Alcotest.(check bool) "slope close to Fack" true
+    (slope >= 0.9 *. fack && slope <= 1.5 *. fack)
+
+let test_two_line_compliance () =
+  (* The adversary must still be a legal scheduler. *)
+  let d = 6 in
+  let dual = Graphs.Dual.two_line ~d in
+  let assignment =
+    [ (Graphs.Dual.two_line_a ~d 1, 0); (Graphs.Dual.two_line_b ~d 1, 1) ]
+  in
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:8. ~fprog:1.
+      ~policy:(Mmb.Lower_bound.two_line_policy ~d)
+      ~assignment ~seed:0 ~check_compliance:true ()
+  in
+  Alcotest.(check bool) "complete" true res.Mmb.Runner.complete;
+  Alcotest.(check (list string)) "adversary is compliant" []
+    (List.map
+       (fun v -> Fmt.str "%a" Amac.Compliance.pp_violation v)
+       res.Mmb.Runner.compliance_violations)
+
+let test_two_line_vs_lifo () =
+  (* The adversary also delays the LIFO flooding variant. *)
+  let res =
+    Mmb.Lower_bound.run_two_line ~d:8 ~fack:12. ~fprog:1. ~discipline:`Lifo ()
+  in
+  Alcotest.(check bool) "LIFO also forced to (d-1)Fack" true
+    res.Mmb.Lower_bound.achieved
+
+let test_choke_forces_kfack () =
+  List.iter
+    (fun k ->
+      let res = Mmb.Lower_bound.run_choke ~k ~fack:10. ~fprog:1. () in
+      Alcotest.(check bool)
+        (Printf.sprintf "complete at k=%d" k)
+        true res.Mmb.Lower_bound.complete;
+      Alcotest.(check bool)
+        (Printf.sprintf "time >= (k-1)Fack at k=%d" k)
+        true res.Mmb.Lower_bound.achieved)
+    [ 2; 4; 8; 16 ]
+
+let test_eager_two_line_is_fast () =
+  (* Without the adversary the same network completes in ~Fprog time,
+     confirming the slowdown is the scheduler's doing. *)
+  let d = 12 in
+  let dual = Graphs.Dual.two_line ~d in
+  let assignment =
+    [ (Graphs.Dual.two_line_a ~d 1, 0); (Graphs.Dual.two_line_b ~d 1, 1) ]
+  in
+  let fack = 50. and fprog = 1. in
+  let eager =
+    Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy:(Amac.Schedulers.eager ())
+      ~assignment ~seed:0 ()
+  in
+  let adv = Mmb.Lower_bound.run_two_line ~d ~fack ~fprog () in
+  Alcotest.(check bool) "eager completes" true eager.Mmb.Runner.complete;
+  Alcotest.(check bool) "adversary is >10x slower" true
+    (adv.Mmb.Lower_bound.time > 10. *. eager.Mmb.Runner.time)
+
+let suite =
+  [
+    ( "mmb.lower_bound",
+      [
+        Alcotest.test_case "two-line adversary forces (d-1)Fack" `Quick
+          test_two_line_forces_dfack;
+        Alcotest.test_case "linear scaling with slope Fack" `Quick
+          test_two_line_scaling;
+        Alcotest.test_case "adversary is model-compliant" `Quick
+          test_two_line_compliance;
+        Alcotest.test_case "LIFO variant also delayed" `Quick
+          test_two_line_vs_lifo;
+        Alcotest.test_case "choke forces (k-1)Fack" `Quick
+          test_choke_forces_kfack;
+        Alcotest.test_case "same network fast without adversary" `Quick
+          test_eager_two_line_is_fast;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+(* Cross-product smoke matrix: every (topology × G' regime × scheduler)
+   combination on small instances must complete, stay within the exact
+   bounds, deliver exactly once, and audit clean.  Broad coverage of the
+   configuration space at low cost. *)
+
+let topologies =
+  [
+    ("line", fun () -> Graphs.Gen.line 10);
+    ("ring", fun () -> Graphs.Gen.ring 10);
+    ("star", fun () -> Graphs.Gen.star 10);
+    ("grid", fun () -> Graphs.Gen.grid ~rows:3 ~cols:4);
+    ("tree", fun () -> Graphs.Gen.balanced_tree ~arity:2 ~depth:3);
+    ("torus", fun () -> Graphs.Gen.torus ~rows:3 ~cols:4);
+    ("hypercube", fun () -> Graphs.Gen.hypercube ~dim:3);
+  ]
+
+let regimes =
+  [
+    ("equal", fun _ g -> Graphs.Dual.of_equal g);
+    ( "r2",
+      fun rng g -> Graphs.Dual.r_restricted_random rng ~g ~r:2 ~extra:6 );
+    ("arb", fun rng g -> Graphs.Dual.arbitrary_random rng ~g ~extra:6);
+  ]
+
+let schedulers = Amac.Schedulers.all_standard ()
+
+let test_bmmb_matrix () =
+  let failures = ref [] in
+  List.iter
+    (fun (tname, make_g) ->
+      List.iter
+        (fun (rname, make_dual) ->
+          List.iter
+            (fun (sname, make_policy) ->
+              let seed =
+                Hashtbl.hash (tname, rname, sname) land 0xFFFF
+              in
+              let rng = Dsim.Rng.create ~seed in
+              let g = make_g () in
+              let dual = make_dual rng g in
+              let n = Graphs.Dual.n dual in
+              let assignment = Mmb.Problem.random rng ~n ~k:3 in
+              let res =
+                Mmb.Runner.run_bmmb ~dual ~fack:6. ~fprog:1.
+                  ~policy:(make_policy ()) ~assignment ~seed
+                  ~check_compliance:true ()
+              in
+              let tag = Printf.sprintf "%s/%s/%s" tname rname sname in
+              if
+                not
+                  (res.Mmb.Runner.complete && res.Mmb.Runner.within_bound
+                 && res.Mmb.Runner.duplicate_deliveries = 0
+                  && res.Mmb.Runner.compliance_violations = [])
+              then failures := tag :: !failures)
+            schedulers)
+        regimes)
+    topologies;
+  Alcotest.(check (list string)) "all topology/regime/scheduler combinations clean" [] !failures
+
+let test_leader_matrix () =
+  let failures = ref [] in
+  List.iter
+    (fun (tname, make_g) ->
+      List.iter
+        (fun (rname, make_dual) ->
+          let seed = Hashtbl.hash (tname, rname) land 0xFFFF in
+          let rng = Dsim.Rng.create ~seed in
+          let dual = make_dual rng (make_g ()) in
+          let res, _ =
+            Mmb.Leader.run ~dual ~fack:6. ~fprog:1.
+              ~policy:(Amac.Schedulers.random_compliant ())
+              ~seed ()
+          in
+          if not res.Mmb.Leader.elected then
+            failures := (tname ^ "/" ^ rname) :: !failures)
+        regimes)
+    topologies;
+  Alcotest.(check (list string)) "leader elected everywhere" [] !failures
+
+let test_edge_sizes () =
+  (* Degenerate sizes: n = 1 and k = 1 everywhere. *)
+  List.iter
+    (fun (sname, make_policy) ->
+      let dual = Graphs.Dual.of_equal (Graphs.Graph.empty ~n:1) in
+      let res =
+        Mmb.Runner.run_bmmb ~dual ~fack:5. ~fprog:1. ~policy:(make_policy ())
+          ~assignment:[ (0, 0) ] ~seed:0 ~check_compliance:true ()
+      in
+      Alcotest.(check bool) (sname ^ ": singleton network completes") true
+        (res.Mmb.Runner.complete && res.Mmb.Runner.time = 0.))
+    schedulers
+
+let test_k_zero () =
+  (* k = 0 is vacuously solved at time 0 (the tracker has no obligations). *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 5) in
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:5. ~fprog:1.
+      ~policy:(Amac.Schedulers.eager ())
+      ~assignment:[] ~seed:0 ()
+  in
+  Alcotest.(check bool) "vacuously complete" true res.Mmb.Runner.complete;
+  Alcotest.(check int) "no broadcasts" 0 res.Mmb.Runner.bcasts
+
+let test_fprog_equals_fack () =
+  (* The boundary regime Fprog = Fack is legal in the model. *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.ring 8) in
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:3. ~fprog:3.
+      ~policy:(Amac.Schedulers.adversarial ())
+      ~assignment:[ (0, 0); (4, 1) ] ~seed:1 ~check_compliance:true ()
+  in
+  Alcotest.(check bool) "completes" true res.Mmb.Runner.complete;
+  Alcotest.(check int) "compliant" 0
+    (List.length res.Mmb.Runner.compliance_violations)
+
+let suite =
+  [
+    ( "matrix",
+      [
+        Alcotest.test_case "BMMB across all configurations" `Slow
+          test_bmmb_matrix;
+        Alcotest.test_case "leader election across 15 configurations" `Slow
+          test_leader_matrix;
+        Alcotest.test_case "singleton networks" `Quick test_edge_sizes;
+        Alcotest.test_case "k = 0" `Quick test_k_zero;
+        Alcotest.test_case "Fprog = Fack boundary" `Quick
+          test_fprog_equals_fack;
+      ] );
+  ]

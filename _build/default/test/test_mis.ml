@@ -1,0 +1,58 @@
+let test_independence_check () =
+  let g = Graphs.Gen.line 5 in
+  Alcotest.(check bool) "alternating set independent" true
+    (Graphs.Mis.is_independent g [ 0; 2; 4 ]);
+  Alcotest.(check bool) "adjacent pair not independent" false
+    (Graphs.Mis.is_independent g [ 0; 1 ]);
+  Alcotest.(check bool) "empty set independent" true
+    (Graphs.Mis.is_independent g [])
+
+let test_maximality_check () =
+  let g = Graphs.Gen.line 5 in
+  Alcotest.(check bool) "alternating set maximal" true
+    (Graphs.Mis.is_maximal_independent g [ 0; 2; 4 ]);
+  Alcotest.(check bool) "endpoints only is not maximal" false
+    (Graphs.Mis.is_maximal_independent g [ 0; 4 ]);
+  Alcotest.(check bool) "empty not maximal on non-empty graph" false
+    (Graphs.Mis.is_maximal_independent g [])
+
+let test_greedy_line () =
+  let g = Graphs.Gen.line 5 in
+  Alcotest.(check (list int)) "greedy picks alternating" [ 0; 2; 4 ]
+    (Graphs.Mis.greedy g)
+
+let test_greedy_star () =
+  let g = Graphs.Gen.star 6 in
+  Alcotest.(check (list int)) "greedy picks hub" [ 0 ] (Graphs.Mis.greedy g)
+
+let prop_greedy_valid =
+  QCheck.Test.make ~name:"greedy MIS is always maximal independent" ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Dsim.Rng.create ~seed in
+      let n = 1 + Dsim.Rng.int rng 30 in
+      let g = Graphs.Gen.gnp rng ~n ~p:0.2 in
+      Graphs.Mis.is_maximal_independent g (Graphs.Mis.greedy g))
+
+let prop_greedy_seeded_valid =
+  QCheck.Test.make ~name:"seeded greedy MIS is always maximal independent"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Dsim.Rng.create ~seed in
+      let n = 1 + Dsim.Rng.int rng 30 in
+      let g = Graphs.Gen.gnp rng ~n ~p:0.3 in
+      Graphs.Mis.is_maximal_independent g (Graphs.Mis.greedy_seeded rng g))
+
+let suite =
+  [
+    ( "graphs.mis",
+      [
+        Alcotest.test_case "independence checker" `Quick test_independence_check;
+        Alcotest.test_case "maximality checker" `Quick test_maximality_check;
+        Alcotest.test_case "greedy on a line" `Quick test_greedy_line;
+        Alcotest.test_case "greedy on a star" `Quick test_greedy_star;
+        QCheck_alcotest.to_alcotest prop_greedy_valid;
+        QCheck_alcotest.to_alcotest prop_greedy_seeded_valid;
+      ] );
+  ]

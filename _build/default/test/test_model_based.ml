@@ -1,0 +1,160 @@
+(* Model-based property tests: the event heap and the simulator against
+   trivially-correct reference implementations driven by random operation
+   sequences. *)
+
+(* --- Heap vs sorted-list reference ----------------------------------------- *)
+
+type op = Push of float | Pop | Cancel of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun t -> Push t) (float_bound_exclusive 1000.));
+        (3, return Pop);
+        (2, map (fun i -> Cancel i) (int_bound 50));
+      ])
+
+let op_print = function
+  | Push t -> Printf.sprintf "Push %.3f" t
+  | Pop -> "Pop"
+  | Cancel i -> Printf.sprintf "Cancel %d" i
+
+let arbitrary_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 60) op_gen)
+
+(* Reference: a list of (time, seq, value, alive ref) in insertion order. *)
+let prop_heap_matches_reference =
+  QCheck.Test.make ~name:"heap behaves like a sorted-list reference model"
+    ~count:300 arbitrary_ops
+    (fun ops ->
+      let heap = Dsim.Heap.create () in
+      let reference = ref [] (* (time, seq, value) alive entries *) in
+      let handles = ref [] (* (op_index, handle, time, seq) *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iteri
+        (fun _ op ->
+          match op with
+          | Push t ->
+              let h = Dsim.Heap.push heap ~time:t !seq in
+              handles := (List.length !handles, h, t, !seq) :: !handles;
+              reference := (t, !seq, !seq) :: !reference;
+              incr seq
+          | Pop -> (
+              let expected =
+                List.sort compare !reference |> function
+                | [] -> None
+                | (t, s, v) :: _ ->
+                    reference := List.filter (fun (_, s', _) -> s' <> s) !reference;
+                    Some (t, v)
+              in
+              match (Dsim.Heap.pop heap, expected) with
+              | None, None -> ()
+              | Some (t, v), Some (t', v') ->
+                  if not (t = t' && v = v') then ok := false
+              | _ -> ok := false)
+          | Cancel i -> (
+              match List.nth_opt !handles i with
+              | None -> ()
+              | Some (_, h, _, s) ->
+                  Dsim.Heap.cancel heap h;
+                  reference := List.filter (fun (_, s', _) -> s' <> s) !reference))
+        ops;
+      if Dsim.Heap.length heap <> List.length !reference then ok := false;
+      !ok)
+
+(* --- Sim vs reference execution order --------------------------------------- *)
+
+let prop_sim_runs_in_timestamp_order =
+  QCheck.Test.make
+    ~name:"simulator executes events in (time, insertion) order" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (float_bound_exclusive 100.))
+    (fun times ->
+      let sim = Dsim.Sim.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i t ->
+          ignore
+            (Dsim.Sim.schedule_at sim ~time:t (fun () ->
+                 log := (t, i) :: !log)))
+        times;
+      ignore (Dsim.Sim.run sim);
+      let executed = List.rev !log in
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+      in
+      executed = expected)
+
+let prop_sim_nested_events_keep_clock_monotone =
+  QCheck.Test.make ~name:"virtual clock never goes backwards" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_bound_exclusive 10.))
+    (fun delays ->
+      let sim = Dsim.Sim.create () in
+      let last = ref neg_infinity in
+      let monotone = ref true in
+      let rec chain = function
+        | [] -> ()
+        | d :: rest ->
+            ignore
+              (Dsim.Sim.schedule sim ~delay:d (fun () ->
+                   let now = Dsim.Sim.now sim in
+                   if now < !last then monotone := false;
+                   last := now;
+                   chain rest))
+      in
+      chain delays;
+      ignore (Dsim.Sim.run sim);
+      !monotone)
+
+(* --- Trace/JSONL round-trip over random traces ------------------------------ *)
+
+let arbitrary_event =
+  QCheck.Gen.(
+    let node = int_bound 50 and msg = int_bound 50 in
+    oneof
+      [
+        map2 (fun node msg -> Dsim.Trace.Arrive { node; msg }) node msg;
+        map2 (fun node msg -> Dsim.Trace.Deliver { node; msg }) node msg;
+        map3
+          (fun node msg instance -> Dsim.Trace.Bcast { node; msg; instance })
+          node msg (int_bound 100);
+        map3
+          (fun node msg instance -> Dsim.Trace.Rcv { node; msg; instance })
+          node msg (int_bound 100);
+        map3
+          (fun node msg instance -> Dsim.Trace.Ack { node; msg; instance })
+          node msg (int_bound 100);
+        map3
+          (fun node msg instance -> Dsim.Trace.Abort { node; msg; instance })
+          node msg (int_bound 100);
+      ])
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~name:"trace JSONL round-trips arbitrary traces" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 30)
+           (pair (float_bound_exclusive 1e6) arbitrary_event)))
+    (fun entries ->
+      let tr = Dsim.Trace.create () in
+      List.iter
+        (fun (time, event) -> Dsim.Trace.record tr ~time event)
+        (List.sort compare entries);
+      match Dsim.Trace_io.of_jsonl (Dsim.Trace_io.to_jsonl tr) with
+      | Ok parsed -> parsed = Dsim.Trace.entries tr
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "model-based",
+      [
+        QCheck_alcotest.to_alcotest prop_heap_matches_reference;
+        QCheck_alcotest.to_alcotest prop_sim_runs_in_timestamp_order;
+        QCheck_alcotest.to_alcotest prop_sim_nested_events_keep_clock_monotone;
+        QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+      ] );
+  ]

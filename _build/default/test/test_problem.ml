@@ -1,0 +1,71 @@
+let test_assignments () =
+  let rng = Dsim.Rng.create ~seed:0 in
+  let a = Mmb.Problem.singleton rng ~n:10 ~k:4 in
+  Alcotest.(check int) "k messages" 4 (List.length a);
+  let nodes = List.map fst a in
+  Alcotest.(check int) "distinct origins" 4
+    (List.length (List.sort_uniq compare nodes));
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Problem.singleton: k > n") (fun () ->
+      ignore (Mmb.Problem.singleton rng ~n:3 ~k:4));
+  let b = Mmb.Problem.all_at ~node:2 ~k:3 in
+  Alcotest.(check (list (pair int int)))
+    "all at one node"
+    [ (2, 0); (2, 1); (2, 2) ]
+    b
+
+let test_completion () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 3) in
+  let tr = Mmb.Problem.tracker ~dual [ (0, 0) ] in
+  Alcotest.(check bool) "not complete initially" false (Mmb.Problem.complete tr);
+  Mmb.Problem.on_deliver tr ~node:0 ~msg:0 ~time:0.;
+  Mmb.Problem.on_deliver tr ~node:1 ~msg:0 ~time:1.;
+  Alcotest.(check bool) "still incomplete" false (Mmb.Problem.complete tr);
+  Mmb.Problem.on_deliver tr ~node:2 ~msg:0 ~time:2.5;
+  Alcotest.(check bool) "complete" true (Mmb.Problem.complete tr);
+  Alcotest.(check (option (float 1e-9))) "completion time" (Some 2.5)
+    (Mmb.Problem.completion_time tr);
+  Alcotest.(check (option (float 1e-9))) "per-message time" (Some 2.5)
+    (Mmb.Problem.message_completion_time tr ~msg:0)
+
+let test_component_scoping () =
+  (* Two components: the message only needs its own component. *)
+  let g = Graphs.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let dual = Graphs.Dual.of_equal g in
+  let tr = Mmb.Problem.tracker ~dual [ (0, 0) ] in
+  Mmb.Problem.on_deliver tr ~node:0 ~msg:0 ~time:0.;
+  Mmb.Problem.on_deliver tr ~node:1 ~msg:0 ~time:1.;
+  Alcotest.(check bool) "complete within the component" true
+    (Mmb.Problem.complete tr)
+
+let test_duplicates_flagged () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let tr = Mmb.Problem.tracker ~dual [ (0, 0) ] in
+  Mmb.Problem.on_deliver tr ~node:0 ~msg:0 ~time:0.;
+  Mmb.Problem.on_deliver tr ~node:0 ~msg:0 ~time:1.;
+  Alcotest.(check int) "duplicate counted" 1
+    (Mmb.Problem.duplicate_deliveries tr);
+  Mmb.Problem.on_deliver tr ~node:1 ~msg:9 ~time:1.;
+  Alcotest.(check int) "unknown message is spurious" 1
+    (Mmb.Problem.spurious_deliveries tr)
+
+let test_duplicate_assignment_rejected () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  Alcotest.check_raises "duplicate msg ids"
+    (Invalid_argument "Problem.tracker: duplicate message id in assignment")
+    (fun () -> ignore (Mmb.Problem.tracker ~dual [ (0, 0); (1, 0) ]))
+
+let suite =
+  [
+    ( "mmb.problem",
+      [
+        Alcotest.test_case "assignment generators" `Quick test_assignments;
+        Alcotest.test_case "completion tracking" `Quick test_completion;
+        Alcotest.test_case "per-component delivery obligation" `Quick
+          test_component_scoping;
+        Alcotest.test_case "duplicates and spurious deliveries" `Quick
+          test_duplicates_flagged;
+        Alcotest.test_case "duplicate assignment rejected" `Quick
+          test_duplicate_assignment_rejected;
+      ] );
+  ]

@@ -1,0 +1,235 @@
+(* The MMB-specification checker (Mmb.Properties) and defensive paths of
+   the MAC engine. *)
+
+let run_traced ?(policy = Amac.Schedulers.random_compliant ()) ~dual
+    ~assignment ~seed () =
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:8. ~fprog:1. ~policy ~assignment ~seed
+      ~check_compliance:true ()
+  in
+  match res.Mmb.Runner.trace with
+  | Some tr -> tr
+  | None -> Alcotest.fail "no trace"
+
+let test_clean_run_satisfies_spec () =
+  let rng = Dsim.Rng.create ~seed:4 in
+  let g = Graphs.Gen.grid ~rows:3 ~cols:4 in
+  let dual = Graphs.Dual.r_restricted_random rng ~g ~r:2 ~extra:5 in
+  let tr =
+    run_traced ~dual ~assignment:[ (0, 0); (7, 1); (11, 2) ] ~seed:5 ()
+  in
+  Alcotest.(check (list string)) "spec satisfied" []
+    (Mmb.Properties.check ~dual tr)
+
+let rebuild entries =
+  let tr = Dsim.Trace.create () in
+  List.iter
+    (fun { Dsim.Trace.time; event } -> Dsim.Trace.record tr ~time event)
+    entries;
+  tr
+
+let test_spec_catches_missing_delivery () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 4) in
+  let tr = run_traced ~dual ~assignment:[ (0, 0) ] ~seed:6 () in
+  let entries = Dsim.Trace.entries tr in
+  (* Drop node 3's delivery. *)
+  let mutated =
+    rebuild
+      (List.filter
+         (fun e ->
+           match e.Dsim.Trace.event with
+           | Dsim.Trace.Deliver { node = 3; _ } -> false
+           | _ -> true)
+         entries)
+  in
+  Alcotest.(check bool) "missing delivery flagged" true
+    (List.exists
+       (fun s -> String.length s > 0)
+       (Mmb.Properties.check ~dual mutated));
+  Alcotest.(check bool) "names condition (a)" true
+    (List.exists
+       (fun s ->
+         let rec has i =
+           i + 13 <= String.length s
+           && (String.sub s i 13 = "condition (a)" || has (i + 1))
+         in
+         has 0)
+       (Mmb.Properties.check ~dual mutated))
+
+let test_spec_catches_duplicate_delivery () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 3) in
+  let tr = run_traced ~dual ~assignment:[ (0, 0) ] ~seed:7 () in
+  let entries = Dsim.Trace.entries tr in
+  let a_deliver =
+    List.find
+      (fun e ->
+        match e.Dsim.Trace.event with
+        | Dsim.Trace.Deliver _ -> true
+        | _ -> false)
+      entries
+  in
+  let mutated = rebuild (entries @ [ a_deliver ]) in
+  Alcotest.(check bool) "duplicate delivery flagged" true
+    (Mmb.Properties.check ~dual mutated <> [])
+
+let test_spec_catches_premature_delivery () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let tr = rebuild [] in
+  Dsim.Trace.record tr ~time:0. (Dsim.Trace.Deliver { node = 1; msg = 0 });
+  Dsim.Trace.record tr ~time:1. (Dsim.Trace.Arrive { node = 0; msg = 0 });
+  Alcotest.(check bool) "delivery before arrival flagged" true
+    (Mmb.Properties.check ~dual tr <> [])
+
+(* --- engine defensive paths -------------------------------------------------- *)
+
+let bad_plan_rejected name plan_of =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 3) in
+  let policy =
+    {
+      Amac.Mac_intf.pol_name = "bad";
+      pol_plan = plan_of;
+      pol_forced = (fun ctx -> List.hd ctx.Amac.Mac_intf.fc_candidates);
+    }
+  in
+  let sim = Dsim.Sim.create () in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack:10. ~fprog:1. ~policy
+      ~rng:(Dsim.Rng.create ~seed:0) ()
+  in
+  Amac.Standard_mac.attach mac ~node:1
+    { Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> ()); on_ack = (fun _ -> ()) };
+  Alcotest.(check bool) name true
+    (try
+       Amac.Standard_mac.bcast mac ~node:1 0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_validation_paths () =
+  bad_plan_rejected "duplicate receiver rejected" (fun ctx ->
+      {
+        Amac.Mac_intf.ack_delay = 1.;
+        deliveries =
+          [
+            { Amac.Mac_intf.receiver = 0; delay = 0.5 };
+            { Amac.Mac_intf.receiver = 0; delay = 0.7 };
+            { Amac.Mac_intf.receiver = 2; delay = 0.5 };
+          ];
+      }
+      |> fun p ->
+      ignore ctx;
+      p);
+  bad_plan_rejected "non-neighbor delivery rejected" (fun _ ->
+      {
+        Amac.Mac_intf.ack_delay = 1.;
+        deliveries =
+          [
+            { Amac.Mac_intf.receiver = 0; delay = 0.5 };
+            { Amac.Mac_intf.receiver = 2; delay = 0.5 };
+            { Amac.Mac_intf.receiver = 1; delay = 0.5 };
+          ];
+      });
+  bad_plan_rejected "delivery after ack rejected" (fun _ ->
+      {
+        Amac.Mac_intf.ack_delay = 1.;
+        deliveries =
+          [
+            { Amac.Mac_intf.receiver = 0; delay = 2. };
+            { Amac.Mac_intf.receiver = 2; delay = 0.5 };
+          ];
+      });
+  bad_plan_rejected "ack beyond Fack rejected" (fun _ ->
+      {
+        Amac.Mac_intf.ack_delay = 99.;
+        deliveries =
+          [
+            { Amac.Mac_intf.receiver = 0; delay = 1. };
+            { Amac.Mac_intf.receiver = 2; delay = 1. };
+          ];
+      })
+
+let test_forced_choice_validated () =
+  (* A policy returning a non-candidate from pol_forced is rejected. *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let rogue =
+    {
+      Amac.Mac_intf.pol_name = "rogue";
+      pol_plan =
+        (fun ctx ->
+          {
+            Amac.Mac_intf.ack_delay = ctx.Amac.Mac_intf.bc_fack;
+            deliveries =
+              Array.to_list
+                (Array.map
+                   (fun receiver ->
+                     { Amac.Mac_intf.receiver; delay = ctx.Amac.Mac_intf.bc_fack })
+                   ctx.Amac.Mac_intf.bc_g_neighbors);
+          });
+      pol_forced =
+        (fun _ ->
+          {
+            Amac.Mac_intf.cand_uid = 999_999;
+            cand_sender = 0;
+            cand_body = 0;
+            cand_is_g_neighbor = true;
+          });
+    }
+  in
+  let sim = Dsim.Sim.create () in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack:10. ~fprog:1. ~policy:rogue
+      ~rng:(Dsim.Rng.create ~seed:0) ()
+  in
+  for node = 0 to 1 do
+    Amac.Standard_mac.attach mac ~node
+      { Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> ()); on_ack = (fun _ -> ()) }
+  done;
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:0 1));
+  Alcotest.(check bool) "rogue forced choice raises" true
+    (try
+       ignore (Dsim.Sim.run sim);
+       false
+     with Invalid_argument _ -> true)
+
+let test_double_attach_rejected () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim = Dsim.Sim.create () in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack:10. ~fprog:1.
+      ~policy:(Amac.Schedulers.eager ())
+      ~rng:(Dsim.Rng.create ~seed:0) ()
+  in
+  let handlers =
+    { Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> ()); on_ack = (fun _ -> ()) }
+  in
+  Amac.Standard_mac.attach mac ~node:0 handlers;
+  Alcotest.(check bool) "double attach raises" true
+    (try
+       Amac.Standard_mac.attach mac ~node:0 handlers;
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "mmb.properties",
+      [
+        Alcotest.test_case "clean runs satisfy the MMB spec" `Quick
+          test_clean_run_satisfies_spec;
+        Alcotest.test_case "missing delivery flagged" `Quick
+          test_spec_catches_missing_delivery;
+        Alcotest.test_case "duplicate delivery flagged" `Quick
+          test_spec_catches_duplicate_delivery;
+        Alcotest.test_case "premature delivery flagged" `Quick
+          test_spec_catches_premature_delivery;
+      ] );
+    ( "amac.defensive",
+      [
+        Alcotest.test_case "plan validation branches" `Quick
+          test_plan_validation_paths;
+        Alcotest.test_case "rogue forced choice rejected" `Quick
+          test_forced_choice_validated;
+        Alcotest.test_case "double attach rejected" `Quick
+          test_double_attach_rejected;
+      ] );
+  ]

@@ -1,0 +1,340 @@
+(* The slotted collision-model radio and the Decay MAC implementation. *)
+
+let line3 = lazy (Graphs.Dual.of_equal (Graphs.Gen.line 3))
+
+let test_single_transmitter_received () =
+  let dual = Lazy.force line3 in
+  let radio =
+    Radio.Slotted.create ~dual ~slot_len:1. ~oracle:Radio.Slotted.oracle_never ()
+  in
+  let got = Array.make 3 [] in
+  Radio.Slotted.set_node radio ~node:0 (fun ~slot ~received:_ ->
+      if slot = 0 then Radio.Slotted.Transmit "x" else Radio.Slotted.Idle);
+  for v = 1 to 2 do
+    Radio.Slotted.set_node radio ~node:v (fun ~slot:_ ~received ->
+        got.(v) <-
+          got.(v) @ List.map (fun r -> r.Radio.Slotted.rx_pkt) received;
+        Radio.Slotted.Idle)
+  done;
+  Radio.Slotted.run_slot radio;
+  Radio.Slotted.run_slot radio;
+  Alcotest.(check (list string)) "neighbor receives" [ "x" ] got.(1);
+  Alcotest.(check (list string)) "non-neighbor does not" [] got.(2)
+
+let test_collision_destroys_both () =
+  let dual = Lazy.force line3 in
+  let radio =
+    Radio.Slotted.create ~dual ~slot_len:1. ~oracle:Radio.Slotted.oracle_never ()
+  in
+  let got = ref [] in
+  Radio.Slotted.set_node radio ~node:0 (fun ~slot ~received:_ ->
+      if slot = 0 then Radio.Slotted.Transmit "left" else Radio.Slotted.Idle);
+  Radio.Slotted.set_node radio ~node:2 (fun ~slot ~received:_ ->
+      if slot = 0 then Radio.Slotted.Transmit "right" else Radio.Slotted.Idle);
+  Radio.Slotted.set_node radio ~node:1 (fun ~slot:_ ~received ->
+      got := !got @ List.map (fun r -> r.Radio.Slotted.rx_pkt) received;
+      Radio.Slotted.Idle);
+  Radio.Slotted.run_slot radio;
+  Radio.Slotted.run_slot radio;
+  Alcotest.(check (list string)) "collision: nothing received" [] !got;
+  Alcotest.(check int) "collision counted" 1 (Radio.Slotted.collisions radio)
+
+let test_transmitter_cannot_receive () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let radio =
+    Radio.Slotted.create ~dual ~slot_len:1. ~oracle:Radio.Slotted.oracle_never ()
+  in
+  let got = ref 0 in
+  for v = 0 to 1 do
+    Radio.Slotted.set_node radio ~node:v (fun ~slot ~received ->
+        got := !got + List.length received;
+        if slot = 0 then Radio.Slotted.Transmit v else Radio.Slotted.Idle)
+  done;
+  Radio.Slotted.run_slot radio;
+  Radio.Slotted.run_slot radio;
+  Alcotest.(check int) "half duplex: neither heard" 0 !got
+
+let test_unreliable_edge_oracle () =
+  (* Unreliable edge active -> delivery; inactive -> silence. *)
+  let g = Graphs.Graph.empty ~n:2 in
+  let g' = Graphs.Graph.of_edges ~n:2 [ (0, 1) ] in
+  let dual = Graphs.Dual.create ~g ~g' () in
+  let run oracle =
+    let radio = Radio.Slotted.create ~dual ~slot_len:1. ~oracle () in
+    let got = ref 0 in
+    Radio.Slotted.set_node radio ~node:0 (fun ~slot ~received:_ ->
+        if slot = 0 then Radio.Slotted.Transmit () else Radio.Slotted.Idle);
+    Radio.Slotted.set_node radio ~node:1 (fun ~slot:_ ~received ->
+        got := !got + List.length received;
+        Radio.Slotted.Idle);
+    Radio.Slotted.run_slot radio;
+    Radio.Slotted.run_slot radio;
+    !got
+  in
+  Alcotest.(check int) "active edge delivers" 1 (run Radio.Slotted.oracle_always);
+  Alcotest.(check int) "inactive edge is silent" 0 (run Radio.Slotted.oracle_never)
+
+let test_decay_single_sender_acks_and_delivers () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.star 5) in
+  let rng = Dsim.Rng.create ~seed:1 in
+  let params = Radio.Decay.default_params ~n:5 ~max_contention:5 in
+  let mac = Radio.Decay.create ~dual ~params ~rng () in
+  let h = Radio.Decay.handle mac in
+  let rcvd = Array.make 5 false and acked = ref false in
+  for v = 0 to 4 do
+    h.Amac.Mac_handle.h_attach ~node:v
+      {
+        Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> rcvd.(v) <- true);
+        on_ack = (fun _ -> acked := true);
+      }
+  done;
+  h.Amac.Mac_handle.h_bcast ~node:0 42;
+  Alcotest.(check bool) "busy while flying" true
+    (h.Amac.Mac_handle.h_busy ~node:0);
+  ignore
+    (Radio.Decay.run mac ~max_slots:100_000 ~stop:(fun () -> !acked));
+  Alcotest.(check bool) "acked" true !acked;
+  Alcotest.(check bool) "free after ack" false (h.Amac.Mac_handle.h_busy ~node:0);
+  for v = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "leaf %d received" v)
+      true rcvd.(v)
+  done;
+  Alcotest.(check int) "no incomplete acks" 0 (Radio.Decay.incomplete_acks mac)
+
+let test_decay_busy_rejected () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let rng = Dsim.Rng.create ~seed:2 in
+  let params = Radio.Decay.default_params ~n:2 ~max_contention:2 in
+  let mac = Radio.Decay.create ~dual ~params ~rng () in
+  let h = Radio.Decay.handle mac in
+  for v = 0 to 1 do
+    h.Amac.Mac_handle.h_attach ~node:v
+      { Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> ()); on_ack = (fun _ -> ()) }
+  done;
+  h.Amac.Mac_handle.h_bcast ~node:0 1;
+  Alcotest.(check bool) "second bcast rejected" true
+    (try
+       h.Amac.Mac_handle.h_bcast ~node:0 2;
+       false
+     with Radio.Decay.Busy 0 -> true)
+
+let test_decay_contention_progress_vs_ack () =
+  (* Footnote 2's star: m leaves contend; the hub hears *something* fast
+     but a specific sender's message takes much longer. *)
+  let m = 16 in
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.star (m + 1)) in
+  let rng = Dsim.Rng.create ~seed:3 in
+  let params = Radio.Decay.default_params ~n:(m + 1) ~max_contention:m in
+  let mac = Radio.Decay.create ~dual ~params ~rng () in
+  let h = Radio.Decay.handle mac in
+  let first_any = ref None and got_payloads = Hashtbl.create 16 in
+  h.Amac.Mac_handle.h_attach ~node:0
+    {
+      Amac.Mac_intf.on_rcv =
+        (fun ~src:_ payload ->
+          if !first_any = None then first_any := Some (Radio.Decay.slot mac);
+          if not (Hashtbl.mem got_payloads payload) then
+            Hashtbl.replace got_payloads payload (Radio.Decay.slot mac));
+      on_ack = (fun _ -> ());
+    };
+  for v = 1 to m do
+    h.Amac.Mac_handle.h_attach ~node:v
+      { Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> ()); on_ack = (fun _ -> ()) }
+  done;
+  for v = 1 to m do
+    h.Amac.Mac_handle.h_bcast ~node:v (1000 + v)
+  done;
+  ignore
+    (Radio.Decay.run mac ~max_slots:2_000_000 ~stop:(fun () ->
+         Hashtbl.length got_payloads = m));
+  Alcotest.(check int) "hub got all m payloads" m (Hashtbl.length got_payloads);
+  let progress = match !first_any with Some s -> s | None -> max_int in
+  let slowest = Hashtbl.fold (fun _ s acc -> max s acc) got_payloads 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "progress (%d) << slowest specific (%d)" progress slowest)
+    true
+    (float_of_int progress < float_of_int slowest /. 4.)
+
+let test_bmmb_over_decay () =
+  (* The full stack: BMMB over the Decay MAC over the collision radio,
+     with flickering unreliable links. *)
+  let n = 10 in
+  let rng = Dsim.Rng.create ~seed:4 in
+  let g = Graphs.Gen.line n in
+  let dual = Graphs.Dual.r_restricted_random rng ~g ~r:2 ~extra:4 in
+  let contention = Graphs.Graph.max_degree (Graphs.Dual.unreliable dual) + 1 in
+  let params = Radio.Decay.default_params ~n ~max_contention:contention in
+  let mac = Radio.Decay.create ~dual ~params ~rng () in
+  let tracker = Mmb.Problem.tracker ~dual [ (0, 0); (n - 1, 1) ] in
+  let bmmb =
+    Mmb.Bmmb.install ~mac:(Radio.Decay.handle mac)
+      ~on_deliver:(fun ~node ~msg ~time ->
+        Mmb.Problem.on_deliver tracker ~node ~msg ~time)
+      ()
+  in
+  Mmb.Bmmb.arrive bmmb ~node:0 ~msg:0;
+  Mmb.Bmmb.arrive bmmb ~node:(n - 1) ~msg:1;
+  ignore
+    (Radio.Decay.run mac ~max_slots:5_000_000 ~stop:(fun () ->
+         Mmb.Problem.complete tracker));
+  Alcotest.(check bool) "BMMB solved MMB over the radio stack" true
+    (Mmb.Problem.complete tracker);
+  Alcotest.(check int) "no duplicate deliveries" 0
+    (Mmb.Problem.duplicate_deliveries tracker)
+
+let suite =
+  [
+    ( "radio",
+      [
+        Alcotest.test_case "single transmitter received" `Quick
+          test_single_transmitter_received;
+        Alcotest.test_case "collisions destroy both" `Quick
+          test_collision_destroys_both;
+        Alcotest.test_case "half duplex" `Quick test_transmitter_cannot_receive;
+        Alcotest.test_case "unreliable edge oracle" `Quick
+          test_unreliable_edge_oracle;
+        Alcotest.test_case "decay: ack and deliver" `Quick
+          test_decay_single_sender_acks_and_delivers;
+        Alcotest.test_case "decay: busy rejected" `Quick test_decay_busy_rejected;
+        Alcotest.test_case "decay: progress << specific delivery" `Slow
+          test_decay_contention_progress_vs_ack;
+        Alcotest.test_case "BMMB over decay over radio" `Slow
+          test_bmmb_over_decay;
+      ] );
+  ]
+
+(* --- TDMA ------------------------------------------------------------------ *)
+
+let test_tdma_ack_within_frame () =
+  let n = 6 in
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.ring n) in
+  let rng = Dsim.Rng.create ~seed:5 in
+  let mac = Radio.Tdma.create ~dual ~rng () in
+  let h = Radio.Tdma.handle mac in
+  let acked_at = ref None and rcvd = ref 0 in
+  for v = 0 to n - 1 do
+    h.Amac.Mac_handle.h_attach ~node:v
+      {
+        Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> incr rcvd);
+        on_ack = (fun _ -> acked_at := Some (Radio.Tdma.slot mac));
+      }
+  done;
+  h.Amac.Mac_handle.h_bcast ~node:3 99;
+  ignore (Radio.Tdma.run mac ~max_slots:50 ~stop:(fun () -> !acked_at <> None));
+  (match !acked_at with
+  | Some s ->
+      Alcotest.(check bool) "ack within ~one frame" true (s <= n + 1)
+  | None -> Alcotest.fail "never acked");
+  Alcotest.(check int) "both ring neighbors received" 2 !rcvd
+
+let test_tdma_collision_free () =
+  (* All nodes broadcast simultaneously; TDMA serializes them with zero
+     collisions and everyone hears all neighbors. *)
+  let n = 5 in
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.complete n) in
+  let rng = Dsim.Rng.create ~seed:6 in
+  let mac = Radio.Tdma.create ~dual ~rng () in
+  let h = Radio.Tdma.handle mac in
+  let rcvd = Array.make n 0 and acks = ref 0 in
+  for v = 0 to n - 1 do
+    h.Amac.Mac_handle.h_attach ~node:v
+      {
+        Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> rcvd.(v) <- rcvd.(v) + 1);
+        on_ack = (fun _ -> incr acks);
+      }
+  done;
+  for v = 0 to n - 1 do
+    h.Amac.Mac_handle.h_bcast ~node:v v
+  done;
+  ignore (Radio.Tdma.run mac ~max_slots:100 ~stop:(fun () -> !acks = n));
+  Alcotest.(check int) "all acked" n !acks;
+  Array.iteri
+    (fun v c ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d heard all others" v)
+        (n - 1) c)
+    rcvd
+
+let test_bmmb_over_tdma () =
+  let n = 9 in
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line n) in
+  let rng = Dsim.Rng.create ~seed:7 in
+  let mac = Radio.Tdma.create ~dual ~rng () in
+  let tracker = Mmb.Problem.tracker ~dual [ (0, 0); (n - 1, 1) ] in
+  let bmmb =
+    Mmb.Bmmb.install ~mac:(Radio.Tdma.handle mac)
+      ~on_deliver:(fun ~node ~msg ~time ->
+        Mmb.Problem.on_deliver tracker ~node ~msg ~time)
+      ()
+  in
+  Mmb.Bmmb.arrive bmmb ~node:0 ~msg:0;
+  Mmb.Bmmb.arrive bmmb ~node:(n - 1) ~msg:1;
+  ignore
+    (Radio.Tdma.run mac ~max_slots:100_000 ~stop:(fun () ->
+         Mmb.Problem.complete tracker));
+  Alcotest.(check bool) "BMMB over TDMA completes" true
+    (Mmb.Problem.complete tracker)
+
+let tdma_suite =
+  ( "radio.tdma",
+    [
+      Alcotest.test_case "ack within a frame" `Quick test_tdma_ack_within_frame;
+      Alcotest.test_case "collision-free serialization" `Quick
+        test_tdma_collision_free;
+      Alcotest.test_case "BMMB over TDMA" `Quick test_bmmb_over_tdma;
+    ] )
+
+let suite = suite @ [ tdma_suite ]
+
+let test_gilbert_elliott_oracle () =
+  (* The chain is bursty: consecutive-slot states are positively
+     correlated, and the long-run up-fraction tracks
+     p_good / (p_good + p_bad). *)
+  let rng = Dsim.Rng.create ~seed:8 in
+  let oracle =
+    Radio.Slotted.oracle_gilbert_elliott rng ~p_bad:0.1 ~p_good:0.1
+  in
+  let slots = 20_000 in
+  let states = Array.init slots (fun slot -> oracle ~slot ~u:0 ~v:1) in
+  let ups = Array.fold_left (fun a b -> if b then a + 1 else a) 0 states in
+  let frac = float_of_int ups /. float_of_int slots in
+  Alcotest.(check bool)
+    (Printf.sprintf "long-run up fraction ~0.5 (%.2f)" frac)
+    true
+    (frac > 0.4 && frac < 0.6);
+  (* Burstiness: P(same state as previous slot) should be ~0.9, far above
+     the 0.5 an independent Bernoulli(0.5) would give. *)
+  let same = ref 0 in
+  for i = 1 to slots - 1 do
+    if states.(i) = states.(i - 1) then incr same
+  done;
+  let stick = float_of_int !same /. float_of_int (slots - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sticky states (%.2f)" stick)
+    true (stick > 0.8)
+
+let test_bursty_scheduler_bound_holds () =
+  let rng = Dsim.Rng.create ~seed:9 in
+  let g = Graphs.Gen.line 12 in
+  let dual = Graphs.Dual.r_restricted_random rng ~g ~r:3 ~extra:8 in
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:6. ~fprog:1.
+      ~policy:(Amac.Schedulers.bursty ())
+      ~assignment:[ (0, 0); (11, 1) ] ~seed:10 ~check_compliance:true ()
+  in
+  Alcotest.(check bool) "complete within bound under bursty links" true
+    (res.Mmb.Runner.complete && res.Mmb.Runner.within_bound);
+  Alcotest.(check int) "compliant" 0
+    (List.length res.Mmb.Runner.compliance_violations)
+
+let bursty_suite =
+  ( "radio.bursty",
+    [
+      Alcotest.test_case "Gilbert-Elliott oracle statistics" `Quick
+        test_gilbert_elliott_oracle;
+      Alcotest.test_case "bursty MAC scheduler stays in bounds" `Quick
+        test_bursty_scheduler_bound_holds;
+    ] )
+
+let suite = suite @ [ bursty_suite ]

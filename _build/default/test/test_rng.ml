@@ -1,0 +1,78 @@
+let test_deterministic () =
+  let draw seed =
+    let rng = Dsim.Rng.create ~seed in
+    List.init 20 (fun _ -> Dsim.Rng.int rng 1000)
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (draw 42) (draw 42);
+  Alcotest.(check bool) "different seeds differ" true (draw 1 <> draw 2)
+
+let test_int_bounds () =
+  let rng = Dsim.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Dsim.Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of range"
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Rng.int: non-positive bound") (fun () ->
+      ignore (Dsim.Rng.int rng 0))
+
+let test_bernoulli_extremes () =
+  let rng = Dsim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0" false (Dsim.Rng.bernoulli rng ~p:0.);
+    Alcotest.(check bool) "p=1" true (Dsim.Rng.bernoulli rng ~p:1.)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Dsim.Rng.create ~seed:3 in
+  let hits = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Dsim.Rng.bernoulli rng ~p:0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "rate near 0.25" true (abs_float (rate -. 0.25) < 0.02)
+
+let test_split_independent () =
+  let rng = Dsim.Rng.create ~seed:9 in
+  let child = Dsim.Rng.split rng in
+  let a = List.init 10 (fun _ -> Dsim.Rng.int rng 1_000_000) in
+  let b = List.init 10 (fun _ -> Dsim.Rng.int child 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_shuffle_permutation () =
+  let rng = Dsim.Rng.create ~seed:11 in
+  let a = Array.init 50 Fun.id in
+  Dsim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_bits_length () =
+  let rng = Dsim.Rng.create ~seed:13 in
+  Alcotest.(check int) "length" 17 (Array.length (Dsim.Rng.bits rng ~n:17))
+
+let test_pick () =
+  let rng = Dsim.Rng.create ~seed:17 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    let v = Dsim.Rng.pick rng a in
+    if not (Array.mem v a) then Alcotest.fail "pick outside array"
+  done;
+  Alcotest.(check int) "pick_list singleton" 5
+    (Dsim.Rng.pick_list rng [ 5 ])
+
+let suite =
+  [
+    ( "dsim.rng",
+      [
+        Alcotest.test_case "deterministic from seed" `Quick test_deterministic;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+        Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        Alcotest.test_case "split independence" `Quick test_split_independent;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+        Alcotest.test_case "bits length" `Quick test_bits_length;
+        Alcotest.test_case "pick stays in range" `Quick test_pick;
+      ] );
+  ]

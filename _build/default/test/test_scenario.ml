@@ -1,0 +1,274 @@
+(* The JSON parser and the config-driven scenario runner. *)
+
+(* --- Json ------------------------------------------------------------------ *)
+
+let test_json_values () =
+  let check_parse input expected =
+    match Dsim.Json.parse input with
+    | Ok v -> Alcotest.(check bool) input true (v = expected)
+    | Error e -> Alcotest.failf "%s: %s" input e
+  in
+  check_parse "null" Dsim.Json.Null;
+  check_parse "true" (Dsim.Json.Bool true);
+  check_parse "-12.5e1" (Dsim.Json.Number (-125.));
+  check_parse {|"a\nb\"c"|} (Dsim.Json.String "a\nb\"c");
+  check_parse {|"A"|} (Dsim.Json.String "A");
+  check_parse "[1, 2, 3]"
+    (Dsim.Json.List
+       [ Dsim.Json.Number 1.; Dsim.Json.Number 2.; Dsim.Json.Number 3. ]);
+  check_parse {| {"a": [true, null], "b": {"c": 0}} |}
+    (Dsim.Json.Obj
+       [
+         ("a", Dsim.Json.List [ Dsim.Json.Bool true; Dsim.Json.Null ]);
+         ("b", Dsim.Json.Obj [ ("c", Dsim.Json.Number 0.) ]);
+       ]);
+  check_parse "[]" (Dsim.Json.List []);
+  check_parse "{}" (Dsim.Json.Obj [])
+
+let test_json_rejects () =
+  List.iter
+    (fun input ->
+      match Dsim.Json.parse input with
+      | Ok _ -> Alcotest.failf "accepted %S" input
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_json_accessors () =
+  match Dsim.Json.parse {|{"n": 5, "name": "x", "flag": true}|} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      Alcotest.(check (result int string)) "int" (Ok 5)
+        (Result.bind (Dsim.Json.member v "n") Dsim.Json.to_int);
+      Alcotest.(check (result string string)) "default hit" (Ok "x")
+        (Dsim.Json.member_str v "name" ~default:"y");
+      Alcotest.(check (result string string)) "default miss" (Ok "y")
+        (Dsim.Json.member_str v "missing" ~default:"y");
+      Alcotest.(check bool) "missing member errors" true
+        (Result.is_error (Dsim.Json.member v "nope"))
+
+let prop_json_roundtrip =
+  let rec gen_value depth =
+    QCheck.Gen.(
+      if depth = 0 then
+        oneof
+          [
+            return Dsim.Json.Null;
+            map (fun b -> Dsim.Json.Bool b) bool;
+            map (fun i -> Dsim.Json.Number (float_of_int i)) small_int;
+            map (fun s -> Dsim.Json.String s) (string_size (int_bound 8));
+          ]
+      else
+        frequency
+          [
+            (3, gen_value 0);
+            ( 1,
+              map
+                (fun l -> Dsim.Json.List l)
+                (list_size (int_bound 4) (gen_value (depth - 1))) );
+            ( 1,
+              map
+                (fun kvs ->
+                  (* object keys must be distinct for round-tripping *)
+                  let _, uniq =
+                    List.fold_left
+                      (fun (seen, acc) (k, v) ->
+                        if List.mem k seen then (seen, acc)
+                        else (k :: seen, (k, v) :: acc))
+                      ([], []) kvs
+                  in
+                  Dsim.Json.Obj (List.rev uniq))
+                (list_size (int_bound 4)
+                   (pair (string_size (int_bound 6)) (gen_value (depth - 1))))
+            );
+          ])
+  in
+  QCheck.Test.make ~name:"JSON print/parse round-trips" ~count:300
+    (QCheck.make (gen_value 3))
+    (fun v ->
+      match Dsim.Json.parse (Dsim.Json.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+(* --- Scenario ---------------------------------------------------------------- *)
+
+let test_scenario_defaults () =
+  match Mmb.Scenario.of_string "{}" with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+      Alcotest.(check string) "default topology" "line"
+        spec.Mmb.Scenario.topology;
+      Alcotest.(check int) "default n" 30 spec.Mmb.Scenario.n;
+      Alcotest.(check int) "default repeat" 1 spec.Mmb.Scenario.repeat
+
+let test_scenario_rejects_bad_config () =
+  List.iter
+    (fun cfg ->
+      match Mmb.Scenario.of_string cfg with
+      | Ok _ -> Alcotest.failf "accepted %s" cfg
+      | Error _ -> ())
+    [
+      {|{"protocol": "quantum"}|};
+      {|{"n": 0}|};
+      {|{"fprog": 5, "fack": 1}|};
+      {|{"arrivals": "sometimes"}|};
+      {|{"repeat": 0}|};
+      {|not json|};
+    ]
+
+let test_scenario_bmmb_batch () =
+  let spec =
+    Result.get_ok
+      (Mmb.Scenario.of_string
+         {|{"name":"t","protocol":"bmmb","topology":"ring","n":12,"k":3,
+            "scheduler":"adversarial","check":true,"repeat":2,"seed":5}|})
+  in
+  match Mmb.Scenario.execute spec with
+  | Error e -> Alcotest.fail e
+  | Ok runs ->
+      Alcotest.(check int) "two runs" 2 (List.length runs);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "complete" true r.Mmb.Scenario.complete;
+          Alcotest.(check int) "compliant" 0 r.Mmb.Scenario.violations;
+          match r.Mmb.Scenario.bound with
+          | Some b ->
+              Alcotest.(check bool) "within bound" true
+                (r.Mmb.Scenario.time <= b +. 1e-6)
+          | None -> Alcotest.fail "bmmb batch should report a bound")
+        runs
+
+let test_scenario_online () =
+  let spec =
+    Result.get_ok
+      (Mmb.Scenario.of_string
+         {|{"protocol":"bmmb","arrivals":"poisson","rate":0.01,"n":10,"k":4}|})
+  in
+  match Mmb.Scenario.execute spec with
+  | Error e -> Alcotest.fail e
+  | Ok [ r ] ->
+      Alcotest.(check bool) "complete" true r.Mmb.Scenario.complete;
+      Alcotest.(check bool) "reports latency" true
+        (r.Mmb.Scenario.mean_latency <> None)
+  | Ok _ -> Alcotest.fail "expected one run"
+
+let test_scenario_fmmb_rejects_online () =
+  let spec =
+    Result.get_ok
+      (Mmb.Scenario.of_string {|{"protocol":"fmmb","arrivals":"poisson"}|})
+  in
+  Alcotest.(check bool) "fmmb+poisson rejected" true
+    (Result.is_error (Mmb.Scenario.execute spec))
+
+let test_scenario_fmmb_online () =
+  let spec =
+    Result.get_ok
+      (Mmb.Scenario.of_string
+         {|{"protocol":"fmmb-online","gprime":"greyzone","n":25,"k":3,
+            "arrivals":"staggered","gap":500}|})
+  in
+  match Mmb.Scenario.execute spec with
+  | Error e -> Alcotest.fail e
+  | Ok [ r ] -> Alcotest.(check bool) "complete" true r.Mmb.Scenario.complete
+  | Ok _ -> Alcotest.fail "expected one run"
+
+let test_scenario_report_and_json () =
+  let spec =
+    Result.get_ok
+      (Mmb.Scenario.of_string {|{"name":"demo","n":8,"k":2,"repeat":2}|})
+  in
+  let runs = Result.get_ok (Mmb.Scenario.execute spec) in
+  let rep = Mmb.Scenario.report spec runs in
+  Alcotest.(check bool) "report names scenario" true
+    (String.length rep > 0
+    &&
+    let rec contains i =
+      i + 4 <= String.length rep
+      && (String.sub rep i 4 = "demo" || contains (i + 1))
+    in
+    contains 0);
+  match Dsim.Json.parse (Dsim.Json.to_string (Mmb.Scenario.result_json spec runs)) with
+  | Ok (Dsim.Json.Obj _) -> ()
+  | _ -> Alcotest.fail "result json should be a parsable object"
+
+let suite =
+  [
+    ( "dsim.json",
+      [
+        Alcotest.test_case "parses values" `Quick test_json_values;
+        Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+        QCheck_alcotest.to_alcotest prop_json_roundtrip;
+      ] );
+    ( "mmb.scenario",
+      [
+        Alcotest.test_case "defaults" `Quick test_scenario_defaults;
+        Alcotest.test_case "rejects bad configs" `Quick
+          test_scenario_rejects_bad_config;
+        Alcotest.test_case "bmmb batch" `Quick test_scenario_bmmb_batch;
+        Alcotest.test_case "bmmb online" `Quick test_scenario_online;
+        Alcotest.test_case "fmmb rejects online arrivals" `Quick
+          test_scenario_fmmb_rejects_online;
+        Alcotest.test_case "fmmb-online staggered" `Slow
+          test_scenario_fmmb_online;
+        Alcotest.test_case "report and json output" `Quick
+          test_scenario_report_and_json;
+      ] );
+  ]
+
+(* --- sweeps ------------------------------------------------------------------ *)
+
+let test_sweep_expansion () =
+  match
+    Mmb.Scenario.expand_string
+      {|{"name":"s","n":10,"sweep":{"param":"k","values":[1,2,4]}}|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok specs ->
+      Alcotest.(check int) "three specs" 3 (List.length specs);
+      Alcotest.(check (list int)) "k values applied" [ 1; 2; 4 ]
+        (List.map (fun s -> s.Mmb.Scenario.k) specs);
+      List.iter
+        (fun s ->
+          Alcotest.(check int) "other fields preserved" 10 s.Mmb.Scenario.n)
+        specs
+
+let test_sweep_float_param () =
+  match
+    Mmb.Scenario.expand_string
+      {|{"sweep":{"param":"fack","values":[5, 40]}}|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok specs ->
+      Alcotest.(check (list (float 1e-9))) "fack values" [ 5.; 40. ]
+        (List.map (fun s -> s.Mmb.Scenario.fack) specs)
+
+let test_sweep_errors () =
+  List.iter
+    (fun cfg ->
+      match Mmb.Scenario.expand_string cfg with
+      | Ok _ -> Alcotest.failf "accepted %s" cfg
+      | Error _ -> ())
+    [
+      {|{"sweep":{}}|};
+      {|{"sweep":{"param":"k","values":[]}}|};
+      {|{"sweep":{"param":"k","values":["a"]}}|};
+      {|{"sweep":{"param":"k","values":[0],"x":1}, "n": 0}|};
+    ]
+
+let test_no_sweep_is_singleton () =
+  match Mmb.Scenario.expand_string {|{"n": 7}|} with
+  | Ok [ spec ] -> Alcotest.(check int) "n" 7 spec.Mmb.Scenario.n
+  | Ok _ -> Alcotest.fail "expected singleton"
+  | Error e -> Alcotest.fail e
+
+let sweep_suite =
+  ( "mmb.scenario-sweep",
+    [
+      Alcotest.test_case "expansion" `Quick test_sweep_expansion;
+      Alcotest.test_case "float parameters" `Quick test_sweep_float_param;
+      Alcotest.test_case "rejects malformed sweeps" `Quick test_sweep_errors;
+      Alcotest.test_case "no sweep = singleton" `Quick
+        test_no_sweep_is_singleton;
+    ] )
+
+let suite = suite @ [ sweep_suite ]

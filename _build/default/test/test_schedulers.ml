@@ -1,0 +1,164 @@
+(* Unit tests of the scheduler policies' plans and forced choices. *)
+
+let ctx ?(g_neighbors = [| 1 |]) ?(g'_only = [||]) () =
+  {
+    Amac.Mac_intf.bc_sender = 0;
+    bc_uid = 0;
+    bc_body = 42;
+    bc_now = 0.;
+    bc_g_neighbors = g_neighbors;
+    bc_g'_only_neighbors = g'_only;
+    bc_fack = 10.;
+    bc_fprog = 2.;
+    bc_rng = Dsim.Rng.create ~seed:0;
+  }
+
+let test_eager_plan () =
+  let policy = Amac.Schedulers.eager () in
+  let plan = policy.Amac.Mac_intf.pol_plan (ctx ~g'_only:[| 2; 3 |] ()) in
+  Alcotest.(check bool) "fast ack" true (plan.Amac.Mac_intf.ack_delay <= 2.);
+  Alcotest.(check int) "delivers to everyone" 3
+    (List.length plan.Amac.Mac_intf.deliveries);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "delivery not after ack" true
+        (d.Amac.Mac_intf.delay <= plan.Amac.Mac_intf.ack_delay))
+    plan.Amac.Mac_intf.deliveries
+
+let test_adversarial_plan () =
+  let policy = Amac.Schedulers.adversarial () in
+  let plan = policy.Amac.Mac_intf.pol_plan (ctx ~g'_only:[| 2 |] ()) in
+  Alcotest.(check (float 1e-9)) "full Fack stall" 10.
+    plan.Amac.Mac_intf.ack_delay;
+  Alcotest.(check int) "no voluntary unreliable deliveries" 1
+    (List.length plan.Amac.Mac_intf.deliveries);
+  match plan.Amac.Mac_intf.deliveries with
+  | [ d ] ->
+      Alcotest.(check int) "targets the G-neighbor" 1 d.Amac.Mac_intf.receiver;
+      Alcotest.(check (float 1e-9)) "at the last moment" 10.
+        d.Amac.Mac_intf.delay
+  | _ -> Alcotest.fail "unexpected plan"
+
+let test_random_plan_within_bounds () =
+  let policy = Amac.Schedulers.random_compliant () in
+  for seed = 0 to 20 do
+    let c =
+      {
+        (ctx ~g_neighbors:[| 1; 2 |] ~g'_only:[| 3 |] ()) with
+        Amac.Mac_intf.bc_rng = Dsim.Rng.create ~seed;
+      }
+    in
+    let plan = policy.Amac.Mac_intf.pol_plan c in
+    Alcotest.(check bool) "ack within Fack" true
+      (plan.Amac.Mac_intf.ack_delay <= 10. && plan.Amac.Mac_intf.ack_delay > 0.);
+    List.iter
+      (fun d ->
+        Alcotest.(check bool) "delivery in window" true
+          (d.Amac.Mac_intf.delay >= 0.
+          && d.Amac.Mac_intf.delay <= plan.Amac.Mac_intf.ack_delay))
+      plan.Amac.Mac_intf.deliveries;
+    (* G-neighbors always covered *)
+    List.iter
+      (fun g ->
+        Alcotest.(check bool) "G-neighbor covered" true
+          (List.exists
+             (fun d -> d.Amac.Mac_intf.receiver = g)
+             plan.Amac.Mac_intf.deliveries))
+      [ 1; 2 ]
+  done
+
+let forced_ctx ~candidates ~received =
+  {
+    Amac.Mac_intf.fc_receiver = 9;
+    fc_now = 5.;
+    fc_candidates = candidates;
+    fc_has_received = (fun body -> List.mem body received);
+    fc_rng = Dsim.Rng.create ~seed:1;
+  }
+
+let cand ?(g = true) uid body =
+  {
+    Amac.Mac_intf.cand_uid = uid;
+    cand_sender = 100 + uid;
+    cand_body = body;
+    cand_is_g_neighbor = g;
+  }
+
+let test_adversarial_forced_prefers_duplicates () =
+  let policy = Amac.Schedulers.adversarial () in
+  let chosen =
+    policy.Amac.Mac_intf.pol_forced
+      (forced_ctx
+         ~candidates:[ cand 1 10; cand 2 20; cand ~g:false 3 30 ]
+         ~received:[ 20 ])
+  in
+  Alcotest.(check int) "picks the duplicate body" 20
+    chosen.Amac.Mac_intf.cand_body
+
+let test_adversarial_forced_prefers_unreliable () =
+  let policy = Amac.Schedulers.adversarial () in
+  let chosen =
+    policy.Amac.Mac_intf.pol_forced
+      (forced_ctx
+         ~candidates:[ cand 1 10; cand ~g:false 2 20 ]
+         ~received:[])
+  in
+  Alcotest.(check bool) "picks the unreliable sender" false
+    chosen.Amac.Mac_intf.cand_is_g_neighbor
+
+let test_adversarial_forced_fallback () =
+  let policy = Amac.Schedulers.adversarial () in
+  let chosen =
+    policy.Amac.Mac_intf.pol_forced
+      (forced_ctx ~candidates:[ cand 7 70 ] ~received:[])
+  in
+  Alcotest.(check int) "only candidate" 7 chosen.Amac.Mac_intf.cand_uid
+
+let test_two_line_policy_plan () =
+  let d = 6 in
+  let policy = Mmb.Lower_bound.two_line_policy ~d in
+  (* a_2 (node 1) broadcasting m0 is a frontier broadcast: stall + cross. *)
+  let frontier_ctx =
+    {
+      Amac.Mac_intf.bc_sender = 1;
+      bc_uid = 0;
+      bc_body = 0;
+      bc_now = 0.;
+      bc_g_neighbors = [| 0; 2 |];
+      bc_g'_only_neighbors = [| d + 0; d + 2 |];
+      bc_fack = 10.;
+      bc_fprog = 1.;
+      bc_rng = Dsim.Rng.create ~seed:0;
+    }
+  in
+  let plan = policy.Amac.Mac_intf.pol_plan frontier_ctx in
+  Alcotest.(check (float 1e-9)) "frontier stalls Fack" 10.
+    plan.Amac.Mac_intf.ack_delay;
+  Alcotest.(check bool) "cross delivery to b_3 at Fprog" true
+    (List.exists
+       (fun del ->
+         del.Amac.Mac_intf.receiver = d + 2 && del.Amac.Mac_intf.delay = 1.)
+       plan.Amac.Mac_intf.deliveries);
+  (* The same node broadcasting m1 is a non-frontier broadcast: instant. *)
+  let other = policy.Amac.Mac_intf.pol_plan { frontier_ctx with bc_body = 1 } in
+  Alcotest.(check (float 1e-9)) "non-frontier instant" 0.
+    other.Amac.Mac_intf.ack_delay
+
+let suite =
+  [
+    ( "amac.schedulers",
+      [
+        Alcotest.test_case "eager plan" `Quick test_eager_plan;
+        Alcotest.test_case "adversarial plan" `Quick test_adversarial_plan;
+        Alcotest.test_case "random plan stays in bounds" `Quick
+          test_random_plan_within_bounds;
+        Alcotest.test_case "forced: duplicates first" `Quick
+          test_adversarial_forced_prefers_duplicates;
+        Alcotest.test_case "forced: unreliable second" `Quick
+          test_adversarial_forced_prefers_unreliable;
+        Alcotest.test_case "forced: fallback" `Quick
+          test_adversarial_forced_fallback;
+        Alcotest.test_case "two-line adversary plans" `Quick
+          test_two_line_policy_plan;
+      ] );
+  ]

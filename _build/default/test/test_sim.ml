@@ -1,0 +1,103 @@
+let test_runs_in_order () =
+  let sim = Dsim.Sim.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Dsim.Sim.now sim) :: !log in
+  ignore (Dsim.Sim.schedule_at sim ~time:2. (note "b"));
+  ignore (Dsim.Sim.schedule_at sim ~time:1. (note "a"));
+  ignore (Dsim.Sim.schedule_at sim ~time:3. (note "c"));
+  let outcome = Dsim.Sim.run sim in
+  Alcotest.(check bool) "drained" true (outcome = Dsim.Sim.Drained);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and clock"
+    [ ("a", 1.); ("b", 2.); ("c", 3.) ]
+    (List.rev !log)
+
+let test_nested_scheduling () =
+  let sim = Dsim.Sim.create () in
+  let hits = ref 0 in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:1. (fun () ->
+         incr hits;
+         ignore (Dsim.Sim.schedule sim ~delay:1. (fun () -> incr hits))));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check int) "both ran" 2 !hits;
+  Alcotest.(check (float 1e-9)) "clock at 2" 2. (Dsim.Sim.now sim)
+
+let test_causality () =
+  let sim = Dsim.Sim.create () in
+  ignore (Dsim.Sim.schedule_at sim ~time:5. (fun () -> ()));
+  ignore (Dsim.Sim.run sim);
+  (try
+     ignore (Dsim.Sim.schedule_at sim ~time:1. (fun () -> ()));
+     Alcotest.fail "expected Causality"
+   with Dsim.Sim.Causality { now; requested } ->
+     Alcotest.(check (float 1e-9)) "now" 5. now;
+     Alcotest.(check (float 1e-9)) "requested" 1. requested);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      ignore (Dsim.Sim.schedule sim ~delay:(-1.) (fun () -> ())))
+
+let test_cancel () =
+  let sim = Dsim.Sim.create () in
+  let hit = ref false in
+  let h = Dsim.Sim.schedule_at sim ~time:1. (fun () -> hit := true) in
+  Dsim.Sim.cancel sim h;
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check bool) "cancelled event did not run" false !hit
+
+let test_until () =
+  let sim = Dsim.Sim.create () in
+  let hits = ref 0 in
+  ignore (Dsim.Sim.schedule_at sim ~time:1. (fun () -> incr hits));
+  ignore (Dsim.Sim.schedule_at sim ~time:10. (fun () -> incr hits));
+  let outcome = Dsim.Sim.run ~until:5. sim in
+  Alcotest.(check bool) "hit time limit" true (outcome = Dsim.Sim.Hit_time_limit);
+  Alcotest.(check int) "only the early event" 1 !hits;
+  Alcotest.(check (float 1e-9)) "clock advanced to horizon" 5.
+    (Dsim.Sim.now sim);
+  Alcotest.(check int) "late event still queued" 1 (Dsim.Sim.pending sim)
+
+let test_max_events () =
+  let sim = Dsim.Sim.create () in
+  let rec reschedule () =
+    ignore (Dsim.Sim.schedule sim ~delay:1. reschedule)
+  in
+  reschedule ();
+  let outcome = Dsim.Sim.run ~max_events:100 sim in
+  Alcotest.(check bool) "event budget" true (outcome = Dsim.Sim.Hit_event_limit)
+
+let test_stop () =
+  let sim = Dsim.Sim.create () in
+  let hits = ref 0 in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:1. (fun () ->
+         incr hits;
+         Dsim.Sim.stop sim));
+  ignore (Dsim.Sim.schedule_at sim ~time:2. (fun () -> incr hits));
+  let outcome = Dsim.Sim.run sim in
+  Alcotest.(check bool) "stopped" true (outcome = Dsim.Sim.Stopped);
+  Alcotest.(check int) "later event skipped" 1 !hits
+
+let test_resume_after_until () =
+  let sim = Dsim.Sim.create () in
+  let hits = ref 0 in
+  ignore (Dsim.Sim.schedule_at sim ~time:10. (fun () -> incr hits));
+  ignore (Dsim.Sim.run ~until:5. sim);
+  let outcome = Dsim.Sim.run sim in
+  Alcotest.(check bool) "drained on resume" true (outcome = Dsim.Sim.Drained);
+  Alcotest.(check int) "event eventually ran" 1 !hits
+
+let suite =
+  [
+    ( "dsim.sim",
+      [
+        Alcotest.test_case "events run in time order" `Quick test_runs_in_order;
+        Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+        Alcotest.test_case "causality enforced" `Quick test_causality;
+        Alcotest.test_case "cancellation" `Quick test_cancel;
+        Alcotest.test_case "until horizon" `Quick test_until;
+        Alcotest.test_case "max_events budget" `Quick test_max_events;
+        Alcotest.test_case "stop from callback" `Quick test_stop;
+        Alcotest.test_case "resume after horizon" `Quick test_resume_after_until;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+(* The geometric SINR physical layer and the grey zone's emergence. *)
+
+let params = Radio.Sinr.default_params ~alpha:3. ~c:2. ()
+
+let test_calibration () =
+  Alcotest.(check (float 1e-9)) "worst-case solo range is 1" 1.
+    (Radio.Sinr.solo_range params ~worst:true);
+  Alcotest.(check (float 1e-6)) "best-case solo range is c" 2.
+    (Radio.Sinr.solo_range params ~worst:false)
+
+let radio_of points =
+  Radio.Sinr.create ~points ~params ~rng:(Dsim.Rng.create ~seed:1) ()
+
+let test_decode_probability_bands () =
+  let points =
+    [|
+      Graphs.Geometry.point 0. 0.;
+      Graphs.Geometry.point 0.8 0. (* reliable band *);
+      Graphs.Geometry.point 1.5 0. (* grey zone *);
+      Graphs.Geometry.point 2.6 0. (* beyond c *);
+    |]
+  in
+  let r = radio_of points in
+  let p_reliable = Radio.Sinr.decode_probability r ~u:0 ~j:1 ~trials:2000 in
+  let p_grey = Radio.Sinr.decode_probability r ~u:0 ~j:2 ~trials:2000 in
+  let p_silent = Radio.Sinr.decode_probability r ~u:0 ~j:3 ~trials:2000 in
+  Alcotest.(check (float 1e-9)) "within 1: always decodes" 1. p_reliable;
+  Alcotest.(check bool)
+    (Printf.sprintf "grey zone: sometimes (%.2f)" p_grey)
+    true
+    (p_grey > 0.05 && p_grey < 0.95);
+  Alcotest.(check (float 1e-9)) "beyond c: never" 0. p_silent
+
+let test_solo_transmission_received () =
+  let points =
+    [| Graphs.Geometry.point 0. 0.; Graphs.Geometry.point 0.5 0. |]
+  in
+  let r = radio_of points in
+  let got = ref [] in
+  Radio.Sinr.set_node r ~node:0 (fun ~slot ~received:_ ->
+      if slot = 0 then Radio.Slotted.Transmit "hello" else Radio.Slotted.Idle);
+  Radio.Sinr.set_node r ~node:1 (fun ~slot:_ ~received ->
+      got := !got @ List.map (fun x -> x.Radio.Slotted.rx_pkt) received;
+      Radio.Slotted.Idle);
+  Radio.Sinr.run_slot r;
+  Radio.Sinr.run_slot r;
+  Alcotest.(check (list string)) "received" [ "hello" ] !got
+
+let test_interference_blocks () =
+  (* Two equidistant transmitters, fading disabled (c = 1): with beta = 2
+     neither clears SINR — the fair-collision case. *)
+  let points =
+    [|
+      Graphs.Geometry.point 0. 0.;
+      Graphs.Geometry.point 1. 0. (* other transmitter *);
+      Graphs.Geometry.point 0.5 0.2 (* listener, equidistant *);
+    |]
+  in
+  let no_fading = Radio.Sinr.default_params ~alpha:3. ~c:1. () in
+  let r =
+    Radio.Sinr.create ~points ~params:no_fading
+      ~rng:(Dsim.Rng.create ~seed:1) ()
+  in
+  let got = ref 0 in
+  for v = 0 to 1 do
+    Radio.Sinr.set_node r ~node:v (fun ~slot ~received:_ ->
+        if slot = 0 then Radio.Slotted.Transmit v else Radio.Slotted.Idle)
+  done;
+  Radio.Sinr.set_node r ~node:2 (fun ~slot:_ ~received ->
+      got := !got + List.length received;
+      Radio.Slotted.Idle);
+  Radio.Sinr.run_slot r;
+  Radio.Sinr.run_slot r;
+  Alcotest.(check int) "collision under SINR" 0 !got
+
+let test_capture_effect () =
+  (* Unlike the graph collision model, SINR lets a much closer transmitter
+     be decoded despite a distant interferer — the capture effect. *)
+  let points =
+    [|
+      Graphs.Geometry.point 0. 0. (* strong, at 0.3 from listener *);
+      Graphs.Geometry.point 10. 0. (* weak interferer, far away *);
+      Graphs.Geometry.point 0.3 0. (* listener *);
+    |]
+  in
+  let r = radio_of points in
+  let got = ref [] in
+  for v = 0 to 1 do
+    Radio.Sinr.set_node r ~node:v (fun ~slot ~received:_ ->
+        if slot = 0 then Radio.Slotted.Transmit v else Radio.Slotted.Idle)
+  done;
+  Radio.Sinr.set_node r ~node:2 (fun ~slot:_ ~received ->
+      got := !got @ List.map (fun x -> x.Radio.Slotted.rx_pkt) received;
+      Radio.Slotted.Idle);
+  Radio.Sinr.run_slot r;
+  Radio.Sinr.run_slot r;
+  Alcotest.(check (list int)) "near transmitter captured" [ 0 ] !got
+
+let test_emergent_dual_classification () =
+  (* Random points; classify pairs by measured decode probability and check
+     the classification matches the distance bands of Dual.of_embedding. *)
+  let rng = Dsim.Rng.create ~seed:3 in
+  let points =
+    Array.init 20 (fun _ -> Graphs.Geometry.random_in_box rng ~width:3. ~height:3.)
+  in
+  let dual = Graphs.Dual.of_embedding ~points ~c:2. in
+  let g = Graphs.Dual.reliable dual and g' = Graphs.Dual.unreliable dual in
+  let r = radio_of points in
+  let ok = ref true in
+  for u = 0 to 19 do
+    for j = u + 1 to 19 do
+      let p = Radio.Sinr.decode_probability r ~u ~j ~trials:400 in
+      let expected_reliable = Graphs.Graph.mem_edge g u j in
+      let expected_possible = Graphs.Graph.mem_edge g' u j in
+      if expected_reliable && p < 1. -. 1e-9 then ok := false;
+      if (not expected_possible) && p > 1e-9 then ok := false;
+      if expected_possible && not expected_reliable then
+        if p >= 1. || p <= 0. then begin
+          (* boundary pairs may sit at the band edges; tolerate only
+             near-boundary distances *)
+          let d = Graphs.Geometry.dist points.(u) points.(j) in
+          if d > 1.05 && d < 1.95 && (p >= 1. || p <= 0.) then ok := false
+        end
+    done
+  done;
+  Alcotest.(check bool) "SINR physics induces the grey-zone dual" true !ok
+
+let test_bmmb_over_decay_over_sinr () =
+  (* The full four-layer stack: BMMB -> Decay MAC -> SINR physics, with the
+     dual graph derived from the same geometry. *)
+  let rng = Dsim.Rng.create ~seed:4 in
+  (* A connected chain of points, ~0.8 apart with jitter. *)
+  let n = 8 in
+  let points =
+    Array.init n (fun i ->
+        Graphs.Geometry.point
+          ((float_of_int i *. 0.8) +. Dsim.Rng.float rng 0.1)
+          (Dsim.Rng.float rng 0.3))
+  in
+  let dual = Graphs.Dual.of_embedding ~points ~c:2. in
+  Alcotest.(check bool) "chain connected" true
+    (Graphs.Bfs.is_connected (Graphs.Dual.reliable dual));
+  let module D = Radio.Decay.Over (Radio.Sinr) in
+  let radio = Radio.Sinr.create ~points ~params ~rng () in
+  let contention = Graphs.Graph.max_degree (Graphs.Dual.unreliable dual) + 1 in
+  let mac_params = Radio.Decay.default_params ~n ~max_contention:contention in
+  let mac = D.create ~radio ~dual ~params:mac_params ~rng () in
+  let tracker = Mmb.Problem.tracker ~dual [ (0, 0); (n - 1, 1) ] in
+  let bmmb =
+    Mmb.Bmmb.install ~mac:(D.handle mac)
+      ~on_deliver:(fun ~node ~msg ~time ->
+        Mmb.Problem.on_deliver tracker ~node ~msg ~time)
+      ()
+  in
+  Mmb.Bmmb.arrive bmmb ~node:0 ~msg:0;
+  Mmb.Bmmb.arrive bmmb ~node:(n - 1) ~msg:1;
+  ignore
+    (D.run mac ~max_slots:5_000_000 ~stop:(fun () ->
+         Mmb.Problem.complete tracker));
+  Alcotest.(check bool) "BMMB over Decay over SINR completes" true
+    (Mmb.Problem.complete tracker);
+  Alcotest.(check int) "no incomplete acks" 0 (D.incomplete_acks mac)
+
+let suite =
+  [
+    ( "radio.sinr",
+      [
+        Alcotest.test_case "range calibration" `Quick test_calibration;
+        Alcotest.test_case "decode probability bands" `Quick
+          test_decode_probability_bands;
+        Alcotest.test_case "solo transmission received" `Quick
+          test_solo_transmission_received;
+        Alcotest.test_case "interference blocks equal signals" `Quick
+          test_interference_blocks;
+        Alcotest.test_case "capture effect" `Quick test_capture_effect;
+        Alcotest.test_case "grey-zone dual emerges from physics" `Slow
+          test_emergent_dual_classification;
+        Alcotest.test_case "BMMB / Decay / SINR full stack" `Slow
+          test_bmmb_over_decay_over_sinr;
+      ] );
+  ]

@@ -1,0 +1,203 @@
+(* Direct engine tests, using inert node automata that only record what
+   happened to them. *)
+
+type log_entry = { at : float; what : [ `Rcv of int | `Ack of int ] }
+
+let make_env ?(policy = Amac.Schedulers.eager ()) ~dual ~fack ~fprog () =
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed:0 in
+  let trace = Dsim.Trace.create () in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ~trace ()
+  in
+  let n = Graphs.Dual.n dual in
+  let logs = Array.make n [] in
+  for node = 0 to n - 1 do
+    Amac.Standard_mac.attach mac ~node
+      {
+        Amac.Mac_intf.on_rcv =
+          (fun ~src:_ m ->
+            logs.(node) <-
+              { at = Dsim.Sim.now sim; what = `Rcv m } :: logs.(node));
+        on_ack =
+          (fun m ->
+            logs.(node) <-
+              { at = Dsim.Sim.now sim; what = `Ack m } :: logs.(node));
+      }
+  done;
+  (sim, mac, logs, trace)
+
+let test_basic_delivery () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 3) in
+  let sim, mac, logs, _ = make_env ~dual ~fack:10. ~fprog:1. () in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:1 42));
+  ignore (Dsim.Sim.run sim);
+  let rcvs node =
+    List.filter_map
+      (fun e -> match e.what with `Rcv m -> Some m | `Ack _ -> None)
+      logs.(node)
+  in
+  Alcotest.(check (list int)) "node 0 received" [ 42 ] (rcvs 0);
+  Alcotest.(check (list int)) "node 2 received" [ 42 ] (rcvs 2);
+  Alcotest.(check (list int)) "sender did not receive" [] (rcvs 1);
+  Alcotest.(check bool) "sender acked" true
+    (List.exists (fun e -> e.what = `Ack 42) logs.(1));
+  Alcotest.(check int) "stats: one bcast" 1 (Amac.Standard_mac.bcast_count mac);
+  Alcotest.(check int) "stats: two rcvs" 2 (Amac.Standard_mac.rcv_count mac);
+  Alcotest.(check int) "stats: one ack" 1 (Amac.Standard_mac.ack_count mac)
+
+let test_well_formedness () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim, mac, _, _ =
+    make_env ~dual ~fack:10. ~fprog:1.
+      ~policy:(Amac.Schedulers.adversarial ()) ()
+  in
+  let raised = ref false in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:0 1;
+         try Amac.Standard_mac.bcast mac ~node:0 2
+         with Amac.Standard_mac.Not_well_formed _ -> raised := true));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check bool) "second bcast before ack rejected" true !raised
+
+let test_ack_within_fack () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.star 6) in
+  let fack = 7. in
+  let sim, mac, logs, _ =
+    make_env ~dual ~fack ~fprog:1. ~policy:(Amac.Schedulers.adversarial ()) ()
+  in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:0 9));
+  ignore (Dsim.Sim.run sim);
+  (match List.find_opt (fun e -> e.what = `Ack 9) logs.(0) with
+  | Some e ->
+      Alcotest.(check bool) "ack within Fack" true (e.at <= fack +. 1e-9)
+  | None -> Alcotest.fail "no ack");
+  (* The adversarial plan stalls deliveries to Fack, but the per-leaf
+     progress watchdog forces them at Fprog; either way they must land by
+     the ack. *)
+  List.iter
+    (fun leaf ->
+      match List.find_opt (fun e -> e.what = `Rcv 9) logs.(leaf) with
+      | Some e ->
+          Alcotest.(check bool) "delivery in [Fprog, Fack]" true
+            (e.at >= 1. -. 1e-9 && e.at <= fack +. 1e-9)
+      | None -> Alcotest.fail "leaf missed the message")
+    [ 1; 2; 3; 4; 5 ]
+
+let test_progress_watchdog_forces_delivery () =
+  (* Adversarial policy delays deliveries to Fack, but the progress bound
+     forces the receiver to get something within Fprog. *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let fack = 100. and fprog = 3. in
+  let sim, mac, logs, _ =
+    make_env ~dual ~fack ~fprog ~policy:(Amac.Schedulers.adversarial ()) ()
+  in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:0 5));
+  ignore (Dsim.Sim.run sim);
+  (match List.rev logs.(1) with
+  | { at; what = `Rcv 5 } :: _ ->
+      Alcotest.(check (float 1e-9)) "forced at Fprog" fprog at
+  | _ -> Alcotest.fail "receiver never got the message");
+  Alcotest.(check int) "one forced delivery" 1
+    (Amac.Standard_mac.forced_count mac)
+
+let test_no_duplicate_instance_delivery () =
+  (* The forced delivery must replace, not duplicate, the planned one. *)
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim, mac, logs, _ =
+    make_env ~dual ~fack:50. ~fprog:5.
+      ~policy:(Amac.Schedulers.adversarial ()) ()
+  in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:0 5));
+  ignore (Dsim.Sim.run sim);
+  let rcvs =
+    List.filter (fun e -> match e.what with `Rcv _ -> true | _ -> false)
+      logs.(1)
+  in
+  Alcotest.(check int) "exactly one rcv" 1 (List.length rcvs)
+
+let test_invalid_plan_rejected () =
+  let bad_policy =
+    {
+      Amac.Mac_intf.pol_name = "bad";
+      pol_plan =
+        (fun ctx ->
+          {
+            Amac.Mac_intf.ack_delay = ctx.Amac.Mac_intf.bc_fack;
+            deliveries = [] (* misses the G-neighbor *);
+          });
+      pol_forced = (fun ctx -> List.hd ctx.Amac.Mac_intf.fc_candidates);
+    }
+  in
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim, mac, _, _ = make_env ~dual ~fack:10. ~fprog:1. ~policy:bad_policy () in
+  let raised = ref false in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         try Amac.Standard_mac.bcast mac ~node:0 1
+         with Invalid_argument _ -> raised := true));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check bool) "plan missing a G-neighbor rejected" true !raised
+
+let test_unreliable_delivery_possible () =
+  (* Eager policy delivers over G'-only edges too. *)
+  let g = Graphs.Gen.line 3 in
+  let g' = Graphs.Graph.of_edges ~n:3 (Graphs.Graph.edges g @ [ (0, 2) ]) in
+  let dual = Graphs.Dual.create ~g ~g' () in
+  let sim, mac, logs, _ = make_env ~dual ~fack:10. ~fprog:1. () in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:0 3));
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check bool) "G'-only neighbor reached" true
+    (List.exists (fun e -> e.what = `Rcv 3) logs.(2))
+
+let test_trace_events_recorded () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim, mac, _, trace = make_env ~dual ~fack:10. ~fprog:1. () in
+  ignore
+    (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
+         Amac.Standard_mac.bcast mac ~node:0 1));
+  ignore (Dsim.Sim.run sim);
+  let kinds =
+    List.map
+      (fun e ->
+        match e.Dsim.Trace.event with
+        | Dsim.Trace.Bcast _ -> "bcast"
+        | Dsim.Trace.Rcv _ -> "rcv"
+        | Dsim.Trace.Ack _ -> "ack"
+        | _ -> "other")
+      (Dsim.Trace.entries trace)
+  in
+  Alcotest.(check (list string)) "bcast, rcv, ack" [ "bcast"; "rcv"; "ack" ]
+    kinds
+
+let suite =
+  [
+    ( "amac.standard_mac",
+      [
+        Alcotest.test_case "basic delivery and ack" `Quick test_basic_delivery;
+        Alcotest.test_case "user well-formedness enforced" `Quick
+          test_well_formedness;
+        Alcotest.test_case "ack bound respected" `Quick test_ack_within_fack;
+        Alcotest.test_case "progress watchdog forces delivery" `Quick
+          test_progress_watchdog_forces_delivery;
+        Alcotest.test_case "no duplicate delivery per instance" `Quick
+          test_no_duplicate_instance_delivery;
+        Alcotest.test_case "invalid plans rejected" `Quick
+          test_invalid_plan_rejected;
+        Alcotest.test_case "unreliable edges can deliver" `Quick
+          test_unreliable_delivery_possible;
+        Alcotest.test_case "trace records MAC events" `Quick
+          test_trace_events_recorded;
+      ] );
+  ]

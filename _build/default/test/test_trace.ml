@@ -1,0 +1,54 @@
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_record_and_read () =
+  let tr = Dsim.Trace.create () in
+  Dsim.Trace.record tr ~time:0. (Dsim.Trace.Arrive { node = 1; msg = 7 });
+  Dsim.Trace.record tr ~time:1.5
+    (Dsim.Trace.Bcast { node = 1; msg = 7; instance = 0 });
+  Alcotest.(check int) "length" 2 (Dsim.Trace.length tr);
+  match Dsim.Trace.entries tr with
+  | [ e1; e2 ] ->
+      Alcotest.(check (float 1e-9)) "first time" 0. e1.Dsim.Trace.time;
+      Alcotest.(check (float 1e-9)) "second time" 1.5 e2.Dsim.Trace.time
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_disabled () =
+  let tr = Dsim.Trace.create ~enabled:false () in
+  Dsim.Trace.record tr ~time:0. (Dsim.Trace.Arrive { node = 0; msg = 0 });
+  Alcotest.(check bool) "disabled" false (Dsim.Trace.enabled tr);
+  Alcotest.(check int) "drops records" 0 (Dsim.Trace.length tr)
+
+let test_iter_order () =
+  let tr = Dsim.Trace.create () in
+  for i = 0 to 9 do
+    Dsim.Trace.record tr ~time:(float_of_int i)
+      (Dsim.Trace.Deliver { node = i; msg = i })
+  done;
+  let times = ref [] in
+  Dsim.Trace.iter tr (fun e -> times := e.Dsim.Trace.time :: !times);
+  Alcotest.(check (list (float 1e-9)))
+    "oldest first"
+    (List.init 10 float_of_int)
+    (List.rev !times)
+
+let test_pp () =
+  let tr = Dsim.Trace.create () in
+  Dsim.Trace.record tr ~time:2.
+    (Dsim.Trace.Rcv { node = 3; msg = 9; instance = 4 });
+  let s = Fmt.str "%a" Dsim.Trace.pp tr in
+  Alcotest.(check bool) "mentions node and instance" true
+    (contains s "rcv(m9)@3#i4")
+
+let suite =
+  [
+    ( "dsim.trace",
+      [
+        Alcotest.test_case "record and read back" `Quick test_record_and_read;
+        Alcotest.test_case "disabled trace drops" `Quick test_disabled;
+        Alcotest.test_case "iter is oldest-first" `Quick test_iter_order;
+        Alcotest.test_case "pretty-printing" `Quick test_pp;
+      ] );
+  ]
