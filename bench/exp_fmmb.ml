@@ -296,7 +296,7 @@ let e9_ablations () =
     (* Credit gather-phase knowledge to the tracker first. *)
     Array.iteri
       (fun v set ->
-        Hashtbl.iter
+        Dsim.Tbl.sorted_iter ~cmp:Int.compare
           (fun m () -> Mmb.Problem.on_deliver tracker ~node:v ~msg:m ~time:0.)
           set)
       gr.Mmb.Fmmb_gather.mis_sets;

@@ -68,7 +68,7 @@ let run () =
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
-  Hashtbl.iter
+  Dsim.Tbl.sorted_iter ~cmp:String.compare
     (fun name ols_result ->
       let ns =
         match Analyze.OLS.estimates ols_result with

@@ -14,7 +14,7 @@ let violation rule fmt = Format.kasprintf (fun detail -> { rule; detail }) fmt
 (* Merge closed intervals and test whether [lo, hi] is fully covered. *)
 let covered intervals ~lo ~hi ~tol =
   let sorted =
-    List.sort (fun (a, _) (b, _) -> compare a b)
+    List.sort (fun (a, _) (b, _) -> Float.compare a b)
       (List.filter (fun (a, b) -> b >= a) intervals)
   in
   let rec sweep point = function
@@ -130,8 +130,9 @@ let audit ~dual ~fack ~fprog ?(eps_abort = 0.) ?(allow_open = false) trace =
                        "instance %d has two terminating events" instance)
               | None -> inst.term <- Some (time, idx, `Abort))))
     entries;
-  (* Pass 2: per-instance global rules. *)
-  Hashtbl.iter
+  (* Pass 2: per-instance global rules.  Sorted by uid so the violation
+     list (and hence audit output) is stable across runs. *)
+  Dsim.Tbl.sorted_iter ~cmp:Int.compare
     (fun uid inst ->
       match inst.term with
       | None ->
@@ -156,7 +157,7 @@ let audit ~dual ~fack ~fprog ?(eps_abort = 0.) ?(allow_open = false) trace =
   let n = Graphs.Dual.n dual in
   let spans = Array.make n [] (* connected-instance spans per receiver *)
   and coverage = Array.make n [] (* contend-rcv coverage x-intervals *) in
-  Hashtbl.iter
+  Dsim.Tbl.sorted_iter ~cmp:Int.compare
     (fun _ inst ->
       let term_time =
         match inst.term with Some (tt, _, _) -> tt | None -> end_time

@@ -99,7 +99,7 @@ let validate_choice ~must ~candidates chosen =
   if not (List.for_all mem chosen) then
     invalid_arg "Enhanced_mac: policy delivered a non-candidate";
   let uids = List.map (fun c -> c.Mac_intf.cand_uid) chosen in
-  if List.length (List.sort_uniq compare uids) <> List.length uids then
+  if List.length (List.sort_uniq Int.compare uids) <> List.length uids then
     invalid_arg "Enhanced_mac: policy delivered a duplicate";
   if must && chosen = [] then
     invalid_arg "Enhanced_mac: progress bound requires a delivery"

@@ -123,8 +123,10 @@ let rec recheck_watchdog t j =
 and fire_watchdog t j =
   t.watchdog.(j) <- None;
   if t.connected_open.(j) > 0 && t.cover.(j) = 0 then begin
+    (* Key-sorted traversal: the candidate list order feeds the forced-
+       choice policy, so it must not depend on hash order. *)
     let candidates =
-      Hashtbl.fold
+      Dsim.Tbl.sorted_fold ~cmp:Int.compare
         (fun uid () acc ->
           match Hashtbl.find_opt t.instances uid with
           | None -> acc
@@ -209,7 +211,7 @@ let terminate t inst ~keep_late_deliveries =
       Dsim.Sim.cancel t.sim h;
       inst.ack_handle <- None
   | None -> ());
-  Hashtbl.iter
+  Dsim.Tbl.sorted_iter ~cmp:Int.compare
     (fun receiver handle ->
       if not keep_late_deliveries then begin
         Dsim.Sim.cancel t.sim handle;
@@ -262,11 +264,7 @@ let abort t ~node =
           inst.status <- Aborted now;
           (* Cancel deliveries scheduled beyond the eps_abort window; keep
              imminent ones — [deliver] re-checks the window at fire time. *)
-          let far =
-            Hashtbl.fold
-              (fun receiver handle acc -> (receiver, handle) :: acc)
-              inst.pending []
-          in
+          let far = Dsim.Tbl.to_sorted_list ~cmp:Int.compare inst.pending in
           List.iter
             (fun (receiver, handle) ->
               (* We cannot read the scheduled time back from the handle, so
@@ -286,7 +284,7 @@ let abort t ~node =
             (* Drop the instance record once the late window has passed. *)
             ignore
               (Dsim.Sim.schedule t.sim ~delay:(t.eps_abort +. 1e-9) (fun () ->
-                   Hashtbl.iter
+                   Dsim.Tbl.sorted_iter ~cmp:Int.compare
                      (fun _ handle -> Dsim.Sim.cancel t.sim handle)
                      inst.pending;
                    Hashtbl.reset inst.pending;

@@ -1,0 +1,38 @@
+(* Deterministic traversal over [Hashtbl].
+
+   OCaml's hash tables iterate in an order that depends on the hash seed
+   and insertion history, so [Hashtbl.iter]/[Hashtbl.fold] in a seeded
+   simulation silently break bit-for-bit replay (especially under
+   [OCAMLRUNPARAM=R], which randomizes hashing per table).  Every hot-path
+   traversal must instead go through these helpers, which snapshot the
+   bindings and order them by key under an explicit typed comparator.
+
+   This file is the single place allowed to call [Hashtbl.fold] directly;
+   it is entered in [lint.allow] for rule D1 (see mmb_lint).
+
+   Tables populated with [Hashtbl.add] duplicates yield every binding; the
+   codebase is [Hashtbl.replace]-only, so keys are unique in practice. *)
+
+let to_sorted_list ~cmp t =
+  List.sort
+    (fun (a, _) (b, _) -> cmp a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let sorted_keys ~cmp t =
+  List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let sorted_iter ~cmp f t =
+  List.iter (fun (k, v) -> f k v) (to_sorted_list ~cmp t)
+
+let sorted_fold ~cmp f t init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (to_sorted_list ~cmp t)
+
+(* Minimum key under [cmp], skipping keys for which [skip] holds.  A plain
+   fold is safe here: min over a total order is commutative, so the result
+   is independent of traversal order (and O(n), unlike sorting). *)
+let min_key ?(skip = fun _ -> false) ~cmp t =
+  Hashtbl.fold
+    (fun k _ acc ->
+      if skip k then acc
+      else match acc with Some best when cmp best k <= 0 -> acc | _ -> Some k)
+    t None

@@ -1,0 +1,377 @@
+(* mmb_lint — determinism lint over the project's OCaml sources.
+
+   The paper's bounds are only checkable if every simulation run is
+   bit-for-bit replayable from its seed.  This pass parses each [.ml] into
+   a Parsetree (compiler-libs) and walks it with [Ast_iterator], flagging
+   the classic sources of silent nondeterminism:
+
+     D1  Hashtbl.iter / Hashtbl.fold       unspecified iteration order
+     D2  global Random.* outside Dsim.Rng  ambient, unseeded randomness
+     D3  wall-clock / environment reads    ambient inputs in lib/
+     D4  physical equality on non-ints     address-dependent results
+     D5  polymorphic compare in sorts      fragile, untyped ordering
+
+   Findings print as [file:line:col [rule-id] message]; any finding makes
+   the driver exit nonzero.  Two escape hatches exist:
+
+   - a suppression comment [(* lint: allow D1 *)] on the finding's line or
+     the line directly above it;
+   - an allowlist file (see [load_allowlist]) pairing a rule id with a
+     path suffix, for files whose whole job is the flagged construct
+     (e.g. [lib/dsim/tbl.ml] wraps Hashtbl.fold for everyone else).
+
+   Adding a rule = one more entry in [default_rules]: give it an id, a
+   path filter, and an [Ast_iterator] built from [expr_rule]. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let finding_to_string f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.msg
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+(* --- Path helpers ------------------------------------------------------- *)
+
+(* Matching is by path suffix anchored at a component boundary, so
+   "lib/dsim/rng.ml" matches both a repo-relative and an absolute path. *)
+let path_has_suffix ~suffix file =
+  String.equal suffix file
+  || String.ends_with ~suffix:("/" ^ suffix) file
+
+(* --- Allowlist ---------------------------------------------------------- *)
+
+type allow = (string * string) list (* rule id, path suffix *)
+
+(* One entry per line: [RULE path/suffix.ml].  Blank lines and lines
+   starting with [#] are ignored. *)
+let parse_allowlist source : allow =
+  String.split_on_char '\n' source
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some i ->
+               let rule = String.sub line 0 i in
+               let path =
+                 String.trim (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               if path = "" then None else Some (rule, path))
+
+let load_allowlist path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_allowlist (really_input_string ic (in_channel_length ic)))
+
+let allowed allow ~rule ~file =
+  List.exists
+    (fun (r, suffix) -> String.equal r rule && path_has_suffix ~suffix file)
+    allow
+
+(* --- Suppression comments ---------------------------------------------- *)
+
+(* [(* lint: allow D1 D4 *)] suppresses the listed rules on its own line
+   and the line below.  Tokens that are not rule ids (prose after a dash,
+   say) are ignored. *)
+let is_rule_id tok =
+  String.length tok >= 2
+  && tok.[0] >= 'A'
+  && tok.[0] <= 'Z'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tok 1 (String.length tok - 1))
+
+let find_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* line number (1-based) -> rule ids allowed there *)
+let suppressions source : (int * string list) list =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (ln, line) ->
+         match find_substring ~sub:"lint: allow" line with
+         | None -> None
+         | Some i ->
+             let rest =
+               String.sub line (i + 11) (String.length line - i - 11)
+             in
+             let rest =
+               match find_substring ~sub:"*)" rest with
+               | Some j -> String.sub rest 0 j
+               | None -> rest
+             in
+             let ids =
+               String.split_on_char ' ' rest
+               |> List.map String.trim
+               |> List.filter is_rule_id
+             in
+             if ids = [] then None else Some (ln, ids))
+
+let suppressed sup ~rule ~line =
+  List.exists
+    (fun (ln, ids) ->
+      (ln = line || ln = line - 1) && List.exists (String.equal rule) ids)
+    sup
+
+(* --- Rule machinery ----------------------------------------------------- *)
+
+type reporter = loc:Location.t -> string -> unit
+
+type rule = {
+  id : string;
+  doc : string;
+  applies : string -> bool; (* repo-relative path filter *)
+  build : reporter -> Ast_iterator.iterator;
+}
+
+(* An iterator that calls [on_expr] on every expression (and still
+   recurses).  All current rules are expression-shaped; structure- or
+   pattern-level rules would add analogous helpers here. *)
+let expr_rule on_expr =
+  {
+    Ast_iterator.default_iterator with
+    expr =
+      (fun it e ->
+        on_expr e;
+        Ast_iterator.default_iterator.expr it e);
+  }
+
+let rec flatten_longident = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_longident l @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* Module path of expression [e] if it is an identifier, with any leading
+   [Stdlib] dropped so [Stdlib.Hashtbl.fold] and [Hashtbl.fold] match. *)
+let ident_path e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> (
+      match flatten_longident txt with
+      | "Stdlib" :: rest -> Some rest
+      | path -> Some path)
+  | _ -> None
+
+let path_is candidates e =
+  match ident_path e with
+  | Some p -> List.mem p candidates
+  | None -> false
+
+let is_int_literal e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constant (Parsetree.Pconst_integer _) -> true
+  | _ -> false
+
+(* --- The rules ---------------------------------------------------------- *)
+
+let rule_d1 =
+  {
+    id = "D1";
+    doc = "Hashtbl.iter/Hashtbl.fold: iteration order is unspecified";
+    applies = (fun _ -> true);
+    build =
+      (fun report ->
+        expr_rule (fun e ->
+            match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_apply (fn, _)
+              when path_is [ [ "Hashtbl"; "iter" ]; [ "Hashtbl"; "fold" ] ] fn
+              ->
+                report ~loc:fn.Parsetree.pexp_loc
+                  "Hashtbl iteration order is unspecified under seeded \
+                   hashing; use Dsim.Tbl.sorted_iter/sorted_fold (or \
+                   suppress if provably order-independent)"
+            | _ -> ()));
+  }
+
+let rule_d2 =
+  {
+    id = "D2";
+    doc = "global Random.* outside Dsim.Rng";
+    applies = (fun file -> not (path_has_suffix ~suffix:"lib/dsim/rng.ml" file));
+    build =
+      (fun report ->
+        expr_rule (fun e ->
+            match ident_path e with
+            | Some ("Random" :: _ :: _) ->
+                report ~loc:e.Parsetree.pexp_loc
+                  "ambient Random state breaks seeded replay; route \
+                   randomness through Dsim.Rng"
+            | _ -> ()));
+  }
+
+let rule_d3 =
+  let banned =
+    [
+      [ "Sys"; "time" ];
+      [ "Unix"; "time" ];
+      [ "Unix"; "gettimeofday" ];
+      [ "Sys"; "getenv" ];
+      [ "Sys"; "getenv_opt" ];
+    ]
+  in
+  {
+    id = "D3";
+    doc = "wall-clock/ambient reads inside lib/";
+    applies =
+      (fun file ->
+        String.starts_with ~prefix:"lib/" file
+        || find_substring ~sub:"/lib/" file <> None);
+    build =
+      (fun report ->
+        expr_rule (fun e ->
+            match ident_path e with
+            | Some p when List.mem p banned ->
+                report ~loc:e.Parsetree.pexp_loc
+                  (Printf.sprintf
+                     "%s is an ambient input; simulation libraries must \
+                      depend only on the seed and scenario"
+                     (String.concat "." p))
+            | _ -> ()));
+  }
+
+let rule_d4 =
+  {
+    id = "D4";
+    doc = "physical equality on non-int expressions";
+    applies = (fun _ -> true);
+    build =
+      (fun report ->
+        expr_rule (fun e ->
+            match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_apply (fn, [ (_, a); (_, b) ])
+              when path_is [ [ "==" ]; [ "!=" ] ] fn
+                   && (not (is_int_literal a))
+                   && not (is_int_literal b) ->
+                report ~loc:fn.Parsetree.pexp_loc
+                  "physical equality depends on allocation, not value; use \
+                   structural (=) or a typed equal"
+            | _ -> ()));
+  }
+
+let sort_functions =
+  [
+    [ "List"; "sort" ];
+    [ "List"; "stable_sort" ];
+    [ "List"; "fast_sort" ];
+    [ "List"; "sort_uniq" ];
+    [ "Array"; "sort" ];
+    [ "Array"; "stable_sort" ];
+    [ "Array"; "fast_sort" ];
+  ]
+
+let poly_cmp_idents =
+  [ [ "compare" ]; [ "Poly"; "compare" ]; [ "=" ]; [ "<" ]; [ ">" ]; [ "<=" ]; [ ">=" ]; [ "<>" ] ]
+
+(* Does a comparator expression lean on polymorphic comparison?  Either it
+   IS [compare], or it is a lambda that applies [compare] / a polymorphic
+   comparison operator somewhere inside. *)
+let rec comparator_is_polymorphic cmp =
+  if path_is [ [ "compare" ]; [ "Poly"; "compare" ] ] cmp then true
+  else
+    match cmp.Parsetree.pexp_desc with
+    | Parsetree.Pexp_fun (_, _, _, body) -> comparator_is_polymorphic body
+    | Parsetree.Pexp_function _ -> false
+    | Parsetree.Pexp_apply (fn, args) ->
+        path_is poly_cmp_idents fn
+        || List.exists (fun (_, a) -> comparator_is_polymorphic a) args
+    | Parsetree.Pexp_ifthenelse (c, t, e) ->
+        comparator_is_polymorphic c || comparator_is_polymorphic t
+        || (match e with Some e -> comparator_is_polymorphic e | None -> false)
+    | _ -> false
+
+let rule_d5 =
+  {
+    id = "D5";
+    doc = "polymorphic compare in sort comparators (lib/amac, lib/mmb)";
+    applies =
+      (fun file ->
+        List.exists
+          (fun dir ->
+            String.starts_with ~prefix:(dir ^ "/") file
+            || find_substring ~sub:("/" ^ dir ^ "/") file <> None)
+          [ "lib/amac"; "lib/mmb" ]);
+    build =
+      (fun report ->
+        expr_rule (fun e ->
+            match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_apply (fn, (_, cmp) :: _)
+              when path_is sort_functions fn && comparator_is_polymorphic cmp
+              ->
+                report ~loc:cmp.Parsetree.pexp_loc
+                  "polymorphic compare in a sort comparator; use a typed \
+                   comparator (Int.compare, String.compare, ...)"
+            | _ -> ()));
+  }
+
+let default_rules = [ rule_d1; rule_d2; rule_d3; rule_d4; rule_d5 ]
+
+(* --- Driver ------------------------------------------------------------- *)
+
+(* Lint [source], reporting findings under path [file] (which also drives
+   per-rule path filters — tests exploit this to lint fixtures "as if"
+   they lived under lib/). *)
+let lint_source ?(rules = default_rules) ?(allow = []) ~file source =
+  let sup = suppressions source in
+  let findings = ref [] in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | exception _ ->
+      [
+        {
+          file;
+          line = 1;
+          col = 0;
+          rule = "E0";
+          msg = "source does not parse; fix the syntax error first";
+        };
+      ]
+  | ast ->
+      List.iter
+        (fun rule ->
+          if rule.applies file then begin
+            let report ~loc msg =
+              let pos = loc.Location.loc_start in
+              let line = pos.Lexing.pos_lnum in
+              let col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol in
+              if
+                (not (suppressed sup ~rule:rule.id ~line))
+                && not (allowed allow ~rule:rule.id ~file)
+              then findings := { file; line; col; rule = rule.id; msg } :: !findings
+            in
+            let it = rule.build report in
+            it.Ast_iterator.structure it ast
+          end)
+        rules;
+      List.sort_uniq compare_findings !findings
+
+let lint_file ?rules ?allow file =
+  let ic = open_in file in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  lint_source ?rules ?allow ~file source
+
+let lint_files ?rules ?allow files =
+  List.concat_map (fun f -> lint_file ?rules ?allow f) files
+  |> List.sort compare_findings

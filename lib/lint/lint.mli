@@ -1,0 +1,76 @@
+(** mmb_lint — determinism lint over the project's OCaml sources.
+
+    Parses each [.ml] into a Parsetree (compiler-libs) and walks it with
+    [Ast_iterator], flagging the classic sources of silent nondeterminism
+    in a seeded simulation:
+
+    - [D1] [Hashtbl.iter]/[Hashtbl.fold] — unspecified iteration order;
+      use {!Dsim.Tbl} instead.
+    - [D2] global [Random.*] outside [lib/dsim/rng.ml] — all randomness
+      must flow through the seeded [Dsim.Rng].
+    - [D3] wall-clock/ambient reads ([Sys.time], [Unix.gettimeofday],
+      [Sys.getenv], ...) inside [lib/].
+    - [D4] physical equality [==]/[!=] where neither operand is an int
+      literal.
+    - [D5] polymorphic [compare] in sort comparators within [lib/amac]
+      and [lib/mmb].
+
+    Escape hatches: a [(* lint: allow D1 *)] comment on the finding's
+    line or the line directly above it, or an allowlist entry pairing a
+    rule id with a path suffix.  See DESIGN.md "Determinism & lint
+    rules". *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : string;  (** rule id, e.g. ["D1"]; ["E0"] for parse errors *)
+  msg : string;
+}
+
+val finding_to_string : finding -> string
+(** [file:line:col [rule-id] message] — the CLI output format. *)
+
+type allow = (string * string) list
+(** Allowlist entries: [(rule id, path suffix)].  A finding is dropped
+    when its rule matches and its file ends with the suffix (anchored at
+    a path component). *)
+
+val parse_allowlist : string -> allow
+(** Parse allowlist text: one ["RULE path/suffix.ml"] entry per line;
+    blank lines and [#] comments ignored. *)
+
+val load_allowlist : string -> allow
+(** [parse_allowlist] over a file's contents. *)
+
+type reporter = loc:Location.t -> string -> unit
+
+type rule = {
+  id : string;
+  doc : string;
+  applies : string -> bool;  (** path filter, repo-relative *)
+  build : reporter -> Ast_iterator.iterator;
+}
+(** A lint rule: adding one to {!default_rules} is the whole extension
+    story — give it an id, a path filter, and an iterator that calls the
+    reporter on each hazard. *)
+
+val expr_rule : (Parsetree.expression -> unit) -> Ast_iterator.iterator
+(** Iterator running a callback on every expression (recursing). *)
+
+val default_rules : rule list
+(** D1–D5, in order. *)
+
+val lint_source :
+  ?rules:rule list -> ?allow:allow -> file:string -> string -> finding list
+(** Lint source text, reporting findings under path [file] (which also
+    drives per-rule path filters — tests lint fixtures "as if" they lived
+    under [lib/]).  Unparseable source yields a single [E0] finding.
+    Findings are sorted by (file, line, col, rule). *)
+
+val lint_file : ?rules:rule list -> ?allow:allow -> string -> finding list
+(** {!lint_source} over a file on disk. *)
+
+val lint_files :
+  ?rules:rule list -> ?allow:allow -> string list -> finding list
+(** Lint many files; the concatenated findings are re-sorted. *)

@@ -41,12 +41,7 @@ let run ~dual ~rng ~policy ~params ~mis ~initial ~on_payload ?engine ?trace
         Amac.Round_engine.of_enhanced
           (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
   in
-  let smallest_payload v =
-    Hashtbl.fold
-      (fun m () acc ->
-        match acc with Some best when best <= m -> acc | _ -> Some m)
-      sets.(v) None
-  in
+  let smallest_payload v = Dsim.Tbl.min_key ~cmp:Int.compare sets.(v) in
   let note_payloads v inbox =
     List.iter
       (fun env ->

@@ -32,11 +32,7 @@ type t = {
 let is_gather_period period = period mod 2 = 0
 
 let smallest set except =
-  Hashtbl.fold
-    (fun m () acc ->
-      if Hashtbl.mem except m then acc
-      else match acc with Some best when best <= m -> acc | _ -> Some m)
-    set None
+  Dsim.Tbl.min_key ~skip:(Hashtbl.mem except) ~cmp:Int.compare set
 
 let no_except : (int, unit) Hashtbl.t = Hashtbl.create 1
 
@@ -246,7 +242,13 @@ let run ~dual ~fprog ~rng ~policy ~c ~arrivals ~tracker ~max_rounds
      max(0, ceil((T - mis_end) / fprog)). *)
   let mis_end = float_of_int mis_rounds *. fprog in
   let by_round =
-    List.sort compare
+    List.sort
+      (fun (r1, n1, m1) (r2, n2, m2) ->
+        let c = Int.compare r1 r2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare n1 n2 in
+          if c <> 0 then c else Int.compare m1 m2)
       (List.map
          (fun (time, node, msg) ->
            let r =

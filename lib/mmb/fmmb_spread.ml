@@ -29,11 +29,7 @@ let run ~dual ~rng ~policy ~params ~mis ~sets ~on_payload ~stop ~max_phases
           (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
   in
   let next_unsent v =
-    Hashtbl.fold
-      (fun m () acc ->
-        if Hashtbl.mem sent.(v) m then acc
-        else match acc with Some best when best <= m -> acc | _ -> Some m)
-      sets.(v) None
+    Dsim.Tbl.min_key ~skip:(Hashtbl.mem sent.(v)) ~cmp:Int.compare sets.(v)
   in
   let process_inbox v ~prev_round inbox =
     let prev_sub = prev_round mod 3 in

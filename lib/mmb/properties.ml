@@ -44,7 +44,7 @@ let check ~dual trace =
       | Dsim.Trace.Bcast _ | Dsim.Trace.Ack _ | Dsim.Trace.Abort _ -> ())
     entries;
   (* Completeness: every message must reach its origin's whole component. *)
-  Hashtbl.iter
+  Dsim.Tbl.sorted_iter ~cmp:Int.compare
     (fun msg (_, origin) ->
       for v = 0 to n - 1 do
         if comp.(v) = comp.(origin) && not (Hashtbl.mem delivered (v, msg))

@@ -122,7 +122,8 @@ let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
             (Fmmb_msg.Doms
                {
                  origin = v;
-                 doms = Hashtbl.fold (fun id () acc -> id :: acc) doms.(v) [];
+                 (* Sorted so the message payload itself is replayable. *)
+                 doms = Dsim.Tbl.sorted_keys ~cmp:Int.compare doms.(v);
                })
         else Amac.Enhanced_mac.Listen)
   done;
@@ -143,7 +144,7 @@ let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
   let volunteers v =
     if mis.(v) then false
     else begin
-      let my = Hashtbl.fold (fun id () acc -> id :: acc) doms.(v) [] in
+      let my = Dsim.Tbl.sorted_keys ~cmp:Int.compare doms.(v) in
       let covers u_doms a b = List.mem a u_doms && List.mem b u_doms in
       let two_hop =
         List.exists
@@ -152,7 +153,7 @@ let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
               (fun b ->
                 a < b
                 && not
-                     (Hashtbl.fold
+                     (Dsim.Tbl.sorted_fold ~cmp:Int.compare
                         (fun u u_doms acc ->
                           acc || (u < v && covers u_doms a b))
                         heard.(v) false))
@@ -160,7 +161,7 @@ let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
           my
       in
       let three_hop =
-        Hashtbl.fold
+        Dsim.Tbl.sorted_fold ~cmp:Int.compare
           (fun _ u_doms acc ->
             acc
             || List.exists
@@ -169,7 +170,7 @@ let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
                    && List.exists
                         (fun a ->
                           not
-                            (Hashtbl.fold
+                            (Dsim.Tbl.sorted_fold ~cmp:Int.compare
                                (fun _ w_doms acc2 ->
                                  acc2 || covers w_doms a b)
                                heard.(v) false))

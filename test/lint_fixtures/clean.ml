@@ -1,0 +1,6 @@
+(* Fixture: determinism-clean code — zero findings expected. *)
+let total t = List.fold_left (fun acc (_, v) -> acc + v) 0 t
+
+let ordered l = List.sort Int.compare l
+
+let is_zero x = x = 0

@@ -1,0 +1,2 @@
+(* Fixture: D1 hit that fixtures.allow exempts for this whole file. *)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

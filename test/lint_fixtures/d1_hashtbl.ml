@@ -1,0 +1,4 @@
+(* Fixture: D1 positive — raw Hashtbl traversal. *)
+let sum t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+
+let dump t = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) t

@@ -1,0 +1,4 @@
+(* Fixture: D2 positive — ambient Random outside Dsim.Rng. *)
+let flip () = Random.bool ()
+
+let jitter () = Random.State.float (Random.get_state ()) 1.0

@@ -1,0 +1,4 @@
+(* Fixture: D3 positive when linted under a lib/ path. *)
+let stamp () = Sys.time ()
+
+let home () = Sys.getenv "HOME"

@@ -1,0 +1,8 @@
+(* Fixture: D4 positive — physical equality on non-int expressions. *)
+let same_list a b = a == b
+
+let diff_ref a b = a != b
+
+(* Physical equality against an int literal is the accepted idiom for
+   sentinel checks and must NOT be flagged. *)
+let is_zero x = x == 0

@@ -1,0 +1,8 @@
+(* Fixture: D5 positive when linted under lib/amac or lib/mmb — both the
+   bare [compare] and a lambda wrapping it. *)
+let sorted l = List.sort compare l
+
+let sorted_pairs l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+(* A typed comparator must NOT be flagged. *)
+let sorted_ints l = List.sort Int.compare l

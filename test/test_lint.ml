@@ -1,0 +1,128 @@
+(* The determinism linter itself: fixture files under lint_fixtures/
+   exercise every rule's positive hit, the suppression-comment escape
+   hatch, and the allowlist escape hatch. *)
+
+let rules_of findings = List.map (fun f -> f.Lint.rule) findings
+let lines_of findings = List.map (fun f -> f.Lint.line) findings
+
+let check_rules name expected findings =
+  Alcotest.(check (list string)) name expected (rules_of findings)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- D1: Hashtbl traversal --------------------------------------------- *)
+
+let test_d1_hit () =
+  let fs = Lint.lint_file "lint_fixtures/d1_hashtbl.ml" in
+  check_rules "two D1 findings" [ "D1"; "D1" ] fs;
+  Alcotest.(check (list int)) "on the fold and iter lines" [ 2; 4 ] (lines_of fs)
+
+let test_d1_suppressed () =
+  check_rules "same-line and previous-line suppressions hold" []
+    (Lint.lint_file "lint_fixtures/d1_suppressed.ml")
+
+let test_d1_allowlisted () =
+  let allow = Lint.load_allowlist "lint_fixtures/fixtures.allow" in
+  check_rules "allowlist entry silences the file" []
+    (Lint.lint_file ~allow "lint_fixtures/d1_allowlisted.ml");
+  check_rules "without the allowlist the hit is live" [ "D1" ]
+    (Lint.lint_file "lint_fixtures/d1_allowlisted.ml")
+
+(* --- D2: ambient Random ------------------------------------------------- *)
+
+let test_d2_hit () =
+  check_rules "every Random.* ident flagged" [ "D2"; "D2"; "D2" ]
+    (Lint.lint_file "lint_fixtures/d2_random.ml")
+
+let test_d2_rng_exempt () =
+  (* The same source is legal inside the one sanctioned module. *)
+  let source = read_file "lint_fixtures/d2_random.ml" in
+  check_rules "lib/dsim/rng.ml may touch Random" []
+    (Lint.lint_source ~file:"lib/dsim/rng.ml" source)
+
+(* --- D3: wall-clock / ambient reads, scoped to lib/ --------------------- *)
+
+let test_d3_scope () =
+  let source = read_file "lint_fixtures/d3_clock.ml" in
+  check_rules "flagged under lib/" [ "D3"; "D3" ]
+    (Lint.lint_source ~file:"lib/dsim/fixture.ml" source);
+  check_rules "bench may read the clock" []
+    (Lint.lint_source ~file:"bench/fixture.ml" source)
+
+(* --- D4: physical equality ---------------------------------------------- *)
+
+let test_d4_hit () =
+  let fs = Lint.lint_file "lint_fixtures/d4_physeq.ml" in
+  check_rules "== and != on non-ints flagged, int sentinel not" [ "D4"; "D4" ]
+    fs;
+  Alcotest.(check (list int)) "hit lines" [ 2; 4 ] (lines_of fs)
+
+(* --- D5: polymorphic compare in sorts, scoped to amac/mmb --------------- *)
+
+let test_d5_scope () =
+  let source = read_file "lint_fixtures/d5_polysort.ml" in
+  check_rules "bare compare and wrapped compare flagged" [ "D5"; "D5" ]
+    (Lint.lint_source ~file:"lib/mmb/fixture.ml" source);
+  check_rules "out of scope under lib/graphs" []
+    (Lint.lint_source ~file:"lib/graphs/fixture.ml" source)
+
+(* --- Cross-rule: clean fixture, escape hatches for every rule ------------ *)
+
+let test_clean () =
+  check_rules "clean fixture has zero findings" []
+    (Lint.lint_file "lint_fixtures/clean.ml")
+
+(* (rule, minimal offending source, path it must be linted under) *)
+let per_rule_hits =
+  [
+    ("D1", "let f t = Hashtbl.iter (fun _ _ -> ()) t", "lib/mmb/x.ml");
+    ("D2", "let f () = Random.int 3", "lib/mmb/x.ml");
+    ("D3", "let f () = Sys.time ()", "lib/mmb/x.ml");
+    ("D4", "let f a b = a == b", "lib/mmb/x.ml");
+    ("D5", "let f l = List.sort compare l", "lib/mmb/x.ml");
+  ]
+
+let test_every_rule_suppressible () =
+  List.iter
+    (fun (rule, src, file) ->
+      check_rules (rule ^ " fires bare") [ rule ]
+        (Lint.lint_source ~file src);
+      let suppressed =
+        Printf.sprintf "(* lint: allow %s *)\n%s" rule src
+      in
+      check_rules (rule ^ " suppressed by comment") []
+        (Lint.lint_source ~file suppressed);
+      check_rules (rule ^ " silenced by allowlist") []
+        (Lint.lint_source ~file ~allow:[ (rule, file) ] src);
+      check_rules (rule ^ " not silenced by another rule's allow entry")
+        [ rule ]
+        (Lint.lint_source ~file ~allow:[ ("D9", file) ] src))
+    per_rule_hits
+
+let test_parse_error_is_a_finding () =
+  check_rules "unparseable source yields E0" [ "E0" ]
+    (Lint.lint_source ~file:"lib/mmb/x.ml" "let = =")
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "D1 Hashtbl traversal" `Quick test_d1_hit;
+        Alcotest.test_case "D1 suppression comments" `Quick test_d1_suppressed;
+        Alcotest.test_case "D1 allowlist" `Quick test_d1_allowlisted;
+        Alcotest.test_case "D2 ambient Random" `Quick test_d2_hit;
+        Alcotest.test_case "D2 rng.ml exemption" `Quick test_d2_rng_exempt;
+        Alcotest.test_case "D3 clock scoped to lib/" `Quick test_d3_scope;
+        Alcotest.test_case "D4 physical equality" `Quick test_d4_hit;
+        Alcotest.test_case "D5 polymorphic sort" `Quick test_d5_scope;
+        Alcotest.test_case "clean fixture" `Quick test_clean;
+        Alcotest.test_case "suppression + allowlist for every rule" `Quick
+          test_every_rule_suppressible;
+        Alcotest.test_case "parse errors are findings" `Quick
+          test_parse_error_is_a_finding;
+      ] );
+  ]
