@@ -1,6 +1,9 @@
 (* Experiment harness entry point.  `dune exec bench/main.exe` regenerates
    every table/figure of the paper (see DESIGN.md section 5); pass experiment
-   ids (e1..e9, b1) to run a subset. *)
+   ids (e1..e9, b1) to run a subset.  Each experiment also appends one
+   engine-counter delta line (Obs.Global) to a metrics sidecar JSONL,
+   `bench-metrics.jsonl` by default (override with --metrics-out FILE,
+   disable with --no-metrics). *)
 
 let groups =
   [
@@ -23,12 +26,26 @@ let groups =
     ("b1", fun () -> Exp_micro.run ());
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst groups
+(* Tiny argv parser: [--metrics-out FILE | --no-metrics] may appear anywhere;
+   every other token is an experiment id. *)
+let parse_args argv =
+  let rec go metrics ids = function
+    | [] -> (metrics, List.rev ids)
+    | "--no-metrics" :: rest -> go None ids rest
+    | [ "--metrics-out" ] ->
+        prerr_endline "--metrics-out requires a FILE argument";
+        exit 2
+    | "--metrics-out" :: file :: rest -> go (Some file) ids rest
+    | id :: rest -> go metrics (id :: ids) rest
   in
+  go (Some "bench-metrics.jsonl") [] (List.tl (Array.to_list argv))
+
+let () =
+  let metrics_out, requested = parse_args Sys.argv in
+  let requested =
+    match requested with [] -> List.map fst groups | ids -> ids
+  in
+  let sidecar = Option.map open_out metrics_out in
   print_endline
     "Multi-Message Broadcast with Abstract MAC Layers — experiment harness";
   print_endline
@@ -36,6 +53,26 @@ let () =
   List.iter
     (fun id ->
       match List.assoc_opt (String.lowercase_ascii id) groups with
-      | Some f -> f ()
+      | Some f ->
+          let before = Obs.Global.snapshot () in
+          let t0 = Sys.time () in
+          f ();
+          let wall_s = Sys.time () -. t0 in
+          let after = Obs.Global.snapshot () in
+          Option.iter
+            (fun oc ->
+              let delta = Obs.Global.diff ~before ~after in
+              output_string oc
+                (Dsim.Json.to_string
+                   (Obs.Global.to_json ~label:id ~wall_s delta));
+              output_char oc '\n';
+              flush oc)
+            sidecar
       | None -> Printf.eprintf "unknown experiment id: %s\n" id)
-    requested
+    requested;
+  Option.iter
+    (fun oc ->
+      close_out oc;
+      Printf.printf "engine metrics sidecar: %s\n"
+        (Option.value metrics_out ~default:"bench-metrics.jsonl"))
+    sidecar

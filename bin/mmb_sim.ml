@@ -71,6 +71,23 @@ let trace_out_arg =
   Arg.(
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write a metrics JSONL snapshot (counters, latency histograms, spans, \
+     engine gauges, compliance verdict) to FILE after the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a one-line frontier/heap status every INTERVAL simulated time \
+     units (default 10 when the flag is given bare)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some 10.) (some float) None
+    & info [ "progress" ] ~docv:"INTERVAL" ~doc)
+
 let svg_arg =
   let doc =
     "Render the network to FILE as SVG (geometric/greyzone networks only)."
@@ -133,17 +150,71 @@ let describe_dual dual =
 
 (* --- run ----------------------------------------------------------------- *)
 
-let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out =
+let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
+    ~metrics ~progress =
   match build_scheduler scheduler with
   | Error e -> `Error (false, e)
   | Ok policy ->
       let rng = Dsim.Rng.create ~seed in
-      let assignment = Mmb.Problem.random rng ~n:(Graphs.Dual.n dual) ~k in
+      let n = Graphs.Dual.n dual in
+      let assignment = Mmb.Problem.random rng ~n ~k in
       let want_trace = check || trace || trace_out <> None in
+      (* Fail fast: the streaming monitor stops the simulation at the first
+         axiom violation, printing the offending event. *)
+      let sim_ref = ref None in
+      let on_violation entry v =
+        Fmt.epr "[monitor] %a@." Amac.Compliance.pp_violation v;
+        (match entry with
+        | Some e -> Fmt.epr "[monitor] offending event: %a@." Dsim.Trace.pp_entry e
+        | None -> ());
+        match !sim_ref with Some sim -> Dsim.Sim.stop sim | None -> ()
+      in
+      let obs =
+        if metrics <> None || progress <> None then
+          Some
+            (Obs.Observer.create ~n ~dual ~fack ~fprog ~on_violation
+               ~meta:
+                 [
+                   ("protocol", Dsim.Json.String "bmmb");
+                   ("scheduler", Dsim.Json.String scheduler);
+                   ("n", Dsim.Json.Number (float_of_int n));
+                   ("k", Dsim.Json.Number (float_of_int k));
+                   ("fack", Dsim.Json.Number fack);
+                   ("fprog", Dsim.Json.Number fprog);
+                   ("seed", Dsim.Json.Number (float_of_int seed));
+                 ]
+               ())
+        else None
+      in
+      let setup sim =
+        sim_ref := Some sim;
+        (* Wall time is injected from outside the library (lint rule D3);
+           it only feeds volatile gauges, never the default export. *)
+        Dsim.Sim.set_wall_clock sim Sys.time;
+        match (obs, progress) with
+        | Some o, Some interval ->
+            let interval = if interval <= 0. then 10. else interval in
+            let rec tick () =
+              print_endline (Obs.Observer.progress_line o ~sim);
+              (* Only reschedule while other work is pending, so the ticker
+                 never keeps a drained simulation alive. *)
+              if Dsim.Sim.pending sim > 0 then
+                ignore
+                  (Dsim.Sim.schedule ~cat:"obs.progress" sim ~delay:interval
+                     tick)
+            in
+            ignore (Dsim.Sim.schedule_at ~cat:"obs.progress" sim ~time:0. tick)
+        | _ -> ()
+      in
       let res =
         Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
-          ~check_compliance:want_trace ()
+          ~check_compliance:want_trace ?obs ~setup ()
       in
+      (match (obs, metrics) with
+      | Some o, Some path ->
+          Obs.Observer.to_file o path;
+          Printf.printf "metrics written to %s\n" path
+      | _ -> ());
       describe_dual dual;
       Printf.printf "protocol: BMMB, scheduler: %s, Fack=%g, Fprog=%g\n"
         scheduler fack fprog;
@@ -154,6 +225,7 @@ let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out =
          else 0.);
       Printf.printf "bcasts: %d, rcvs: %d, forced progress deliveries: %d\n"
         res.Mmb.Runner.bcasts res.Mmb.Runner.rcvs res.Mmb.Runner.forced;
+      Printf.printf "engine: %d events executed\n" res.Mmb.Runner.events_executed;
       if check then
         if res.Mmb.Runner.compliance_violations = [] then
           print_endline "compliance: OK (all five axioms hold)"
@@ -175,14 +247,38 @@ let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out =
       ignore want_trace;
       `Ok ()
 
-let run_fmmb ~dual ~fprog ~k ~seed =
+let run_fmmb ~dual ~fprog ~k ~seed ~metrics =
   let rng = Dsim.Rng.create ~seed in
-  let assignment = Mmb.Problem.random rng ~n:(Graphs.Dual.n dual) ~k in
+  let n = Graphs.Dual.n dual in
+  let assignment = Mmb.Problem.random rng ~n ~k in
+  (* Span-only observer: FMMB's staged engines restart uids/clocks, so the
+     streaming compliance monitor does not apply (see Obs.Monitor). *)
+  let obs =
+    match metrics with
+    | None -> None
+    | Some _ ->
+        Some
+          (Obs.Observer.create ~n
+             ~meta:
+               [
+                 ("protocol", Dsim.Json.String "fmmb");
+                 ("n", Dsim.Json.Number (float_of_int n));
+                 ("k", Dsim.Json.Number (float_of_int k));
+                 ("fprog", Dsim.Json.Number fprog);
+                 ("seed", Dsim.Json.Number (float_of_int seed));
+               ]
+             ())
+  in
   let res =
     Mmb.Runner.run_fmmb ~dual ~fprog ~c:2.
       ~policy:(Amac.Enhanced_mac.minimal_random ())
-      ~assignment ~seed ()
+      ~assignment ~seed ?obs ()
   in
+  (match (obs, metrics) with
+  | Some o, Some path ->
+      Obs.Observer.to_file o path;
+      Printf.printf "metrics written to %s\n" path
+  | _ -> ());
   describe_dual dual;
   let f = res.Mmb.Runner.fmmb in
   Printf.printf "protocol: FMMB (enhanced model), Fprog=%g\n" fprog;
@@ -196,7 +292,7 @@ let run_fmmb ~dual ~fprog ~k ~seed =
 
 let run_cmd =
   let action protocol topology gprime n k r extra fack fprog seed scheduler
-      check trace trace_out svg =
+      check trace trace_out metrics progress svg =
     match build_dual ~topology ~gprime ~n ~r ~extra ~seed with
     | Error e -> `Error (false, e)
     | Ok dual -> (
@@ -214,8 +310,8 @@ let run_cmd =
         match protocol with
         | "bmmb" ->
             run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
-              ~trace_out
-        | "fmmb" -> run_fmmb ~dual ~fprog ~k ~seed
+              ~trace_out ~metrics ~progress
+        | "fmmb" -> run_fmmb ~dual ~fprog ~k ~seed ~metrics
         | other -> `Error (false, Printf.sprintf "unknown protocol %S" other))
   in
   let term =
@@ -223,7 +319,8 @@ let run_cmd =
       ret
         (const action $ protocol_arg $ topology $ gprime $ n_arg $ k_arg
        $ r_arg $ extra_arg $ fack_arg $ fprog_arg $ seed_arg $ scheduler_arg
-       $ check_arg $ trace_arg $ trace_out_arg $ svg_arg))
+       $ check_arg $ trace_arg $ trace_out_arg $ metrics_arg $ progress_arg
+       $ svg_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one MMB simulation and print its metrics.")

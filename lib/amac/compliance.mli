@@ -39,3 +39,9 @@ val audit :
     for instances with no terminating event (horizon-truncated runs). *)
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val covered : (float * float) list -> lo:float -> hi:float -> tol:float -> bool
+(** [covered intervals ~lo ~hi ~tol]: do the closed intervals jointly
+    cover [[lo, hi]] (up to [tol] slack at junctions)?  The progress-bound
+    primitive, exported so the streaming monitor ({!Obs.Monitor}) checks
+    coverage with the exact same sweep as this post-hoc auditor. *)

@@ -21,6 +21,7 @@ type 'msg t = {
   policy : 'msg Mac_intf.policy;
   rng : Dsim.Rng.t;
   trace : Dsim.Trace.t option;
+  msg_id : ('msg -> int) option; (* payload id for trace msg fields *)
   handlers : 'msg Mac_intf.handlers option array;
   busy : bool array;
   current : int option array; (* in-flight instance uid per node *)
@@ -45,10 +46,16 @@ let record t event =
   | None -> ()
   | Some tr -> Dsim.Trace.record tr ~time:(Dsim.Sim.now t.sim) event
 
+(* The trace [msg] field: the MMB payload id when a projection was given
+   (so span derivation can link arrivals to broadcasts), else the uid. *)
+let mid t ~uid body =
+  match t.msg_id with Some f -> f body | None -> uid
+
 let g t = Graphs.Dual.reliable t.dual
 let g' t = Graphs.Dual.unreliable t.dual
 
-let create ~sim ~dual ~fack ~fprog ~policy ~rng ?(eps_abort = 0.) ?trace () =
+let create ~sim ~dual ~fack ~fprog ~policy ~rng ?(eps_abort = 0.) ?trace
+    ?msg_id () =
   if not (0. < fprog && fprog <= fack) then
     invalid_arg "Standard_mac.create: need 0 < fprog <= fack";
   if eps_abort < 0. then
@@ -63,6 +70,7 @@ let create ~sim ~dual ~fack ~fprog ~policy ~rng ?(eps_abort = 0.) ?trace () =
     policy;
     rng;
     trace;
+    msg_id;
     handlers = Array.make n None;
     busy = Array.make n false;
     current = Array.make n None;
@@ -113,7 +121,8 @@ let rec recheck_watchdog t j =
   | true, Some _ | false, None -> ()
   | true, None ->
       let handle =
-        Dsim.Sim.schedule t.sim ~delay:t.fprog (fun () -> fire_watchdog t j)
+        Dsim.Sim.schedule ~cat:"mac.watchdog" t.sim ~delay:t.fprog (fun () ->
+            fire_watchdog t j)
       in
       t.watchdog.(j) <- Some handle
   | false, Some handle ->
@@ -197,7 +206,9 @@ and deliver t inst j =
     end;
     Hashtbl.replace t.received_bodies.(j) inst.body ();
     t.n_rcv <- t.n_rcv + 1;
-    record t (Dsim.Trace.Rcv { node = j; msg = inst.uid; instance = inst.uid });
+    record t
+      (Dsim.Trace.Rcv
+         { node = j; msg = mid t ~uid:inst.uid inst.body; instance = inst.uid });
     (handlers_exn t j).Mac_intf.on_rcv ~src:inst.sender inst.body
   end
 
@@ -247,7 +258,12 @@ let ack t inst =
   terminate t inst ~keep_late_deliveries:false;
   t.n_ack <- t.n_ack + 1;
   record t
-    (Dsim.Trace.Ack { node = inst.sender; msg = inst.uid; instance = inst.uid });
+    (Dsim.Trace.Ack
+       {
+         node = inst.sender;
+         msg = mid t ~uid:inst.uid inst.body;
+         instance = inst.uid;
+       });
   (handlers_exn t inst.sender).Mac_intf.on_ack inst.body
 
 let abort t ~node =
@@ -279,11 +295,17 @@ let abort t ~node =
           terminate t inst ~keep_late_deliveries:(t.eps_abort > 0.);
           t.n_abort <- t.n_abort + 1;
           record t
-            (Dsim.Trace.Abort { node; msg = inst.uid; instance = inst.uid });
+            (Dsim.Trace.Abort
+               {
+                 node;
+                 msg = mid t ~uid:inst.uid inst.body;
+                 instance = inst.uid;
+               });
           if t.eps_abort > 0. then begin
             (* Drop the instance record once the late window has passed. *)
             ignore
-              (Dsim.Sim.schedule t.sim ~delay:(t.eps_abort +. 1e-9) (fun () ->
+              (Dsim.Sim.schedule ~cat:"mac.abort_gc" t.sim
+                 ~delay:(t.eps_abort +. 1e-9) (fun () ->
                    Dsim.Tbl.sorted_iter ~cmp:Int.compare
                      (fun _ handle -> Dsim.Sim.cancel t.sim handle)
                      inst.pending;
@@ -328,7 +350,7 @@ let bcast t ~node body =
   t.next_uid <- uid + 1;
   t.busy.(node) <- true;
   t.n_bcast <- t.n_bcast + 1;
-  record t (Dsim.Trace.Bcast { node; msg = uid; instance = uid });
+  record t (Dsim.Trace.Bcast { node; msg = mid t ~uid body; instance = uid });
   let g_neighbors = Graphs.Graph.neighbors (g t) node in
   let g'_neighbors = Graphs.Graph.neighbors (g' t) node in
   let g'_only =
@@ -379,11 +401,12 @@ let bcast t ~node body =
   List.iter
     (fun { Mac_intf.receiver; delay } ->
       let handle =
-        Dsim.Sim.schedule t.sim ~delay (fun () -> deliver t inst receiver)
+        Dsim.Sim.schedule ~cat:"mac.deliver" t.sim ~delay (fun () ->
+            deliver t inst receiver)
       in
       Hashtbl.replace inst.pending receiver handle)
     plan.Mac_intf.deliveries;
   inst.ack_handle <-
     Some
-      (Dsim.Sim.schedule t.sim ~delay:plan.Mac_intf.ack_delay (fun () ->
-           ack t inst))
+      (Dsim.Sim.schedule ~cat:"mac.ack" t.sim ~delay:plan.Mac_intf.ack_delay
+         (fun () -> ack t inst))

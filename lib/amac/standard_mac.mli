@@ -35,11 +35,16 @@ val create :
   rng:Dsim.Rng.t ->
   ?eps_abort:float ->
   ?trace:Dsim.Trace.t ->
+  ?msg_id:('msg -> int) ->
   unit ->
   'msg t
 (** Requires [0 < fprog <= fack].  [eps_abort] (default [0.]) bounds how
     long after an {!abort} a pending delivery of the aborted instance may
-    still occur (the model's ε_abort). *)
+    still occur (the model's ε_abort).  [msg_id] projects a payload to the
+    MMB message id recorded in trace [msg] fields (so MAC events link to
+    the [Arrive]/[Deliver] lifecycle for span derivation); without it the
+    instance uid is recorded, as the compliance auditor only needs
+    [instance]. *)
 
 val attach : 'msg t -> node:int -> 'msg Mac_intf.handlers -> unit
 (** Install a node automaton.  Must be called once per node before it can

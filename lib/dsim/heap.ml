@@ -13,14 +13,19 @@ type 'a t = {
   mutable live : int; (* non-cancelled entries *)
   mutable next_seq : int;
   by_handle : (handle, 'a entry) Hashtbl.t;
+  mutable high_water : int; (* max [live] ever observed *)
+  mutable n_cancelled : int; (* entries cancelled while still live *)
 }
 
 let create () =
   { data = Array.make 16 None; size = 0; live = 0; next_seq = 0;
-    by_handle = Hashtbl.create 64 }
+    by_handle = Hashtbl.create 64; high_water = 0; n_cancelled = 0 }
 
 let length t = t.live
 let is_empty t = t.live = 0
+let high_water t = t.high_water
+let pushes t = t.next_seq
+let cancelled t = t.n_cancelled
 
 let entry_exn t i =
   match t.data.(i) with
@@ -72,6 +77,7 @@ let push t ~time value =
   t.data.(t.size) <- Some e;
   t.size <- t.size + 1;
   t.live <- t.live + 1;
+  if t.live > t.high_water then t.high_water <- t.live;
   Hashtbl.replace t.by_handle seq e;
   sift_up t (t.size - 1);
   seq
@@ -82,7 +88,8 @@ let cancel t handle =
   | Some e ->
       if e.alive then begin
         e.alive <- false;
-        t.live <- t.live - 1
+        t.live <- t.live - 1;
+        t.n_cancelled <- t.n_cancelled + 1
       end;
       Hashtbl.remove t.by_handle handle
 

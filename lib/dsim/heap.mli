@@ -19,6 +19,17 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 (** [is_empty h] is [length h = 0]. *)
 
+val high_water : 'a t -> int
+(** Maximum number of live entries ever held — the heap-depth high-water
+    mark, for engine profiling. *)
+
+val pushes : 'a t -> int
+(** Total entries ever pushed (live, popped, or cancelled). *)
+
+val cancelled : 'a t -> int
+(** Entries cancelled while still pending (double-cancels and cancels of
+    already-popped entries are not counted). *)
+
 val push : 'a t -> time:float -> 'a -> handle
 (** [push h ~time v] inserts [v] with priority [time] and returns a handle
     that can later be passed to {!cancel}. *)

@@ -2,31 +2,76 @@ type handle = Heap.handle
 
 exception Causality of { now : float; requested : float }
 
+type job = { cat : string option; fn : unit -> unit }
+
+type cat_stat = { mutable cat_events : int; mutable cat_wall : float }
+
 type t = {
   mutable clock : float;
-  queue : (unit -> unit) Heap.t;
+  queue : job Heap.t;
   mutable stopping : bool;
+  mutable executed : int;
+  cats : (string, cat_stat) Hashtbl.t;
+  mutable wall_clock : (unit -> float) option;
 }
 
 type outcome = Drained | Hit_time_limit | Hit_event_limit | Stopped
 
-let create () = { clock = 0.; queue = Heap.create (); stopping = false }
+let create () =
+  { clock = 0.; queue = Heap.create (); stopping = false; executed = 0;
+    cats = Hashtbl.create 16; wall_clock = None }
 
 let now t = t.clock
 
-let schedule_at t ~time f =
+let schedule_at ?cat t ~time f =
   if time < t.clock then raise (Causality { now = t.clock; requested = time });
-  Heap.push t.queue ~time f
+  Heap.push t.queue ~time { cat; fn = f }
 
-let schedule t ~delay f =
+let schedule ?cat t ~delay f =
   if delay < 0. then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?cat t ~time:(t.clock +. delay) f
 
 let cancel t handle = Heap.cancel t.queue handle
 
 let pending t = Heap.length t.queue
 
 let stop t = t.stopping <- true
+
+let executed_events t = t.executed
+
+let set_wall_clock t clock = t.wall_clock <- Some clock
+
+let cat_stat t name =
+  match Hashtbl.find_opt t.cats name with
+  | Some c -> c
+  | None ->
+      let c = { cat_events = 0; cat_wall = 0. } in
+      Hashtbl.replace t.cats name c;
+      c
+
+let category_stats t =
+  Tbl.sorted_fold ~cmp:String.compare
+    (fun name c acc -> (name, c.cat_events, c.cat_wall) :: acc)
+    t.cats []
+  |> List.rev
+
+let heap_high_water t = Heap.high_water t.queue
+let heap_pushes t = Heap.pushes t.queue
+let cancelled_events t = Heap.cancelled t.queue
+
+let exec t { cat; fn } =
+  (match cat with
+  | None -> fn ()
+  | Some name -> (
+      let c = cat_stat t name in
+      c.cat_events <- c.cat_events + 1;
+      match t.wall_clock with
+      | None -> fn ()
+      | Some clock ->
+          let t0 = clock () in
+          fn ();
+          c.cat_wall <- c.cat_wall +. (clock () -. t0)));
+  t.executed <- t.executed + 1
 
 let run ?until ?max_events t =
   t.stopping <- false;
@@ -48,10 +93,10 @@ let run ?until ?max_events t =
           | _ -> (
               match Heap.pop t.queue with
               | None -> Drained
-              | Some (time, f) ->
+              | Some (time, job) ->
                   t.clock <- time;
                   incr executed;
-                  f ();
+                  exec t job;
                   loop ()))
   in
   loop ()

@@ -20,12 +20,14 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> handle
+val schedule_at : ?cat:string -> t -> time:float -> (unit -> unit) -> handle
 (** [schedule_at sim ~time f] runs [f] when the clock reaches [time].
     Raises {!Causality} if [time < now sim].  Events with equal times run in
-    scheduling order. *)
+    scheduling order.  [cat] labels the event with a handler category for
+    the profiler (see {!category_stats}); uncategorized events are counted
+    only in {!executed_events}. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+val schedule : ?cat:string -> t -> delay:float -> (unit -> unit) -> handle
 (** [schedule sim ~delay f] is [schedule_at sim ~time:(now sim +. delay) f].
     Raises [Invalid_argument] if [delay < 0.]. *)
 
@@ -50,3 +52,32 @@ val run : ?until:float -> ?max_events:int -> t -> outcome
 val stop : t -> unit
 (** When called from inside a callback, makes the current {!run} return
     [Stopped] after the callback finishes. *)
+
+(** {1 Engine profiling}
+
+    Counters below are cumulative over the simulation's lifetime (across
+    repeated {!run} calls); [max_events] budgets remain per-call. *)
+
+val executed_events : t -> int
+(** Total callbacks executed so far — the [executed] count {!run} used to
+    discard.  After [run ?max_events] returns [Hit_event_limit], the
+    per-call share of this total equals the budget. *)
+
+val set_wall_clock : t -> (unit -> float) -> unit
+(** Inject a monotonic wall-clock source (e.g. [Sys.time]) used to
+    attribute real time to handler categories.  The engine never reads
+    ambient clocks itself (lint rule D3): without injection,
+    {!category_stats} reports zero wall time but still counts events. *)
+
+val category_stats : t -> (string * int * float) list
+(** Per-category [(name, events, wall_seconds)] for events scheduled with
+    [?cat], sorted by category name. *)
+
+val heap_high_water : t -> int
+(** Maximum number of simultaneously pending events ever observed. *)
+
+val heap_pushes : t -> int
+(** Total events ever scheduled. *)
+
+val cancelled_events : t -> int
+(** Events cancelled while still pending. *)

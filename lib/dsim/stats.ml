@@ -9,38 +9,44 @@ type summary = {
   p99 : float;
 }
 
+(* Nearest-rank percentile over an already-sorted array: O(1) per query,
+   so [summarize] sorts once and answers every percentile from it. *)
+let percentile_sorted sorted ~p =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0, 100]";
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let sorted_of_list xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  a
+
 let percentile xs ~p =
   match xs with
   | [] -> invalid_arg "Stats.percentile: empty input"
-  | _ ->
-      if p < 0. || p > 100. then
-        invalid_arg "Stats.percentile: p outside [0, 100]";
-      let sorted = List.sort compare xs in
-      let n = List.length sorted in
-      let rank =
-        int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
-      in
-      List.nth sorted (max 0 (min (n - 1) rank))
+  | _ -> percentile_sorted (sorted_of_list xs) ~p
 
 let summarize xs =
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty input"
   | _ ->
-      let n = List.length xs in
+      let sorted = sorted_of_list xs in
+      let n = Array.length sorted in
       let fn = float_of_int n in
-      let mean = List.fold_left ( +. ) 0. xs /. fn in
+      let mean = Array.fold_left ( +. ) 0. sorted /. fn in
       let var =
-        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. fn
+        Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. sorted /. fn
       in
       {
         count = n;
         mean;
         stddev = sqrt var;
-        min = List.fold_left Float.min infinity xs;
-        max = List.fold_left Float.max neg_infinity xs;
-        p50 = percentile xs ~p:50.;
-        p90 = percentile xs ~p:90.;
-        p99 = percentile xs ~p:99.;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+        p50 = percentile_sorted sorted ~p:50.;
+        p90 = percentile_sorted sorted ~p:90.;
+        p99 = percentile_sorted sorted ~p:99.;
       }
 
 let histogram ?(bins = 10) xs =

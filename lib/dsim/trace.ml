@@ -8,21 +8,70 @@ type event =
 
 type entry = { time : float; event : event }
 
-type t = { mutable entries : entry list; mutable count : int; enabled : bool }
+type store =
+  | Off
+  | Unbounded of { mutable rev : entry list }
+  | Ring of { buf : entry option array; mutable next : int }
 
-let create ?(enabled = true) () = { entries = []; count = 0; enabled }
+type t = {
+  store : store;
+  mutable retained : int;
+  mutable recorded : int;
+  mutable subscribers : (entry -> unit) list; (* reversed registration order *)
+  enabled : bool;
+}
+
+let create ?(enabled = true) ?capacity () =
+  let store =
+    if not enabled then Off
+    else
+      match capacity with
+      | None -> Unbounded { rev = [] }
+      | Some n ->
+          if n < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+          Ring { buf = Array.make n None; next = 0 }
+  in
+  { store; retained = 0; recorded = 0; subscribers = []; enabled }
 
 let enabled t = t.enabled
 
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
 let record t ~time event =
-  if t.enabled then begin
-    t.entries <- { time; event } :: t.entries;
-    t.count <- t.count + 1
-  end
+  let entry = { time; event } in
+  t.recorded <- t.recorded + 1;
+  (match t.store with
+  | Off -> ()
+  | Unbounded u ->
+      u.rev <- entry :: u.rev;
+      t.retained <- t.retained + 1
+  | Ring r ->
+      let cap = Array.length r.buf in
+      if r.buf.(r.next) = None then t.retained <- t.retained + 1;
+      r.buf.(r.next) <- Some entry;
+      r.next <- (r.next + 1) mod cap);
+  (* Notify in registration order so downstream consumers see a stable
+     sequence regardless of how many observers attach. *)
+  List.iter (fun f -> f entry) (List.rev t.subscribers)
 
-let length t = t.count
+let length t = t.retained
 
-let entries t = List.rev t.entries
+let recorded t = t.recorded
+
+let entries t =
+  match t.store with
+  | Off -> []
+  | Unbounded u -> List.rev u.rev
+  | Ring r ->
+      let cap = Array.length r.buf in
+      let acc = ref [] in
+      for i = cap - 1 downto 0 do
+        (* oldest entry sits at [next] once the ring has wrapped *)
+        match r.buf.((r.next + i) mod cap) with
+        | Some e -> acc := e :: !acc
+        | None -> ()
+      done;
+      !acc
 
 let iter t f = List.iter f (entries t)
 

@@ -25,20 +25,35 @@ type entry = { time : float; event : event }
 type t
 (** A mutable, append-only event log. *)
 
-val create : ?enabled:bool -> unit -> t
-(** [create ()] is an empty trace.  With [~enabled:false] the trace drops
-    every record — used by large benchmark sweeps to avoid O(events) memory
-    while keeping one code path. *)
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [create ()] is an empty trace.  With [~enabled:false] the trace retains
+    no entries — used by large benchmark sweeps to avoid O(events) memory
+    while keeping one code path.  With [~capacity:n] only the most recent
+    [n] entries are retained (ring buffer), so long runs with streaming
+    subscribers attached hold bounded memory.  Raises [Invalid_argument]
+    if [capacity < 1]. *)
 
 val enabled : t -> bool
 
 val record : t -> time:float -> event -> unit
-(** Append one event (no-op when the trace is disabled). *)
+(** Append one event.  Retention follows the [enabled]/[capacity] policy,
+    but subscribers registered with {!subscribe} are always notified, even
+    on a disabled trace — streaming consumers don't require retention. *)
+
+val subscribe : t -> (entry -> unit) -> unit
+(** Register a streaming consumer called synchronously on every
+    {!record}, in registration order.  This is how {!Obs} derives spans
+    and checks compliance online without retaining the full trace. *)
 
 val length : t -> int
+(** Number of currently retained entries (bounded by [capacity]). *)
+
+val recorded : t -> int
+(** Total events ever recorded, including entries a ring buffer has since
+    evicted and records on a disabled trace. *)
 
 val entries : t -> entry list
-(** All recorded entries, oldest first. *)
+(** All retained entries, oldest first. *)
 
 val iter : t -> (entry -> unit) -> unit
 

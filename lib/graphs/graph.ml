@@ -36,7 +36,7 @@ let of_edges ~n edges =
     Array.map
       (fun l ->
         let a = Array.of_list l in
-        Array.sort compare a;
+        Array.sort Int.compare a;
         dedup_sorted a)
       buckets
   in

@@ -300,14 +300,11 @@ let rec comparator_is_polymorphic cmp =
 let rule_d5 =
   {
     id = "D5";
-    doc = "polymorphic compare in sort comparators (lib/amac, lib/mmb)";
+    doc = "polymorphic compare in sort comparators inside lib/";
     applies =
       (fun file ->
-        List.exists
-          (fun dir ->
-            String.starts_with ~prefix:(dir ^ "/") file
-            || find_substring ~sub:("/" ^ dir ^ "/") file <> None)
-          [ "lib/amac"; "lib/mmb" ]);
+        String.starts_with ~prefix:"lib/" file
+        || find_substring ~sub:"/lib/" file <> None);
     build =
       (fun report ->
         expr_rule (fun e ->

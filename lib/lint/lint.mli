@@ -12,8 +12,7 @@
       [Sys.getenv], ...) inside [lib/].
     - [D4] physical equality [==]/[!=] where neither operand is an int
       literal.
-    - [D5] polymorphic [compare] in sort comparators within [lib/amac]
-      and [lib/mmb].
+    - [D5] polymorphic [compare] in sort comparators inside [lib/].
 
     Escape hatches: a [(* lint: allow D1 *)] comment on the finding's
     line or the line directly above it, or an allowlist entry pairing a

@@ -42,7 +42,7 @@ type result = {
 }
 
 let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
-    ?(backend = Rounds) ?max_spread_phases ?trace () =
+    ?(backend = Rounds) ?max_spread_phases ?trace ?mmb_trace () =
   let fresh_engine () =
     make_engine ~backend ~dual ~fprog ~rng ~policy ?trace ()
   in
@@ -54,9 +54,20 @@ let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
      completion time is measured in rounds, below). *)
   let known = Array.init n (fun _ -> Hashtbl.create 8) in
   let stage_base = ref 0. in
+  (* Problem-level events go to [mmb_trace], at stage-granular times
+     (matching the tracker's clock).  Kept separate from [trace]: the
+     per-stage engines restart uids and times, so their MAC events must
+     not share a stream with the monotone MMB lifecycle. *)
+  let record_mmb ~time event =
+    match mmb_trace with
+    | None -> ()
+    | Some tr -> Dsim.Trace.record tr ~time event
+  in
   let deliver ~node ~payload =
     if not (Hashtbl.mem known.(node) payload) then begin
       Hashtbl.replace known.(node) payload ();
+      record_mmb ~time:!stage_base
+        (Dsim.Trace.Deliver { node; msg = payload });
       Problem.on_deliver tracker ~node ~msg:payload ~time:!stage_base
     end
   in
@@ -65,6 +76,7 @@ let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
   List.iter
     (fun (node, msg) ->
       initial.(node) <- msg :: initial.(node);
+      record_mmb ~time:0. (Dsim.Trace.Arrive { node; msg });
       deliver ~node ~payload:msg)
     assignment;
   (* Stage 1: MIS. *)

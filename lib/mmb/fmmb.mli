@@ -54,6 +54,11 @@ val run :
   ?backend:backend ->
   ?max_spread_phases:int ->
   ?trace:Dsim.Trace.t ->
+  ?mmb_trace:Dsim.Trace.t ->
   unit ->
   result
-(** [max_spread_phases] defaults to [4 * (D + k) + 8]. *)
+(** [max_spread_phases] defaults to [4 * (D + k) + 8].  [trace] is handed
+    to each per-stage MAC engine (stage-local uids and times — suitable
+    for inspection, not for a single-stream audit); [mmb_trace] receives
+    only the problem-level [Arrive]/[Deliver] lifecycle at stage-granular
+    monotone times, which is what span derivation ({!Obs.Spans}) wants. *)

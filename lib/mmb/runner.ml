@@ -10,21 +10,45 @@ type bmmb_result = {
   duplicate_deliveries : int;
   compliance_violations : Amac.Compliance.violation list;
   outcome : Dsim.Sim.outcome;
+  events_executed : int;
   message_times : (int * float) list;
   trace : Dsim.Trace.t option;
   spec_violations : string list;
 }
 
+(* BMMB payloads are the MMB message ids themselves, so the trace's [msg]
+   fields carry them directly and spans can follow arrive -> bcast. *)
+let bmmb_msg_id (m : int) = m
+
+(* The trace handed to the MAC: the retained one when auditing post-hoc,
+   else a retention-free trace that only feeds [obs] subscribers. *)
+let obs_trace ~retained ~obs =
+  match (retained, obs) with
+  | Some tr, _ -> Some tr
+  | None, Some _ -> Some (Dsim.Trace.create ~enabled:false ())
+  | None, None -> None
+
+let note_globals sim ~bcasts ~rcvs ~acks ~forced =
+  Obs.Global.note_sim sim;
+  Obs.Global.note_mac ~bcasts ~rcvs ~acks ~forced
+
 let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
     ?(discipline = `Fifo) ?(check_compliance = false)
-    ?(max_events = 50_000_000) () =
+    ?(max_events = 50_000_000) ?obs ?setup () =
   let sim = Dsim.Sim.create () in
   let rng = Dsim.Rng.create ~seed in
-  let trace =
+  let retained =
     if check_compliance then Some (Dsim.Trace.create ()) else None
   in
+  let trace = obs_trace ~retained ~obs in
+  (match (obs, trace) with
+  | Some o, Some tr ->
+      Obs.Observer.attach o tr;
+      Obs.Observer.wire_sim o sim
+  | _ -> ());
   let mac =
-    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace ()
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace
+      ~msg_id:bmmb_msg_id ()
   in
   let tracker = Problem.tracker ~dual assignment in
   let bmmb =
@@ -33,6 +57,7 @@ let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
         Problem.on_deliver tracker ~node ~msg ~time)
       ()
   in
+  (match setup with Some f -> f sim | None -> ());
   List.iter
     (fun (node, msg) ->
       ignore
@@ -40,8 +65,17 @@ let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
              Bmmb.arrive bmmb ~node ~msg)))
     assignment;
   let outcome = Dsim.Sim.run ~max_events sim in
+  let bcasts = Amac.Standard_mac.bcast_count mac in
+  let rcvs = Amac.Standard_mac.rcv_count mac in
+  let acks = Amac.Standard_mac.ack_count mac in
+  let forced = Amac.Standard_mac.forced_count mac in
+  note_globals sim ~bcasts ~rcvs ~acks ~forced;
+  (match obs with
+  | Some o ->
+      ignore (Obs.Observer.finish o ~allow_open:(outcome <> Dsim.Sim.Drained))
+  | None -> ());
   let violations =
-    match trace with
+    match retained with
     | None -> []
     | Some tr -> Amac.Compliance.audit ~dual ~fack ~fprog tr
   in
@@ -57,13 +91,14 @@ let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
     time;
     upper_bound;
     within_bound = Problem.complete tracker && time <= upper_bound +. tolerance;
-    bcasts = Amac.Standard_mac.bcast_count mac;
-    rcvs = Amac.Standard_mac.rcv_count mac;
-    acks = Amac.Standard_mac.ack_count mac;
-    forced = Amac.Standard_mac.forced_count mac;
+    bcasts;
+    rcvs;
+    acks;
+    forced;
     duplicate_deliveries = Problem.duplicate_deliveries tracker;
     compliance_violations = violations;
     outcome;
+    events_executed = Dsim.Sim.executed_events sim;
     message_times =
       List.filter_map
         (fun (_, msg) ->
@@ -71,9 +106,9 @@ let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
           | Some t -> Some (msg, t)
           | None -> None)
         assignment;
-    trace;
+    trace = retained;
     spec_violations =
-      (match trace with
+      (match retained with
       | None -> []
       | Some tr -> Properties.check ~dual tr);
   }
@@ -91,14 +126,21 @@ type online_result = {
 
 let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
     ?(discipline = `Fifo) ?(check_compliance = false)
-    ?(max_events = 50_000_000) () =
+    ?(max_events = 50_000_000) ?obs ?setup () =
   let sim = Dsim.Sim.create () in
   let rng = Dsim.Rng.create ~seed in
-  let trace =
+  let retained =
     if check_compliance then Some (Dsim.Trace.create ()) else None
   in
+  let trace = obs_trace ~retained ~obs in
+  (match (obs, trace) with
+  | Some o, Some tr ->
+      Obs.Observer.attach o tr;
+      Obs.Observer.wire_sim o sim
+  | _ -> ());
   let mac =
-    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace ()
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace
+      ~msg_id:bmmb_msg_id ()
   in
   let tracker = Problem.tracker_timed ~dual arrivals in
   let bmmb =
@@ -107,13 +149,23 @@ let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
         Problem.on_deliver tracker ~node ~msg ~time)
       ()
   in
+  (match setup with Some f -> f sim | None -> ());
   List.iter
     (fun (time, node, msg) ->
       ignore
         (Dsim.Sim.schedule_at sim ~time (fun () ->
              Bmmb.arrive bmmb ~node ~msg)))
     arrivals;
-  ignore (Dsim.Sim.run ~max_events sim);
+  let outcome = Dsim.Sim.run ~max_events sim in
+  note_globals sim
+    ~bcasts:(Amac.Standard_mac.bcast_count mac)
+    ~rcvs:(Amac.Standard_mac.rcv_count mac)
+    ~acks:(Amac.Standard_mac.ack_count mac)
+    ~forced:(Amac.Standard_mac.forced_count mac);
+  (match obs with
+  | Some o ->
+      ignore (Obs.Observer.finish o ~allow_open:(outcome <> Dsim.Sim.Drained))
+  | None -> ());
   let latencies =
     List.filter_map
       (fun (_, _, msg) ->
@@ -140,7 +192,7 @@ let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
     bcasts' = Amac.Standard_mac.bcast_count mac;
     forced' = Amac.Standard_mac.forced_count mac;
     compliance_violations' =
-      (match trace with
+      (match retained with
       | None -> []
       | Some tr -> Amac.Compliance.audit ~dual ~fack ~fprog tr);
   }
@@ -152,7 +204,7 @@ type fmmb_result = {
 }
 
 let run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
-    ?max_spread_phases () =
+    ?max_spread_phases ?obs () =
   let rng = Dsim.Rng.create ~seed in
   let n = Graphs.Dual.n dual in
   let k = List.length assignment in
@@ -160,10 +212,21 @@ let run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
     match params with Some p -> p | None -> Fmmb.default_params ~n ~k ~c
   in
   let tracker = Problem.tracker ~dual assignment in
+  let mmb_trace =
+    match obs with
+    | None -> None
+    | Some o ->
+        let tr = Dsim.Trace.create ~enabled:false () in
+        Obs.Observer.attach o tr;
+        Some tr
+  in
   let fmmb =
     Fmmb.run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker ?backend
-      ?max_spread_phases ()
+      ?max_spread_phases ?mmb_trace ()
   in
+  (match obs with
+  | Some o -> ignore (Obs.Observer.finish o ~allow_open:true)
+  | None -> ());
   let d = Graphs.Bfs.diameter (Graphs.Dual.reliable dual) in
   {
     fmmb;

@@ -14,6 +14,8 @@ type bmmb_result = {
   compliance_violations : Amac.Compliance.violation list;
       (** non-empty only when [check_compliance] and the engine misbehaved *)
   outcome : Dsim.Sim.outcome;
+  events_executed : int;
+      (** engine callbacks executed (the profiler's event count) *)
   message_times : (int * float) list;
       (** per-message completion times (msg id, time), completed ones only *)
   trace : Dsim.Trace.t option;
@@ -33,12 +35,23 @@ val run_bmmb :
   ?discipline:Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
+  ?obs:Obs.Observer.t ->
+  ?setup:(Dsim.Sim.t -> unit) ->
   unit ->
   bmmb_result
 (** Runs BMMB to natural quiescence (the protocol terminates on its own once
     every queue drains), so the full execution — including the tail after
     completion — is audited when [check_compliance] is set.
-    [max_events] (default [50_000_000]) is a runaway backstop. *)
+    [max_events] (default [50_000_000]) is a runaway backstop.
+
+    [obs] attaches an observer: spans and the streaming monitor subscribe
+    to the MAC's event stream (no trace retention unless
+    [check_compliance] also holds), engine gauges are wired, and the
+    observer is finished with [allow_open] set iff the run did not drain.
+    [setup] runs against the simulation after wiring but before the
+    arrivals are scheduled — the hook for progress tickers and wall-clock
+    injection.  Engine totals are also folded into {!Obs.Global}
+    unconditionally. *)
 
 (** {1 Online MMB}
 
@@ -67,6 +80,8 @@ val run_bmmb_online :
   ?discipline:Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
+  ?obs:Obs.Observer.t ->
+  ?setup:(Dsim.Sim.t -> unit) ->
   unit ->
   online_result
 (** BMMB with arrivals injected at their own times (the protocol is
@@ -89,5 +104,10 @@ val run_fmmb :
   ?backend:Fmmb.backend ->
   ?params:Fmmb.params ->
   ?max_spread_phases:int ->
+  ?obs:Obs.Observer.t ->
   unit ->
   fmmb_result
+(** With [obs], the problem-level [Arrive]/[Deliver] lifecycle feeds the
+    observer's spans (stage-granular times).  The streaming compliance
+    monitor does not apply to FMMB (per-stage engines restart instance
+    uids and clocks); create the observer without [dual]. *)

@@ -1,0 +1,85 @@
+type snap = {
+  runs : int;
+  events : int;
+  pushes : int;
+  cancelled : int;
+  heap_high_water : int;
+  bcasts : int;
+  rcvs : int;
+  acks : int;
+  forced : int;
+}
+
+let zero =
+  {
+    runs = 0;
+    events = 0;
+    pushes = 0;
+    cancelled = 0;
+    heap_high_water = 0;
+    bcasts = 0;
+    rcvs = 0;
+    acks = 0;
+    forced = 0;
+  }
+
+let state = ref zero
+
+let snapshot () = !state
+
+let reset () = state := zero
+
+let note_sim sim =
+  let s = !state in
+  state :=
+    {
+      s with
+      runs = s.runs + 1;
+      events = s.events + Dsim.Sim.executed_events sim;
+      pushes = s.pushes + Dsim.Sim.heap_pushes sim;
+      cancelled = s.cancelled + Dsim.Sim.cancelled_events sim;
+      heap_high_water = max s.heap_high_water (Dsim.Sim.heap_high_water sim);
+    }
+
+let note_mac ~bcasts ~rcvs ~acks ~forced =
+  let s = !state in
+  state :=
+    {
+      s with
+      bcasts = s.bcasts + bcasts;
+      rcvs = s.rcvs + rcvs;
+      acks = s.acks + acks;
+      forced = s.forced + forced;
+    }
+
+let diff ~before ~after =
+  {
+    runs = after.runs - before.runs;
+    events = after.events - before.events;
+    pushes = after.pushes - before.pushes;
+    cancelled = after.cancelled - before.cancelled;
+    (* A high-water mark doesn't subtract: report the window's max. *)
+    heap_high_water = after.heap_high_water;
+    bcasts = after.bcasts - before.bcasts;
+    rcvs = after.rcvs - before.rcvs;
+    acks = after.acks - before.acks;
+    forced = after.forced - before.forced;
+  }
+
+let to_json ~label ?wall_s s =
+  let n v = Dsim.Json.Number (float_of_int v) in
+  Dsim.Json.Obj
+    ([
+       ("kind", Dsim.Json.String "engine");
+       ("label", Dsim.Json.String label);
+       ("runs", n s.runs);
+       ("events", n s.events);
+       ("pushes", n s.pushes);
+       ("cancelled", n s.cancelled);
+       ("heap_high_water", n s.heap_high_water);
+       ("bcasts", n s.bcasts);
+       ("rcvs", n s.rcvs);
+       ("acks", n s.acks);
+       ("forced", n s.forced);
+     ]
+    @ match wall_s with None -> [] | Some w -> [ ("wall_s", Dsim.Json.Number w) ])

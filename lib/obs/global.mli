@@ -1,0 +1,37 @@
+(** Process-global engine-cost accumulators.
+
+    {!Mmb.Runner} notes every BMMB run's engine and MAC counters here
+    unconditionally (integer additions — no observable cost), so harnesses
+    that drive many runs without wiring an {!Observer} — the benchmark
+    suite above all — can still attribute engine cost to an experiment by
+    snapshotting before and after and writing the {!diff} as a metrics
+    sidecar. *)
+
+type snap = {
+  runs : int;  (** simulations completed *)
+  events : int;  (** callbacks executed *)
+  pushes : int;  (** events scheduled *)
+  cancelled : int;  (** events cancelled while pending *)
+  heap_high_water : int;  (** max pending events in any single run *)
+  bcasts : int;
+  rcvs : int;
+  acks : int;
+  forced : int;  (** watchdog-forced deliveries *)
+}
+
+val snapshot : unit -> snap
+
+val reset : unit -> unit
+
+val note_sim : Dsim.Sim.t -> unit
+(** Fold one finished simulation's engine counters into the totals. *)
+
+val note_mac : bcasts:int -> rcvs:int -> acks:int -> forced:int -> unit
+
+val diff : before:snap -> after:snap -> snap
+(** Per-window delta; [heap_high_water] reports the window's running max
+    (high-water marks don't subtract). *)
+
+val to_json : label:string -> ?wall_s:float -> snap -> Dsim.Json.t
+(** A [{"kind":"engine","label":...}] sidecar line; [wall_s] is supplied
+    by the caller (the library never reads wall clocks — lint D3). *)

@@ -1,0 +1,126 @@
+type t = {
+  metrics : Metrics.t;
+  spans : Spans.t;
+  monitor : Monitor.t option;
+  meta : (string * Dsim.Json.t) list;
+  mutable result : Monitor.violation list option; (* set by [finish] *)
+}
+
+let create ~n ?dual ?fack ?fprog ?eps_abort ?on_violation ?(meta = []) () =
+  let metrics = Metrics.create () in
+  let spans = Spans.create ~n ~metrics () in
+  let monitor =
+    match (dual, fack, fprog) with
+    | Some dual, Some fack, Some fprog ->
+        Some
+          (Monitor.create ~dual ~fack ~fprog ?eps_abort ~metrics ?on_violation
+             ())
+    | None, _, _ -> None
+    | _ ->
+        invalid_arg
+          "Observer.create: streaming compliance needs dual, fack and fprog"
+  in
+  { metrics; spans; monitor; meta; result = None }
+
+let metrics t = t.metrics
+let spans t = t.spans
+let monitor t = t.monitor
+
+let attach t trace =
+  Dsim.Trace.subscribe trace (fun entry ->
+      Spans.on_entry t.spans entry;
+      match t.monitor with
+      | Some m -> Monitor.on_entry m entry
+      | None -> ())
+
+let wire_sim t sim =
+  let m = t.metrics in
+  let fi f = float_of_int f in
+  Metrics.probe m "engine.executed" (fun () ->
+      fi (Dsim.Sim.executed_events sim));
+  Metrics.probe m "engine.pending" (fun () -> fi (Dsim.Sim.pending sim));
+  Metrics.probe m "engine.heap_high_water" (fun () ->
+      fi (Dsim.Sim.heap_high_water sim));
+  Metrics.probe m "engine.heap_pushes" (fun () -> fi (Dsim.Sim.heap_pushes sim));
+  Metrics.probe m "engine.cancelled" (fun () ->
+      fi (Dsim.Sim.cancelled_events sim));
+  Metrics.multi_probe m (fun () ->
+      List.map
+        (fun (name, events, _) -> ("engine.cat." ^ name ^ ".events", fi events))
+        (Dsim.Sim.category_stats sim));
+  (* Wall time is real-clock-derived, hence volatile: excluded from the
+     deterministic default export. *)
+  Metrics.multi_probe m ~volatile:true (fun () ->
+      List.map
+        (fun (name, _, wall) -> ("engine.cat." ^ name ^ ".wall_s", wall))
+        (Dsim.Sim.category_stats sim))
+
+let finish ?allow_open t =
+  let vs =
+    match t.monitor with Some m -> Monitor.finish ?allow_open m | None -> []
+  in
+  t.result <- Some vs;
+  vs
+
+let verdict_line t =
+  let checked = t.monitor <> None in
+  let vs =
+    match (t.result, t.monitor) with
+    | Some vs, _ -> vs
+    | None, Some m -> Monitor.violations m
+    | None, None -> []
+  in
+  Dsim.Json.Obj
+    [
+      ("kind", Dsim.Json.String "compliance");
+      ("checked", Dsim.Json.Bool checked);
+      ("ok", (if checked then Dsim.Json.Bool (vs = []) else Dsim.Json.Null));
+      ("violations", Dsim.Json.Number (float_of_int (List.length vs)));
+      ( "details",
+        Dsim.Json.List
+          (List.map
+             (fun v ->
+               Dsim.Json.String
+                 (Fmt.str "%a" Amac.Compliance.pp_violation v))
+             vs) );
+    ]
+
+let jsonl ?include_volatile t =
+  let meta =
+    Dsim.Json.Obj
+      (("kind", Dsim.Json.String "meta")
+      :: ("schema", Dsim.Json.String "mmb-metrics/1")
+      :: t.meta)
+  in
+  let lines =
+    (meta :: Metrics.snapshot ?include_volatile t.metrics)
+    @ Spans.span_lines t.spans
+    @ [ verdict_line t ]
+  in
+  List.map Dsim.Json.to_string lines
+
+let to_file ?include_volatile t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (jsonl ?include_volatile t))
+
+let progress_line t ~sim =
+  let violations =
+    match t.monitor with Some m -> Monitor.violation_count m | None -> 0
+  in
+  Fmt.str
+    "[obs] t=%.3f msgs %d/%d frontier %d events %d pending %d heap_hw %d%s"
+    (Dsim.Sim.now sim)
+    (Spans.messages_complete t.spans)
+    (Spans.messages_seen t.spans)
+    (Spans.total_delivers t.spans)
+    (Dsim.Sim.executed_events sim)
+    (Dsim.Sim.pending sim)
+    (Dsim.Sim.heap_high_water sim)
+    (if violations = 0 then "" else Fmt.str " VIOLATIONS %d" violations)

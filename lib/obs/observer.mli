@@ -1,0 +1,63 @@
+(** One-stop observability for a simulated run: a {!Metrics} registry, a
+    {!Spans} deriver, an optional streaming compliance {!Monitor}, and
+    engine gauges, exported together as JSONL.
+
+    Typical wiring (what {!Mmb.Runner} does under [?obs]):
+    {[
+      let obs = Observer.create ~n ~dual ~fack ~fprog () in
+      Observer.attach obs trace;      (* subscribe spans + monitor *)
+      Observer.wire_sim obs sim;      (* engine gauges *)
+      (* ... run ... *)
+      ignore (Observer.finish obs ~allow_open:(outcome <> Drained));
+      Observer.to_file obs "metrics.jsonl"
+    ]} *)
+
+type t
+
+val create :
+  n:int ->
+  ?dual:Graphs.Dual.t ->
+  ?fack:float ->
+  ?fprog:float ->
+  ?eps_abort:float ->
+  ?on_violation:(Dsim.Trace.entry option -> Monitor.violation -> unit) ->
+  ?meta:(string * Dsim.Json.t) list ->
+  unit ->
+  t
+(** [n] is the node count.  Passing [dual] (with [fack] and [fprog] —
+    [Invalid_argument] if either is missing) enables the streaming
+    compliance monitor.  [meta] fields are appended to the export's
+    leading meta line. *)
+
+val metrics : t -> Metrics.t
+val spans : t -> Spans.t
+val monitor : t -> Monitor.t option
+
+val attach : t -> Dsim.Trace.t -> unit
+(** Subscribe the span deriver and monitor to a trace's record stream
+    (works on disabled/ring traces — retention is not required). *)
+
+val wire_sim : t -> Dsim.Sim.t -> unit
+(** Register engine gauges: [engine.executed], [engine.pending],
+    [engine.heap_high_water], [engine.heap_pushes], [engine.cancelled],
+    plus per-category [engine.cat.<name>.events] and volatile
+    [engine.cat.<name>.wall_s]. *)
+
+val finish : ?allow_open:bool -> t -> Monitor.violation list
+(** Finalize the monitor (no-op without one); pass [~allow_open:true] when
+    the run was truncated rather than drained. *)
+
+val verdict_line : t -> Dsim.Json.t
+(** The [{"kind":"compliance",...}] summary object. *)
+
+val jsonl : ?include_volatile:bool -> t -> string list
+(** The full export, one JSON document per line: a
+    [{"kind":"meta","schema":"mmb-metrics/1"}] header, every metric
+    (sorted by name), per-message span lines, and the compliance verdict.
+    Deterministic across same-seed runs unless [include_volatile]. *)
+
+val to_file : ?include_volatile:bool -> t -> string -> unit
+(** Write {!jsonl} to a file. *)
+
+val progress_line : t -> sim:Dsim.Sim.t -> string
+(** One-line frontier/heap status for [--progress]. *)

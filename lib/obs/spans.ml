@@ -1,0 +1,154 @@
+type span = {
+  msg : int;
+  mutable arrive : float option; (* earliest Arrive *)
+  mutable first_bcast : float option;
+  mutable delivers : int; (* distinct delivering nodes (engines dedup) *)
+  mutable last_deliver : float;
+  mutable complete : float option; (* when delivers reached n *)
+}
+
+type t = {
+  n : int;
+  spans : (int, span) Hashtbl.t; (* msg id -> span *)
+  open_inst : (int, float) Hashtbl.t; (* live instance uid -> bcast time *)
+  c_arrive : Metrics.counter;
+  c_deliver : Metrics.counter;
+  c_bcast : Metrics.counter;
+  c_rcv : Metrics.counter;
+  c_ack : Metrics.counter;
+  c_abort : Metrics.counter;
+  c_orphan : Metrics.counter;
+  c_complete : Metrics.counter;
+  h_completion : Metrics.histogram;
+  h_first_bcast : Metrics.histogram;
+  h_deliver : Metrics.histogram;
+  h_ack : Metrics.histogram;
+  mutable total_delivers : int;
+  mutable last_time : float;
+}
+
+let create ~n ~metrics () =
+  let t =
+    {
+      n;
+      spans = Hashtbl.create 64;
+      open_inst = Hashtbl.create 64;
+      c_arrive = Metrics.counter metrics "events.arrive";
+      c_deliver = Metrics.counter metrics "events.deliver";
+      c_bcast = Metrics.counter metrics "events.bcast";
+      c_rcv = Metrics.counter metrics "events.rcv";
+      c_ack = Metrics.counter metrics "events.ack";
+      c_abort = Metrics.counter metrics "events.abort";
+      c_orphan = Metrics.counter metrics "events.orphan";
+      c_complete = Metrics.counter metrics "span.msgs_complete";
+      h_completion = Metrics.histogram metrics "span.completion_latency";
+      h_first_bcast = Metrics.histogram metrics "span.first_bcast_delay";
+      h_deliver = Metrics.histogram metrics "span.deliver_latency";
+      h_ack = Metrics.histogram metrics "mac.ack_latency";
+      total_delivers = 0;
+      last_time = 0.;
+    }
+  in
+  Metrics.probe metrics "span.msgs_seen" (fun () ->
+      float_of_int (Hashtbl.length t.spans));
+  Metrics.probe metrics "span.frontier" (fun () ->
+      float_of_int t.total_delivers);
+  t
+
+let span t msg =
+  match Hashtbl.find_opt t.spans msg with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          msg;
+          arrive = None;
+          first_bcast = None;
+          delivers = 0;
+          last_deliver = nan;
+          complete = None;
+        }
+      in
+      Hashtbl.replace t.spans msg s;
+      s
+
+let on_entry t { Dsim.Trace.time; event } =
+  if time > t.last_time then t.last_time <- time;
+  match event with
+  | Dsim.Trace.Arrive { msg; _ } ->
+      Metrics.incr t.c_arrive;
+      let s = span t msg in
+      (match s.arrive with
+      | Some a when a <= time -> ()
+      | _ -> s.arrive <- Some time)
+  | Dsim.Trace.Deliver { msg; _ } ->
+      Metrics.incr t.c_deliver;
+      t.total_delivers <- t.total_delivers + 1;
+      let s = span t msg in
+      s.delivers <- s.delivers + 1;
+      s.last_deliver <- time;
+      (match s.arrive with
+      | Some a -> Metrics.observe t.h_deliver (time -. a)
+      | None -> ());
+      if s.delivers >= t.n && s.complete = None then begin
+        s.complete <- Some time;
+        Metrics.incr t.c_complete;
+        match s.arrive with
+        | Some a -> Metrics.observe t.h_completion (time -. a)
+        | None -> ()
+      end
+  | Dsim.Trace.Bcast { msg; instance; _ } ->
+      Metrics.incr t.c_bcast;
+      Hashtbl.replace t.open_inst instance time;
+      let s = span t msg in
+      if s.first_bcast = None then begin
+        s.first_bcast <- Some time;
+        match s.arrive with
+        | Some a -> Metrics.observe t.h_first_bcast (time -. a)
+        | None -> ()
+      end
+  | Dsim.Trace.Rcv _ -> Metrics.incr t.c_rcv
+  | Dsim.Trace.Ack { instance; _ } -> (
+      Metrics.incr t.c_ack;
+      match Hashtbl.find_opt t.open_inst instance with
+      | Some t0 ->
+          Hashtbl.remove t.open_inst instance;
+          Metrics.observe t.h_ack (time -. t0)
+      | None -> Metrics.incr t.c_orphan)
+  | Dsim.Trace.Abort { instance; _ } -> (
+      Metrics.incr t.c_abort;
+      match Hashtbl.find_opt t.open_inst instance with
+      | Some _ -> Hashtbl.remove t.open_inst instance
+      | None -> Metrics.incr t.c_orphan)
+
+let messages_seen t = Hashtbl.length t.spans
+let messages_complete t = Metrics.value t.c_complete
+let total_delivers t = t.total_delivers
+let last_time t = t.last_time
+
+let num f = Dsim.Json.Number f
+let opt = function Some f -> num f | None -> Dsim.Json.Null
+
+let span_lines t =
+  Dsim.Tbl.sorted_fold ~cmp:Int.compare
+    (fun msg s acc ->
+      let latency =
+        match (s.arrive, s.complete) with
+        | Some a, Some c -> Some (c -. a)
+        | _ -> None
+      in
+      Dsim.Json.Obj
+        [
+          ("kind", Dsim.Json.String "span");
+          ("msg", num (float_of_int msg));
+          ("arrive", opt s.arrive);
+          ("first_bcast", opt s.first_bcast);
+          ("delivers", num (float_of_int s.delivers));
+          ( "last_deliver",
+            if s.delivers = 0 then Dsim.Json.Null else num s.last_deliver );
+          ("complete", opt s.complete);
+          ("latency", opt latency);
+        ]
+      :: acc)
+    t.spans []
+  |> List.rev

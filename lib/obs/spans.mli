@@ -1,0 +1,42 @@
+(** Message-lifecycle spans, derived online from trace events.
+
+    A span follows one MMB message: environment arrival, first MAC
+    broadcast carrying it, per-node deliveries, and global completion
+    (delivered at all [n] nodes).  Feeding entries through {!on_entry} —
+    typically via {!Dsim.Trace.subscribe} — populates per-message latency
+    histograms and event counters in the registry without retaining the
+    trace itself.
+
+    Registered metrics: counters [events.{arrive,deliver,bcast,rcv,ack,
+    abort,orphan}] and [span.msgs_complete]; probes [span.msgs_seen] and
+    [span.frontier] (total deliveries so far); histograms
+    [span.completion_latency], [span.first_bcast_delay],
+    [span.deliver_latency] (all relative to arrival) and
+    [mac.ack_latency] (bcast→ack per instance — the empirical Fack
+    distribution; its exact max is {!Amac.Estimate}'s [est_fack]).
+
+    Robust to imperfect streams: deliveries before the arrival is seen
+    skip latency observations, acks/aborts of unknown instances count as
+    [events.orphan], aborted instances never contribute ack latency. *)
+
+type t
+
+val create : n:int -> metrics:Metrics.t -> unit -> t
+(** [n] is the node count (a message completes at [n] distinct-node
+    deliveries; engines deduplicate [Deliver] per node). *)
+
+val on_entry : t -> Dsim.Trace.entry -> unit
+
+val messages_seen : t -> int
+val messages_complete : t -> int
+
+val total_delivers : t -> int
+(** Sum of per-message delivery counts — the global coverage frontier. *)
+
+val last_time : t -> float
+(** Largest event timestamp seen. *)
+
+val span_lines : t -> Dsim.Json.t list
+(** One [{"kind":"span","msg":id,...}] object per message, sorted by
+    message id, with [arrive]/[first_bcast]/[delivers]/[last_deliver]/
+    [complete]/[latency] fields ([null] where unknown). *)

@@ -61,14 +61,16 @@ let test_d4_hit () =
     fs;
   Alcotest.(check (list int)) "hit lines" [ 2; 4 ] (lines_of fs)
 
-(* --- D5: polymorphic compare in sorts, scoped to amac/mmb --------------- *)
+(* --- D5: polymorphic compare in sorts, scoped to lib/ ------------------- *)
 
 let test_d5_scope () =
   let source = read_file "lint_fixtures/d5_polysort.ml" in
   check_rules "bare compare and wrapped compare flagged" [ "D5"; "D5" ]
     (Lint.lint_source ~file:"lib/mmb/fixture.ml" source);
-  check_rules "out of scope under lib/graphs" []
-    (Lint.lint_source ~file:"lib/graphs/fixture.ml" source)
+  check_rules "covers every lib/ subtree" [ "D5"; "D5" ]
+    (Lint.lint_source ~file:"lib/graphs/fixture.ml" source);
+  check_rules "out of scope under bin/" []
+    (Lint.lint_source ~file:"bin/fixture.ml" source)
 
 (* --- Cross-rule: clean fixture, escape hatches for every rule ------------ *)
 

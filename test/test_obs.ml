@@ -1,0 +1,511 @@
+(* The observability layer: metric registry + histograms, span derivation,
+   streaming-compliance parity with the post-hoc auditor, engine profiling
+   accessors, trace ring buffers, and determinism of the JSONL export. *)
+
+module M = Obs.Metrics
+
+let floats_eq = Alcotest.float 1e-12
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry () =
+  let m = M.create () in
+  let c = M.counter m "events.x" in
+  M.incr c;
+  M.incr ~by:3 c;
+  Alcotest.(check int) "counter accumulates" 4 (M.value c);
+  let c' = M.counter m "events.x" in
+  M.incr c';
+  Alcotest.(check int) "same-name counter is the same cell" 5 (M.value c);
+  Alcotest.check_raises "cross-kind re-registration rejected"
+    (Invalid_argument "Metrics: events.x registered twice")
+    (fun () -> ignore (M.gauge m "events.x"));
+  let g = M.gauge m "hw" in
+  M.set g 2.;
+  M.set_max g 1.;
+  M.set_max g 7.;
+  let lines = M.snapshot m in
+  let names =
+    List.map
+      (fun j -> Result.get_ok (Dsim.Json.member_str j "name" ~default:""))
+      lines
+  in
+  Alcotest.(check (list string)) "snapshot sorted by name" [ "events.x"; "hw" ]
+    names;
+  let hw = List.nth lines 1 in
+  Alcotest.(check (float 0.)) "set_max keeps the high water" 7.
+    (Result.get_ok (Dsim.Json.member_float hw "value" ~default:nan))
+
+let test_volatile_excluded () =
+  let m = M.create () in
+  ignore (M.counter m "a");
+  let g = M.gauge m ~volatile:true "wall" in
+  M.set g 0.123;
+  M.probe m ~volatile:true "wall2" (fun () -> 9.);
+  Alcotest.(check int) "default snapshot drops volatile metrics" 1
+    (List.length (M.snapshot m));
+  Alcotest.(check int) "include_volatile restores them" 3
+    (List.length (M.snapshot ~include_volatile:true m))
+
+(* --- histograms --------------------------------------------------------- *)
+
+let buckets_of m name =
+  let line =
+    List.find
+      (fun j ->
+        Result.get_ok (Dsim.Json.member_str j "name" ~default:"") = name)
+      (M.snapshot m)
+  in
+  List.map
+    (fun t ->
+      match Result.get_ok (Dsim.Json.to_list t) with
+      | [ lo; hi; c ] ->
+          ( Result.get_ok (Dsim.Json.to_float lo),
+            Result.get_ok (Dsim.Json.to_float hi),
+            Result.get_ok (Dsim.Json.to_int c) )
+      | _ -> Alcotest.fail "bucket triple shape")
+    (Result.get_ok
+       (Dsim.Json.to_list (Result.get_ok (Dsim.Json.member line "buckets"))))
+
+let test_hist_bucket_boundaries () =
+  let m = M.create () in
+  let h = M.histogram m ~gamma:2. "h" in
+  Alcotest.(check (float 0.)) "boundary 0 is 1" 1. (M.boundary h 0);
+  Alcotest.(check (float 0.)) "boundary 3 is gamma^3" 8. (M.boundary h 3);
+  (* A value exactly on a boundary belongs to the bucket it opens. *)
+  List.iter (M.observe h) [ 1.0; 2.0; 3.999; 0.5; 4.0 ];
+  Alcotest.(check (list (triple floats_eq floats_eq Alcotest.int)))
+    "half-open [gamma^i, gamma^(i+1)) buckets"
+    [ (0.5, 1., 1); (1., 2., 1); (2., 4., 2); (4., 8., 1) ]
+    (buckets_of m "h");
+  (* Every positive observation lands in a bucket containing it. *)
+  List.iter
+    (fun v ->
+      let m3 = M.create () in
+      let h3 = M.histogram m3 "one" in
+      M.observe h3 v;
+      match buckets_of m3 "one" with
+      | [ (lo, hi, 1) ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%g inside its bucket [%g, %g)" v lo hi)
+            true
+            (lo <= v && v < hi)
+      | _ -> Alcotest.fail "expected exactly one bucket")
+    [ 1e-9; 0.3; 1.0; 1.189207115002721; 17.3; 65536.; 1e12 ]
+
+let test_hist_zeros_and_stats () =
+  let m = M.create () in
+  let h = M.histogram m ~gamma:2. "h" in
+  Alcotest.(check bool) "empty max is nan" true (Float.is_nan (M.hist_max h));
+  List.iter (M.observe h) [ 0.; -3.; 5.; 1. ];
+  Alcotest.(check int) "count includes zeros" 4 (M.hist_count h);
+  Alcotest.(check (float 0.)) "sum" 3. (M.hist_sum h);
+  Alcotest.(check (float 0.)) "exact min" (-3.) (M.hist_min h);
+  Alcotest.(check (float 0.)) "exact max" 5. (M.hist_max h)
+
+let test_hist_quantiles () =
+  let m = M.create () in
+  let h = M.histogram m ~gamma:2. "q" in
+  List.iter (M.observe h) [ 1.; 2.; 4.; 8. ];
+  Alcotest.(check (float 0.)) "q=0.25 -> first bucket's upper edge" 2.
+    (M.quantile h 0.25);
+  Alcotest.(check (float 0.)) "q=0.5" 4. (M.quantile h 0.5);
+  Alcotest.(check (float 0.)) "q=1 clamps to the observed max" 8.
+    (M.quantile h 1.);
+  let hz = M.histogram m ~gamma:2. "qz" in
+  List.iter (M.observe hz) [ 0.; 0.; 0.; 8. ];
+  Alcotest.(check (float 0.)) "ranks inside the zeros bucket yield 0" 0.
+    (M.quantile hz 0.5);
+  Alcotest.(check (float 0.)) "top rank escapes the zeros bucket" 8.
+    (M.quantile hz 1.);
+  Alcotest.check_raises "gamma must exceed 1"
+    (Invalid_argument "Metrics.histogram: gamma must be > 1") (fun () ->
+      ignore (M.histogram m ~gamma:1. "bad"))
+
+(* --- spans --------------------------------------------------------------- *)
+
+let feed spans entries =
+  List.iter
+    (fun (time, event) -> Obs.Spans.on_entry spans { Dsim.Trace.time; event })
+    entries
+
+let test_span_lifecycle () =
+  let m = M.create () in
+  let s = Obs.Spans.create ~n:2 ~metrics:m () in
+  feed s
+    [
+      (* Deliver before the arrival is seen: counted, latency skipped. *)
+      (1., Dsim.Trace.Deliver { node = 0; msg = 5 });
+      (2., Dsim.Trace.Arrive { node = 0; msg = 5 });
+      (3., Dsim.Trace.Deliver { node = 1; msg = 5 });
+    ];
+  Alcotest.(check int) "one message seen" 1 (Obs.Spans.messages_seen s);
+  Alcotest.(check int) "complete at n deliveries" 1
+    (Obs.Spans.messages_complete s);
+  Alcotest.(check int) "frontier counts both deliveries" 2
+    (Obs.Spans.total_delivers s);
+  Alcotest.(check (float 0.)) "clock follows the last event" 3.
+    (Obs.Spans.last_time s);
+  let lat = M.histogram m "span.deliver_latency" in
+  Alcotest.(check int) "pre-arrival delivery skips the latency histogram" 1
+    (M.hist_count lat);
+  match Obs.Spans.span_lines s with
+  | [ line ] ->
+      Alcotest.(check int) "span msg id" 5
+        (Result.get_ok (Dsim.Json.member_int line "msg" ~default:(-1)));
+      Alcotest.(check (float 0.)) "completion time" 3.
+        (Result.get_ok (Dsim.Json.member_float line "complete" ~default:nan));
+      Alcotest.(check bool) "first_bcast unknown -> null" true
+        (Result.get_ok (Dsim.Json.member line "first_bcast") = Dsim.Json.Null)
+  | ls -> Alcotest.failf "expected 1 span line, got %d" (List.length ls)
+
+let test_span_orphans_and_aborts () =
+  let m = M.create () in
+  let s = Obs.Spans.create ~n:3 ~metrics:m () in
+  feed s
+    [
+      (0., Dsim.Trace.Ack { node = 0; msg = 1; instance = 99 });
+      (1., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 7 });
+      (2., Dsim.Trace.Abort { node = 0; msg = 1; instance = 7 });
+      (* Ack after abort: the instance is gone, so this is an orphan too
+         and must not contribute ack latency. *)
+      (3., Dsim.Trace.Ack { node = 0; msg = 1; instance = 7 });
+    ];
+  Alcotest.(check int) "both stray acks counted as orphans" 2
+    (M.value (M.counter m "events.orphan"));
+  Alcotest.(check int) "aborted instance contributes no ack latency" 0
+    (M.hist_count (M.histogram m "mac.ack_latency"))
+
+(* --- streaming monitor: parity with the post-hoc auditor ----------------- *)
+
+let line2 = lazy (Graphs.Dual.of_equal (Graphs.Gen.line 2))
+
+let entries_to_trace entries =
+  let tr = Dsim.Trace.create () in
+  List.iter (fun (time, event) -> Dsim.Trace.record tr ~time event) entries;
+  tr
+
+let check_parity ?(fack = 10.) ?(fprog = 2.) ?(allow_open = false) name dual tr
+    =
+  let expected = Amac.Compliance.audit ~dual ~fack ~fprog ~allow_open tr in
+  let mon = Obs.Monitor.create ~dual ~fack ~fprog () in
+  Dsim.Trace.iter tr (Obs.Monitor.on_entry mon);
+  let actual = Obs.Monitor.finish ~allow_open mon in
+  let key v = v.Amac.Compliance.rule ^ " | " ^ v.Amac.Compliance.detail in
+  Alcotest.(check (list string))
+    (name ^ ": same violation multiset as the auditor")
+    (List.sort String.compare (List.map key expected))
+    (List.sort String.compare (List.map key actual))
+
+let crafted_traces =
+  (* Mirrors test_compliance.ml's per-axiom traces: one per rule plus a
+     clean one, so parity is exercised on every violation constructor. *)
+  [
+    ( "clean",
+      2,
+      [
+        (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+        (1., Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+        (1., Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+      ] );
+    ( "rcv to non-neighbor",
+      3,
+      [
+        (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+        (0.5, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+        (1., Dsim.Trace.Rcv { node = 2; msg = 1; instance = 1 });
+        (1., Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+      ] );
+    ( "duplicate rcv",
+      2,
+      [
+        (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+        (0.5, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+        (0.7, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+        (1., Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+      ] );
+    ( "rcv after ack",
+      2,
+      [
+        (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+        (0.4, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+        (0.5, Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+        (0.9, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+      ] );
+    ( "ack without G delivery",
+      2,
+      [
+        (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+        (1., Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+      ] );
+    ( "unterminated instance",
+      2,
+      [ (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 }) ] );
+    ( "progress starvation",
+      2,
+      [
+        (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+        (10., Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+        (10., Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+      ] );
+  ]
+
+let test_monitor_parity_crafted () =
+  List.iter
+    (fun (name, n, entries) ->
+      let dual = Graphs.Dual.of_equal (Graphs.Gen.line n) in
+      check_parity name dual (entries_to_trace entries);
+      check_parity (name ^ " (allow_open)") ~allow_open:true dual
+        (entries_to_trace entries))
+    crafted_traces;
+  (* Tight ack bound: flips the clean trace into an ack-bound violation. *)
+  let dual = Lazy.force line2 in
+  check_parity "late ack" ~fack:1. dual
+    (entries_to_trace
+       [
+         (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+         (0.5, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+         (5., Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+       ])
+
+let test_monitor_parity_golden () =
+  match Dsim.Trace_io.read_file ~path:"golden/two_line_d5_seed0.jsonl" with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      let tr = Dsim.Trace.create () in
+      List.iter
+        (fun { Dsim.Trace.time; event } -> Dsim.Trace.record tr ~time event)
+        entries;
+      let dual = Graphs.Dual.two_line ~d:5 in
+      check_parity "golden trace" ~fack:8. ~fprog:1. dual tr;
+      let mon = Obs.Monitor.create ~dual ~fack:8. ~fprog:1. () in
+      Dsim.Trace.iter tr (Obs.Monitor.on_entry mon);
+      Alcotest.(check int) "golden trace is streaming-clean" 0
+        (List.length (Obs.Monitor.finish mon))
+
+let test_monitor_callback_fires_at_detection () =
+  let dual = Lazy.force line2 in
+  let hits = ref [] in
+  let mon =
+    Obs.Monitor.create ~dual ~fack:10. ~fprog:2.
+      ~on_violation:(fun entry v -> hits := (entry, v) :: !hits)
+      ()
+  in
+  Dsim.Trace.iter
+    (entries_to_trace
+       [
+         (0., Dsim.Trace.Bcast { node = 0; msg = 1; instance = 1 });
+         (0.5, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+         (0.7, Dsim.Trace.Rcv { node = 1; msg = 1; instance = 1 });
+         (1., Dsim.Trace.Ack { node = 0; msg = 1; instance = 1 });
+       ])
+    (Obs.Monitor.on_entry mon);
+  ignore (Obs.Monitor.finish mon);
+  match List.rev !hits with
+  | [ (Some entry, v) ] ->
+      Alcotest.(check string) "rule" "receive-correctness"
+        v.Amac.Compliance.rule;
+      Alcotest.(check (float 0.)) "fires on the offending entry" 0.7
+        entry.Dsim.Trace.time
+  | hs -> Alcotest.failf "expected 1 callback with entry, got %d" (List.length hs)
+
+(* --- trace ring buffer --------------------------------------------------- *)
+
+let test_trace_ring () =
+  let tr = Dsim.Trace.create ~capacity:3 () in
+  for i = 0 to 4 do
+    Dsim.Trace.record tr
+      ~time:(float_of_int i)
+      (Dsim.Trace.Arrive { node = i; msg = i })
+  done;
+  Alcotest.(check int) "retention bounded by capacity" 3 (Dsim.Trace.length tr);
+  Alcotest.(check int) "recorded counts evicted entries" 5
+    (Dsim.Trace.recorded tr);
+  Alcotest.(check (list int)) "keeps the most recent, oldest first" [ 2; 3; 4 ]
+    (List.map
+       (fun e -> int_of_float e.Dsim.Trace.time)
+       (Dsim.Trace.entries tr));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Trace.create: capacity must be >= 1") (fun () ->
+      ignore (Dsim.Trace.create ~capacity:0 ()))
+
+let test_trace_subscribers_without_retention () =
+  let tr = Dsim.Trace.create ~enabled:false () in
+  let seen = ref 0 in
+  Dsim.Trace.subscribe tr (fun _ -> incr seen);
+  Dsim.Trace.record tr ~time:0. (Dsim.Trace.Arrive { node = 0; msg = 0 });
+  Dsim.Trace.record tr ~time:1. (Dsim.Trace.Arrive { node = 1; msg = 1 });
+  Alcotest.(check int) "disabled trace retains nothing" 0 (Dsim.Trace.length tr);
+  Alcotest.(check int) "subscribers still see every record" 2 !seen
+
+(* --- engine profiling accessors ------------------------------------------ *)
+
+let test_sim_profiling () =
+  let sim = Dsim.Sim.create () in
+  ignore (Dsim.Sim.schedule_at ~cat:"a" sim ~time:1. (fun () -> ()));
+  ignore (Dsim.Sim.schedule_at ~cat:"a" sim ~time:2. (fun () -> ()));
+  let h = Dsim.Sim.schedule_at ~cat:"b" sim ~time:3. (fun () -> ()) in
+  ignore (Dsim.Sim.schedule_at sim ~time:4. (fun () -> ()));
+  Alcotest.(check int) "high water sees all four" 4
+    (Dsim.Sim.heap_high_water sim);
+  Dsim.Sim.cancel sim h;
+  Alcotest.(check int) "one cancellation" 1 (Dsim.Sim.cancelled_events sim);
+  ignore (Dsim.Sim.run sim);
+  Alcotest.(check int) "executed excludes the cancelled event" 3
+    (Dsim.Sim.executed_events sim);
+  Alcotest.(check int) "pushes" 4 (Dsim.Sim.heap_pushes sim);
+  Alcotest.(check (list (pair string Alcotest.int)))
+    "per-category event counts, sorted"
+    [ ("a", 2) ]
+    (List.filter_map
+       (fun (name, events, _) -> if name = "a" then Some (name, events) else None)
+       (Dsim.Sim.category_stats sim))
+
+(* --- end-to-end export: schema, determinism, estimate consistency -------- *)
+
+let observed_run ~seed =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 5) in
+  let obs =
+    Obs.Observer.create ~n:5 ~dual ~fack:8. ~fprog:1.
+      ~meta:[ ("seed", Dsim.Json.Number (float_of_int seed)) ]
+      ()
+  in
+  let res =
+    Mmb.Runner.run_bmmb ~dual ~fack:8. ~fprog:1.
+      ~policy:(Amac.Schedulers.eager ())
+      ~assignment:[ (0, 0); (4, 1) ]
+      ~seed ~check_compliance:true ~obs ()
+  in
+  (obs, res, dual)
+
+let test_jsonl_schema_roundtrip () =
+  let obs, res, _ = observed_run ~seed:3 in
+  let lines = Obs.Observer.jsonl obs in
+  Alcotest.(check bool) "run completed" true res.Mmb.Runner.complete;
+  let kinds =
+    List.map
+      (fun line ->
+        match Dsim.Json.parse line with
+        | Error e -> Alcotest.failf "unparseable metrics line %S: %s" line e
+        | Ok j ->
+            Alcotest.(check string)
+              "round-trips through Dsim.Json byte-for-byte" line
+              (Dsim.Json.to_string j);
+            Result.get_ok (Dsim.Json.member_str j "kind" ~default:"?"))
+      lines
+  in
+  Alcotest.(check string) "meta line leads" "meta" (List.hd kinds);
+  Alcotest.(check string) "compliance verdict closes" "compliance"
+    (List.nth kinds (List.length kinds - 1));
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "known kind %S" k)
+        true
+        (List.mem k [ "meta"; "counter"; "gauge"; "histogram"; "span"; "compliance" ]))
+    kinds;
+  Alcotest.(check int) "one span line per message" 2
+    (List.length (List.filter (( = ) "span") kinds));
+  (* Verdict agrees with the run and the engine gauge with the result. *)
+  let verdict = Result.get_ok (Dsim.Json.parse (List.nth lines (List.length lines - 1))) in
+  Alcotest.(check bool) "checked" true
+    (Result.get_ok
+       (Dsim.Json.to_bool (Result.get_ok (Dsim.Json.member verdict "checked"))));
+  Alcotest.(check bool) "ok" true
+    (Result.get_ok
+       (Dsim.Json.to_bool (Result.get_ok (Dsim.Json.member verdict "ok"))));
+  let executed =
+    List.find_map
+      (fun line ->
+        let j = Result.get_ok (Dsim.Json.parse line) in
+        if Result.get_ok (Dsim.Json.member_str j "name" ~default:"") = "engine.executed"
+        then Some (Result.get_ok (Dsim.Json.member_int j "value" ~default:(-1)))
+        else None)
+      lines
+  in
+  Alcotest.(check (option Alcotest.int)) "engine.executed matches the result"
+    (Some res.Mmb.Runner.events_executed) executed;
+  Alcotest.(check bool) "the run executed events" true
+    (res.Mmb.Runner.events_executed > 0)
+
+let test_jsonl_deterministic_across_runs () =
+  let obs1, _, _ = observed_run ~seed:3 in
+  let obs2, _, _ = observed_run ~seed:3 in
+  Alcotest.(check (list string)) "same seed, byte-identical export"
+    (Obs.Observer.jsonl obs1) (Obs.Observer.jsonl obs2);
+  let obs3, _, _ = observed_run ~seed:4 in
+  Alcotest.(check bool) "different seed differs" true
+    (Obs.Observer.jsonl obs1 <> Obs.Observer.jsonl obs3)
+
+let test_estimate_consistency () =
+  let obs, res, dual = observed_run ~seed:5 in
+  let tr =
+    match res.Mmb.Runner.trace with
+    | Some tr -> tr
+    | None -> Alcotest.fail "expected a retained trace"
+  in
+  let est = Amac.Estimate.estimate ~dual tr in
+  let m = Obs.Observer.metrics obs in
+  Alcotest.(check (float 0.)) "hist max of mac.ack_latency is est_fack"
+    est.Amac.Estimate.est_fack
+    (M.hist_max (M.histogram m "mac.ack_latency"));
+  (* The largest observed starvation gap is the empirical Fprog that the
+     binary search recovers (up to its search tolerance). *)
+  Alcotest.(check (float 1e-3)) "max progress gap is est_fprog"
+    est.Amac.Estimate.est_fprog
+    (M.hist_max (M.histogram m "mac.progress_gap"))
+
+let test_fmmb_spans () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 4) in
+  let obs = Obs.Observer.create ~n:4 () in
+  let res =
+    Mmb.Runner.run_fmmb ~dual ~fprog:2. ~c:2.
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~assignment:[ (0, 0); (3, 1) ]
+      ~seed:1 ~obs ()
+  in
+  Alcotest.(check bool) "complete" true res.Mmb.Runner.fmmb.Mmb.Fmmb.complete;
+  Alcotest.(check int) "spans saw both messages" 2
+    (Obs.Spans.messages_seen (Obs.Observer.spans obs));
+  Alcotest.(check int) "both messages completed" 2
+    (Obs.Spans.messages_complete (Obs.Observer.spans obs));
+  match Obs.Observer.monitor obs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "FMMB observer must not carry a monitor"
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "metric registry" `Quick test_registry;
+        Alcotest.test_case "volatile metrics excluded by default" `Quick
+          test_volatile_excluded;
+        Alcotest.test_case "histogram bucket boundaries" `Quick
+          test_hist_bucket_boundaries;
+        Alcotest.test_case "histogram zeros and exact stats" `Quick
+          test_hist_zeros_and_stats;
+        Alcotest.test_case "histogram quantiles" `Quick test_hist_quantiles;
+        Alcotest.test_case "span lifecycle, out-of-order events" `Quick
+          test_span_lifecycle;
+        Alcotest.test_case "span orphans and aborted instances" `Quick
+          test_span_orphans_and_aborts;
+        Alcotest.test_case "streaming parity on crafted violations" `Quick
+          test_monitor_parity_crafted;
+        Alcotest.test_case "streaming parity on the golden trace" `Quick
+          test_monitor_parity_golden;
+        Alcotest.test_case "violation callback at detection time" `Quick
+          test_monitor_callback_fires_at_detection;
+        Alcotest.test_case "trace ring buffer" `Quick test_trace_ring;
+        Alcotest.test_case "subscribers on a disabled trace" `Quick
+          test_trace_subscribers_without_retention;
+        Alcotest.test_case "engine profiling accessors" `Quick
+          test_sim_profiling;
+        Alcotest.test_case "metrics JSONL schema + Json round-trip" `Quick
+          test_jsonl_schema_roundtrip;
+        Alcotest.test_case "metrics JSONL determinism across runs" `Quick
+          test_jsonl_deterministic_across_runs;
+        Alcotest.test_case "empirical Fack/Fprog match Estimate" `Quick
+          test_estimate_consistency;
+        Alcotest.test_case "FMMB span-only observer" `Quick test_fmmb_spans;
+      ] );
+  ]
