@@ -73,4 +73,4 @@ let plot ?(width = 56) ?(height = 12) ?(scale = `Linear) ~x_label ~y_label
       Buffer.contents buf
 
 let print ?width ?height ?scale ~x_label ~y_label points =
-  print_string (plot ?width ?height ?scale ~x_label ~y_label points)
+  Exec.Sink.emit (plot ?width ?height ?scale ~x_label ~y_label points)

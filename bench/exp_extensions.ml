@@ -379,6 +379,15 @@ let e16_structuring () =
      the enhanced model; restricting BMMB's relaying to it preserves \
      completion and cuts broadcast cost proportionally to |backbone|/n."
 
+let experiments =
+  [
+    Exp.inline ~id:"e10" e10_online;
+    Exp.inline ~id:"e11" e11_round_construction;
+    Exp.inline ~id:"e12" e12_leader_election;
+    Exp.inline ~id:"e14" e14_online_fmmb;
+    Exp.inline ~id:"e16" e16_structuring;
+  ]
+
 let run () =
   e10_online ();
   e11_round_construction ();

@@ -21,16 +21,8 @@ let fmmb_run ~dual ~k ~seed =
     ~policy:(Amac.Enhanced_mac.minimal_random ())
     ~assignment ~seed ()
 
-let e5_fmmb () =
-  Report.section
-    "E5  Figure 1 (enhanced, grey zone): FMMB in O((D logn + k logn + \
-     log^3 n) * Fprog), no Fack term";
-  Report.note
-    "Random geometric grey-zone networks (density ~3/unit^2, c = %.1f), \
-     minimal-random round scheduler, 3 seeds per point." c;
-  Report.subsection "Sweep n (D grows with n), k = 4";
+let row_of ~n ~k =
   let seeds = [ 1; 2; 3 ] in
-  let row_of ~n ~k =
     let dual = grey ~seed:(n * 17) ~n in
     let d = Graphs.Bfs.diameter (Graphs.Dual.reliable dual) in
     let runs = List.map (fun seed -> fmmb_run ~dual ~k ~seed) seeds in
@@ -59,33 +51,78 @@ let e5_fmmb () =
         Report.verdict all_ok;
       ],
       rounds )
+
+(* One campaign cell per swept (n, k) point. *)
+let e5_ns = [ 20; 40; 80; 160 ]
+let e5_ks = [ 1; 2; 4; 8; 16 ]
+
+let e5_cell ~sweep ~n ~k =
+  Exec.Job.make
+    ~spec:
+      (Exp.spec ~id:"e5"
+         [
+           ("sweep", Dsim.Json.String sweep);
+           ("n", Exp.num (float_of_int n));
+           ("k", Exp.num (float_of_int k));
+           ("c", Exp.num c);
+           ("fprog", Exp.num fprog);
+           ("seeds", Dsim.Json.List [ Exp.num 1.; Exp.num 2.; Exp.num 3. ]);
+         ])
+    (fun () ->
+      let row, rounds = row_of ~n ~k in
+      Dsim.Json.Obj
+        [ ("row", Exp.row_json row); ("rounds", Exp.num rounds) ])
+
+let e5_render results =
+  Report.section
+    "E5  Figure 1 (enhanced, grey zone): FMMB in O((D logn + k logn + \
+     log^3 n) * Fprog), no Fack term";
+  Report.note
+    "Random geometric grey-zone networks (density ~3/unit^2, c = %.1f), \
+     minimal-random round scheduler, 3 seeds per point." c;
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> split (n - 1) (x :: acc) rest
   in
-  let n_rows = List.map (fun n -> fst (row_of ~n ~k:4)) [ 20; 40; 80; 160 ] in
+  let n_results, k_results = split (List.length e5_ns) [] results in
+  let row j =
+    Exp.row_of_json
+      (Option.value ~default:Dsim.Json.Null (Dsim.Json.member_opt j "row"))
+  in
+  Report.subsection "Sweep n (D grows with n), k = 4";
   Report.table
     ~header:
       [ "n"; "D"; "k"; "rounds"; "mis"; "gather"; "spread"; "rounds/shape";
         "ok(complete+MIS)" ]
-    n_rows;
+    (List.map row n_results);
   Report.subsection "Sweep k, n = 60";
-  let k_rows, k_samples =
-    List.split
-      (List.map
-         (fun k ->
-           let row, rounds = row_of ~n:60 ~k in
-           (row, (float_of_int k, rounds)))
-         [ 1; 2; 4; 8; 16 ])
-  in
   Report.table
     ~header:
       [ "n"; "D"; "k"; "rounds"; "mis"; "gather"; "spread"; "rounds/shape";
         "ok(complete+MIS)" ]
-    k_rows;
+    (List.map row k_results);
+  let k_samples =
+    List.map2
+      (fun k j -> (float_of_int k, Exp.num_of_json ~field:"rounds" j))
+      e5_ks k_results
+  in
   let slope, intercept = Fit.linear1 k_samples in
   Report.note "fit rounds ~ %.1f * k + %.1f (linear in k, as claimed)" slope
     intercept;
   Chart.print ~x_label:"k" ~y_label:"FMMB rounds" k_samples;
   Report.note
     "no Fack anywhere: FMMB's time is rounds * Fprog regardless of Fack."
+
+let e5 =
+  Exp.make ~id:"e5"
+    ~cells:
+      (List.map (fun n -> e5_cell ~sweep:"n" ~n ~k:4) e5_ns
+      @ List.map (fun k -> e5_cell ~sweep:"k" ~n:60 ~k) e5_ks)
+    ~render:e5_render
+
+let e5_fmmb () =
+  e5_render (List.map (fun cl -> cl.Exec.Job.run ()) e5.Exp.cells)
 
 (* E6 --------------------------------------------------------------------- *)
 
@@ -132,15 +169,18 @@ let e6_crossover () =
 
 (* E8 --------------------------------------------------------------------- *)
 
-let e8_mis () =
-  Report.section
-    "E8  The MIS subroutine alone (Section 4.2, 'independent interest')";
-  Report.note
-    "Validity rate over 10 seeds per n; budget is the Theta(c^4 log^3 n) \
-     prescription; convergence is when the simulation quiesces.";
-  let rows =
-    List.map
-      (fun n ->
+let e8_ns = [ 16; 32; 64; 128; 256 ]
+
+let e8_cell n =
+  Exec.Job.make
+    ~spec:
+      (Exp.spec ~id:"e8"
+         [
+           ("n", Exp.num (float_of_int n));
+           ("c", Exp.num c);
+           ("seeds", Exp.num 10.);
+         ])
+    (fun () ->
         let dual = grey ~seed:(n * 13 + 1) ~n in
         let g = Graphs.Dual.reliable dual in
         let params = Mmb.Fmmb_mis.default_params ~n ~c in
@@ -169,24 +209,44 @@ let e8_mis () =
             budget := res.Mmb.Fmmb_mis.budget_rounds)
           seeds;
         let greedy_size = List.length (Graphs.Mis.greedy g) in
-        [
-          Report.i n;
-          Printf.sprintf "%d/10" !valid;
-          Report.f1 (float_of_int !rounds_sum /. 10.);
-          Report.i !budget;
-          Report.f1 (float_of_int !size_sum /. 10.);
-          Report.i greedy_size;
-        ])
-      [ 16; 32; 64; 128; 256 ]
-  in
+        Dsim.Json.Obj
+          [
+            ("row",
+             Exp.row_json
+               [
+                 Report.i n;
+                 Printf.sprintf "%d/10" !valid;
+                 Report.f1 (float_of_int !rounds_sum /. 10.);
+                 Report.i !budget;
+                 Report.f1 (float_of_int !size_sum /. 10.);
+                 Report.i greedy_size;
+               ]);
+          ])
+
+let e8_render results =
+  Report.section
+    "E8  The MIS subroutine alone (Section 4.2, 'independent interest')";
+  Report.note
+    "Validity rate over 10 seeds per n; budget is the Theta(c^4 log^3 n) \
+     prescription; convergence is when the simulation quiesces.";
   Report.table
     ~header:
       [ "n"; "valid"; "avg rounds to quiesce"; "budget"; "avg |MIS|";
         "greedy |MIS|" ]
-    rows;
+    (List.map
+       (fun j ->
+         Exp.row_of_json
+           (Option.value ~default:Dsim.Json.Null
+              (Dsim.Json.member_opt j "row")))
+       results);
   Report.note
     "shape check: the budget grows ~log^3 n; quiescence is much earlier in \
      practice; validity holds w.h.p."
+
+let e8 = Exp.make ~id:"e8" ~cells:(List.map e8_cell e8_ns) ~render:e8_render
+
+let e8_mis () =
+  e8_render (List.map (fun cl -> cl.Exec.Job.run ()) e8.Exp.cells)
 
 (* E9 --------------------------------------------------------------------- *)
 
@@ -382,6 +442,11 @@ let e9_ablations () =
   Report.table
     ~header:[ "scheduler"; "time"; "forced deliveries"; "time/bound" ]
     rows
+
+let e6 = Exp.inline ~id:"e6" e6_crossover
+let e9 = Exp.inline ~id:"e9" e9_ablations
+
+let experiments = [ e5; e6; e8; e9 ]
 
 let run () =
   e5_fmmb ();

@@ -327,6 +327,9 @@ let e15_sinr () =
      radio, and the SINR layer — the deployability claim of the abstract \
      MAC layer approach, executed."
 
+let experiments =
+  [ Exp.inline ~id:"e13" e13_radio; Exp.inline ~id:"e15" e15_sinr ]
+
 let run () =
   e13_radio ();
   e15_sinr ()

@@ -1,16 +1,18 @@
 (* Plain-text reporting helpers for the experiment harness: section
    banners and aligned tables, matching the row/series style of the paper's
-   Figure 1 summary. *)
+   Figure 1 summary.  All text flows through Exec.Sink so a campaign
+   worker's output is captured and replayed in job order; outside a
+   campaign the sink is stdout and nothing changes. *)
 
 let section title =
   let bar = String.make 78 '=' in
-  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+  Exec.Sink.printf "\n%s\n%s\n%s\n" bar title bar
 
 let subsection title =
-  Printf.printf "\n--- %s %s\n" title
+  Exec.Sink.printf "\n--- %s %s\n" title
     (String.make (max 0 (72 - String.length title)) '-')
 
-let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+let note fmt = Printf.ksprintf (fun s -> Exec.Sink.printf "  %s\n" s) fmt
 
 let table ~header rows =
   let all = header :: rows in
@@ -32,7 +34,7 @@ let table ~header rows =
           Printf.sprintf "%*s" w cell)
         row
     in
-    Printf.printf "  %s\n" (String.concat "  " cells)
+    Exec.Sink.printf "  %s\n" (String.concat "  " cells)
   in
   print_row header;
   print_row (List.map (fun w -> String.make w '-') widths);

@@ -624,6 +624,155 @@ let exec_cmd =
        ~doc:"Run a JSON scenario file (config-driven experiments).")
     term
 
+(* --- campaign ---------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let paths_arg =
+    let doc =
+      "Scenario files, or directories whose *.json files are taken in \
+       sorted order."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PATH" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Fan scenarios across N domains (clamped to the machine's cores; the \
+       merge is deterministic, so output is identical for any N)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let cache_dir_arg =
+    let doc = "Content-addressed result cache directory." in
+    Arg.(
+      value
+      & opt string (Filename.concat "_campaign" "cache")
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Run every scenario even if cached." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let salt_arg =
+    let doc =
+      "Code-version salt folded into every job digest (default: a digest \
+       of this binary, so rebuilds invalidate the cache automatically)."
+    in
+    Arg.(value & opt (some string) None & info [ "salt" ] ~docv:"SALT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write machine-readable results (JSONL, job order) to FILE." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let scenario_files paths =
+    let rec gather acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest when Sys.is_directory p ->
+          let inside =
+            Sys.readdir p |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".json")
+            |> List.sort String.compare
+            |> List.map (Filename.concat p)
+          in
+          if inside = [] then
+            Error (Printf.sprintf "%s: no *.json scenario files" p)
+          else gather (List.rev_append inside acc) rest
+      | f :: rest -> gather (f :: acc) rest
+    in
+    gather [] paths
+  in
+  let action paths jobs cache_dir no_cache salt out =
+    let ( let* ) = Result.bind in
+    let outcome =
+      let* files = scenario_files paths in
+      let* specs =
+        List.fold_left
+          (fun acc file ->
+            let* acc = acc in
+            let* specs = Mmb.Scenario.load_file file in
+            Ok (acc @ specs))
+          (Ok []) files
+      in
+      let job_of spec =
+        Exec.Job.make ~spec:(Mmb.Scenario.spec_to_json spec) (fun () ->
+            match Mmb.Scenario.execute spec with
+            | Ok runs ->
+                Exec.Sink.emit (Mmb.Scenario.report spec runs);
+                Exec.Sink.emit "\n";
+                Mmb.Scenario.result_json spec runs
+            | Error e ->
+                Exec.Sink.printf "scenario %s failed: %s\n\n"
+                  spec.Mmb.Scenario.name e;
+                Dsim.Json.Obj
+                  [
+                    ("name", Dsim.Json.String spec.Mmb.Scenario.name);
+                    ("error", Dsim.Json.String e);
+                  ])
+      in
+      let job_list = List.map job_of specs in
+      let salt =
+        match salt with
+        | Some s -> s
+        | None -> (
+            try Digest.to_hex (Digest.file Sys.executable_name)
+            with _ -> "unsalted")
+      in
+      let cache =
+        if no_cache then None else Some (Exec.Cache.create ~dir:cache_dir)
+      in
+      let manifest =
+        let key =
+          Digest.to_hex
+            (Digest.string
+               (String.concat "\n"
+                  (List.map (fun j -> Exec.Job.digest ~salt j) job_list)))
+        in
+        Filename.concat "_campaign" (Printf.sprintf "campaign-%s.jsonl" key)
+      in
+      let jobs = min jobs (Exec.Pool.available_parallelism ()) in
+      let outcomes, stats =
+        Exec.Campaign.run ~jobs ~salt ?cache ~manifest ~clock:Sys.time
+          job_list
+      in
+      Array.iter (fun o -> print_string o.Exec.Campaign.output) outcomes;
+      (match out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              Array.iter
+                (fun o ->
+                  output_string oc
+                    (Dsim.Json.to_string o.Exec.Campaign.result);
+                  output_char oc '\n')
+                outcomes);
+          Printf.printf "results written to %s\n" path);
+      Printf.eprintf
+        "campaign: %d scenario(s) on %d domain(s) — %d ran, %d cached, %d \
+         resumed\n"
+        stats.Exec.Campaign.total jobs stats.Exec.Campaign.ran
+        stats.Exec.Campaign.cached stats.Exec.Campaign.resumed;
+      Ok ()
+    in
+    match outcome with
+    | Ok () -> `Ok ()
+    | Error e -> `Error (false, "campaign: " ^ e)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ paths_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+       $ salt_arg $ out_arg))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a batch of scenario files as a parallel campaign: \
+          deterministic merge, content-addressed cache, resumable \
+          checkpoints.")
+    term
+
 let () =
   let doc =
     "Simulator for multi-message broadcast over abstract MAC layers with \
@@ -634,4 +783,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; lower_bound_cmd; sweep_cmd; online_cmd; radio_cmd;
-            exec_cmd; estimate_cmd ]))
+            exec_cmd; campaign_cmd; estimate_cmd ]))

@@ -1,0 +1,65 @@
+(* Content-addressed result cache.
+
+   One JSONL file per job digest under the cache directory (flat layout:
+   [dir/<md5-hex>.jsonl], one JSON object per file).  The digest already
+   encodes the canonical spec and the code-version salt, so lookups never
+   have to compare specs — a file either exists for the digest or it
+   doesn't.  Entries carry everything needed to replay a job without
+   executing it: the result value, the captured report text, and the
+   engine-counter delta. *)
+
+type t = { dir : string; mutable hits : int; mutable misses : int }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir; hits = 0; misses = 0 }
+
+let dir t = t.dir
+
+let path t ~digest = Filename.concat t.dir (digest ^ ".jsonl")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t ~digest =
+  let file = path t ~digest in
+  match read_file file with
+  | exception Sys_error _ ->
+      t.misses <- t.misses + 1;
+      None
+  | text -> (
+      match Dsim.Json.parse (String.trim text) with
+      | Ok json ->
+          t.hits <- t.hits + 1;
+          Some json
+      | Error _ ->
+          (* A torn write (interrupted run): treat as a miss; the fresh
+             result will overwrite it. *)
+          t.misses <- t.misses + 1;
+          None)
+
+(* Writes go through a per-entry temp file and a rename so a concurrent
+   reader never sees a half-written entry.  [disc] keeps temp names of
+   workers racing on duplicate jobs distinct. *)
+let store t ~digest ?(disc = "0") json =
+  let final = path t ~digest in
+  let tmp = final ^ ".tmp." ^ disc in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Dsim.Json.to_string json);
+      output_char oc '\n');
+  Sys.rename tmp final
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,27 @@
+(** Content-addressed result cache: one JSONL entry file per job digest.
+
+    Because the digest covers the canonical job spec {e and} a
+    code-version salt ({!Job.digest}), re-running a campaign only executes
+    changed or new cells; everything else is replayed from disk. *)
+
+type t
+
+val mkdir_p : string -> unit
+(** [mkdir -p]; shared with {!Manifest} for checkpoint directories. *)
+
+val create : dir:string -> t
+(** Open (creating directories as needed) a cache rooted at [dir]. *)
+
+val dir : t -> string
+
+val find : t -> digest:string -> Dsim.Json.t option
+(** Entry for [digest], if present and well-formed.  Counts a hit or a
+    miss.  Not domain-safe: call from the coordinating domain only. *)
+
+val store : t -> digest:string -> ?disc:string -> Dsim.Json.t -> unit
+(** Persist an entry (atomic temp-file + rename).  Safe to call from
+    worker domains; pass a per-worker [disc]riminator so duplicate jobs
+    never share a temp file. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,171 @@
+(* Campaign runner: fan a job list across a domain pool, with a
+   content-addressed result cache and a resumable checkpoint manifest.
+
+   The load-bearing property is the deterministic merge: outcomes are
+   returned (and their report text replayed) strictly in job-index order,
+   and each job's engine delta is measured against a registry reset at
+   job start, so aggregate output is byte-identical no matter how many
+   workers ran or which worker executed which job.
+
+   A job's result can come from three sources, checked in order:
+     1. the manifest (a previous interrupted run of this campaign),
+     2. the cache   (any previous campaign that ran the same cell), and
+     3. execution on the pool.
+   Executed jobs are persisted to both stores as they finish, so a kill
+   at any point loses at most the jobs in flight. *)
+
+type source = Ran | Cached | Resumed
+
+type outcome = {
+  index : int;
+  digest : string;
+  result : Dsim.Json.t;  (** the job's returned value *)
+  output : string;  (** report text the job emitted through {!Sink} *)
+  engine : Obs.Global.snap;  (** engine-counter delta attributable to the job *)
+  wall_s : float;  (** injected-clock seconds (0 without a [clock]) *)
+  source : source;
+}
+
+type stats = { total : int; ran : int; cached : int; resumed : int }
+
+(* --- Replayable entry (cache file / manifest line) ----------------------- *)
+
+let entry_of ~spec ~result ~output ~engine ~wall_s =
+  Dsim.Json.Obj
+    [
+      ("spec", spec);
+      ("result", result);
+      ("output", Dsim.Json.String output);
+      ("engine", Obs.Global.snap_to_json engine);
+      ("wall_s", Dsim.Json.Number wall_s);
+    ]
+
+let decode_entry ~index ~digest ~source json =
+  let ( let* ) = Option.bind in
+  let* result = Dsim.Json.member_opt json "result" in
+  let* output =
+    match Dsim.Json.member_opt json "output" with
+    | Some (Dsim.Json.String s) -> Some s
+    | _ -> None
+  in
+  let* engine =
+    match Dsim.Json.member_opt json "engine" with
+    | Some e -> Result.to_option (Obs.Global.snap_of_json e)
+    | None -> None
+  in
+  let wall_s =
+    match Dsim.Json.member_opt json "wall_s" with
+    | Some (Dsim.Json.Number w) -> w
+    | _ -> 0.
+  in
+  Some { index; digest; result; output; engine; wall_s; source }
+
+(* --- The runner ---------------------------------------------------------- *)
+
+let run ?(jobs = 1) ?(salt = "") ?cache ?manifest ?(clock = fun () -> 0.)
+    ?(merge_engine = true) job_list =
+  let jobs_arr = Array.of_list job_list in
+  let n = Array.length jobs_arr in
+  let digests = Array.map (fun j -> Job.digest ~salt j) jobs_arr in
+  let slots : outcome option array = Array.make n None in
+  let resumed = ref 0 and cached = ref 0 in
+  (* 1. Resume from an interrupted campaign's manifest, when compatible. *)
+  let mf =
+    match manifest with
+    | None -> None
+    | Some path -> (
+        match Manifest.load ~path with
+        | Some loaded when loaded.Manifest.salt = salt ->
+            List.iter
+              (fun (idx, d, entry) ->
+                if idx >= 0 && idx < n && digests.(idx) = d then
+                  match
+                    decode_entry ~index:idx ~digest:d ~source:Resumed entry
+                  with
+                  | Some o when slots.(idx) = None ->
+                      slots.(idx) <- Some o;
+                      incr resumed
+                  | _ -> ())
+              loaded.Manifest.entries;
+            Some (Manifest.append_to ~path)
+        | _ -> Some (Manifest.start ~path ~salt ~total:n))
+  in
+  (* 2. Serve unchanged cells from the content-addressed cache. *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+      for i = 0 to n - 1 do
+        if slots.(i) = None then
+          match Cache.find c ~digest:digests.(i) with
+          | Some entry -> (
+              match
+                decode_entry ~index:i ~digest:digests.(i) ~source:Cached entry
+              with
+              | Some o ->
+                  slots.(i) <- Some o;
+                  incr cached;
+                  (* Keep the manifest complete even for cache-served
+                     cells, so a later resume never re-reads the cache. *)
+                  Option.iter
+                    (fun m ->
+                      Manifest.record m ~idx:i ~digest:digests.(i) entry)
+                    mf
+              | None -> ())
+          | None -> ()
+      done);
+  (* 3. Execute the rest on the pool, persisting as jobs finish. *)
+  let pending =
+    Array.of_list
+      (List.filter (fun i -> slots.(i) = None) (List.init n Fun.id))
+  in
+  Pool.run ~jobs ~tasks:(Array.length pending) (fun slot ->
+      let i = pending.(slot) in
+      let job = jobs_arr.(i) in
+      let t0 = clock () in
+      (* The pool gave this domain a private registry; start it from zero
+         so the delta below is exactly this job's, independent of which
+         worker ran it or what ran before. *)
+      Obs.Global.reset ();
+      let result, output = Sink.capture job.Job.run in
+      let engine = Obs.Global.snapshot () in
+      let wall_s = clock () -. t0 in
+      let o =
+        { index = i; digest = digests.(i); result; output; engine; wall_s;
+          source = Ran }
+      in
+      slots.(i) <- Some o;
+      let entry =
+        entry_of ~spec:job.Job.spec ~result ~output ~engine ~wall_s
+      in
+      Option.iter
+        (fun c ->
+          Cache.store c ~digest:digests.(i)
+            ~disc:(string_of_int (Pool.self_index ()))
+            entry)
+        cache;
+      Option.iter (fun m -> Manifest.record m ~idx:i ~digest:digests.(i) entry) mf);
+  Option.iter Manifest.close mf;
+  let outcomes =
+    Array.mapi
+      (fun i -> function
+        | Some o -> o
+        | None ->
+            (* Unreachable: every index was resumed, cached, or executed. *)
+            failwith (Printf.sprintf "campaign: job %d has no outcome" i))
+      slots
+  in
+  (* Deterministic merge: fold every job's engine delta into the main
+     registry in index order, so process-wide totals match a serial run
+     regardless of worker count or cache state. *)
+  if merge_engine then
+    Array.iter (fun o -> Obs.Global.merge o.engine) outcomes;
+  let ran = n - !resumed - !cached in
+  (outcomes, { total = n; ran; cached = !cached; resumed = !resumed })
+
+let merged_engine outcomes =
+  Array.fold_left
+    (fun acc o -> Obs.Global.add acc o.engine)
+    Obs.Global.zero outcomes
+
+let total_wall outcomes =
+  Array.fold_left (fun acc o -> acc +. o.wall_s) 0. outcomes

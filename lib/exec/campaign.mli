@@ -1,0 +1,46 @@
+(** Campaign runner: a job list fanned across a {!Pool}, served from the
+    {!Cache} and an interrupted run's {!Manifest} where possible, with
+    outcomes merged back in job-index order (byte-identical aggregates
+    for any worker count). *)
+
+type source =
+  | Ran  (** executed this invocation *)
+  | Cached  (** replayed from the content-addressed cache *)
+  | Resumed  (** replayed from an interrupted campaign's manifest *)
+
+type outcome = {
+  index : int;
+  digest : string;
+  result : Dsim.Json.t;
+  output : string;  (** report text captured through {!Sink} *)
+  engine : Obs.Global.snap;
+  wall_s : float;
+  source : source;
+}
+
+type stats = { total : int; ran : int; cached : int; resumed : int }
+
+val run :
+  ?jobs:int ->
+  ?salt:string ->
+  ?cache:Cache.t ->
+  ?manifest:string ->
+  ?clock:(unit -> float) ->
+  ?merge_engine:bool ->
+  Job.t list ->
+  outcome array * stats
+(** Run the campaign with up to [jobs] domains (default 1 = sequential).
+
+    [salt] is the code-version salt folded into every job digest.
+    [manifest] names the checkpoint file: loaded (and appended to) when it
+    matches this campaign's salt and per-index digests, recreated
+    otherwise.  [clock] injects wall time for the per-job [wall_s] field
+    (the library reads no clocks itself — lint D3).  [merge_engine]
+    (default true) folds every outcome's engine delta into the main
+    {!Obs.Global} registry in index order, preserving the process-wide
+    totals a serial run would have produced. *)
+
+val merged_engine : outcome array -> Obs.Global.snap
+(** Sum of the outcomes' engine deltas ({!Obs.Global.add}-combined). *)
+
+val total_wall : outcome array -> float

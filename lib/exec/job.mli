@@ -1,0 +1,22 @@
+(** One unit of campaign work: a pure function of its spec.
+
+    [run] must depend only on the contents of [spec] (build every RNG from
+    seeds recorded there, read no ambient state), so that the same job
+    executed on any worker, in any order, on any run, yields the same
+    result — the property the whole exec subsystem rests on. *)
+
+type t = {
+  spec : Dsim.Json.t;  (** complete identity: scenario × seed × protocol *)
+  run : unit -> Dsim.Json.t;  (** pure compute; may {!Sink.emit} report text *)
+}
+
+val make : spec:Dsim.Json.t -> (unit -> Dsim.Json.t) -> t
+
+val canonical : Dsim.Json.t -> string
+(** Canonical encoding: object keys sorted recursively, compact printing.
+    Key order in the input never affects the result. *)
+
+val digest : salt:string -> t -> string
+(** Content address of the job: MD5 hex of [canonical spec] + [salt].
+    Bump the salt to invalidate every cached result (the harness passes a
+    digest of its own binary, so rebuilds invalidate automatically). *)

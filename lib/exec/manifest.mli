@@ -1,0 +1,28 @@
+(** Append-only campaign checkpoint file (JSONL): a header line plus one
+    replayable entry per completed job.  A campaign killed mid-sweep
+    resumes from whatever prefix made it to disk. *)
+
+type t
+
+type loaded = {
+  salt : string;
+  total : int;  (** job count the interrupted campaign was built from *)
+  entries : (int * string * Dsim.Json.t) list;
+      (** completed (job index, job digest, entry) records, file order *)
+}
+
+val start : path:string -> salt:string -> total:int -> t
+(** Truncate [path] and write a fresh header. *)
+
+val append_to : path:string -> t
+(** Reopen an existing manifest to append resumed work. *)
+
+val record : t -> idx:int -> digest:string -> Dsim.Json.t -> unit
+(** Append one completed job (mutex-serialized, flushed per call — the
+    crash-consistency point). *)
+
+val close : t -> unit
+
+val load : path:string -> loaded option
+(** Parse a manifest; [None] if missing or headerless.  Malformed (torn)
+    data lines are skipped, not fatal. *)

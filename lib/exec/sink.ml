@@ -1,0 +1,33 @@
+(* Domain-local output sink.
+
+   Report-style text from an experiment normally goes straight to stdout.
+   A campaign runner executing jobs on worker domains cannot let workers
+   write to the shared stdout (interleaving would destroy the
+   byte-identity contract), so each worker captures its job's text into a
+   domain-local buffer and the merge phase prints the buffers in job-index
+   order.  The sink is the indirection point: writers call {!emit}/
+   {!printf} everywhere; {!capture} swaps the current domain's sink to a
+   buffer for the duration of one job. *)
+
+let key : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get key
+
+let emit s =
+  match !(current ()) with
+  | Some buf -> Buffer.add_string buf s
+  | None -> print_string s
+
+let printf fmt = Printf.ksprintf emit fmt
+
+let capture f =
+  let slot = current () in
+  let saved = !slot in
+  let buf = Buffer.create 1024 in
+  slot := Some buf;
+  Fun.protect
+    ~finally:(fun () -> slot := saved)
+    (fun () ->
+      let v = f () in
+      (v, Buffer.contents buf))

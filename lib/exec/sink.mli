@@ -1,0 +1,14 @@
+(** Domain-local output sink: stdout by default, a capture buffer inside
+    a campaign job.  All experiment text must flow through here so the
+    campaign runner can replay it deterministically (and cache it). *)
+
+val emit : string -> unit
+(** Write [s] to the current domain's sink (stdout when not capturing). *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** [Printf]-style {!emit}. *)
+
+val capture : (unit -> 'a) -> 'a * string
+(** Run [f] with this domain's sink redirected to a fresh buffer; return
+    [f ()]'s value and everything it emitted.  Nests (the previous sink is
+    restored on exit, also on exceptions). *)

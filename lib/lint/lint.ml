@@ -10,6 +10,7 @@
      D3  wall-clock / environment reads    ambient inputs in lib/
      D4  physical equality on non-ints     address-dependent results
      D5  polymorphic compare in sorts      fragile, untyped ordering
+     D6  Domain/Mutex/Atomic outside exec  uncontrolled interleavings
 
    Findings print as [file:line:col [rule-id] message]; any finding makes
    the driver exit nonzero.  Two escape hatches exist:
@@ -318,7 +319,36 @@ let rule_d5 =
             | _ -> ()));
   }
 
-let default_rules = [ rule_d1; rule_d2; rule_d3; rule_d4; rule_d5 ]
+(* Parallel primitives are confined to lib/exec: the pool there is the
+   one sanctioned bridge between deterministic job code and the domains
+   that execute it.  Anywhere else, Domain/Mutex/Atomic use means shared
+   mutable state whose interleaving the seed does not control. *)
+let parallel_modules = [ "Domain"; "Mutex"; "Atomic"; "Condition"; "Thread"; "Semaphore" ]
+
+let rule_d6 =
+  {
+    id = "D6";
+    doc = "parallel primitives (Domain/Mutex/Atomic/...) outside lib/exec";
+    applies =
+      (fun file ->
+        not
+          (String.starts_with ~prefix:"lib/exec/" file
+          || find_substring ~sub:"/lib/exec/" file <> None));
+    build =
+      (fun report ->
+        expr_rule (fun e ->
+            match ident_path e with
+            | Some (m :: _ :: _) when List.mem m parallel_modules ->
+                report ~loc:e.Parsetree.pexp_loc
+                  (Printf.sprintf
+                     "%s belongs to the exec subsystem; parallel \
+                      primitives outside lib/exec make scheduling \
+                      nondeterminism possible everywhere"
+                     m)
+            | _ -> ()));
+  }
+
+let default_rules = [ rule_d1; rule_d2; rule_d3; rule_d4; rule_d5; rule_d6 ]
 
 (* --- Driver ------------------------------------------------------------- *)
 

@@ -13,6 +13,9 @@
     - [D4] physical equality [==]/[!=] where neither operand is an int
       literal.
     - [D5] polymorphic [compare] in sort comparators inside [lib/].
+    - [D6] parallel primitives ([Domain.*], [Mutex.*], [Atomic.*], ...)
+      anywhere outside [lib/exec/] — the campaign runner's pool is the
+      single sanctioned bridge to multicore execution.
 
     Escape hatches: a [(* lint: allow D1 *)] comment on the finding's
     line or the line directly above it, or an allowlist entry pairing a
@@ -58,7 +61,7 @@ val expr_rule : (Parsetree.expression -> unit) -> Ast_iterator.iterator
 (** Iterator running a callback on every expression (recursing). *)
 
 val default_rules : rule list
-(** D1–D5, in order. *)
+(** D1–D6, in order. *)
 
 val lint_source :
   ?rules:rule list -> ?allow:allow -> file:string -> string -> finding list

@@ -77,7 +77,48 @@ let build_scheduler = function
 
 let ( let* ) = Result.bind
 
+(* Every field a scenario object may carry.  Anything else is almost
+   certainly a typo silently replaced by a default, so we reject it with
+   the full vocabulary instead of guessing. *)
+let known_fields =
+  [
+    "name"; "protocol"; "topology"; "n"; "gprime"; "r"; "extra"; "k"; "fack";
+    "fprog"; "seed"; "scheduler"; "arrivals"; "rate"; "gap"; "check";
+    "repeat"; "sweep";
+  ]
+
+let validate json =
+  match json with
+  | Dsim.Json.Obj members -> (
+      let unknown =
+        List.filter (fun (k, _) -> not (List.mem k known_fields)) members
+      in
+      match unknown with
+      | (k, _) :: _ ->
+          Error
+            (Printf.sprintf "unknown field %S; known fields: %s" k
+               (String.concat ", " known_fields))
+      | [] -> (
+          match Dsim.Json.member_opt json "sweep" with
+          | None | Some Dsim.Json.Null -> Ok ()
+          | Some (Dsim.Json.Obj sweep_members) -> (
+              match
+                List.filter
+                  (fun (k, _) -> k <> "param" && k <> "values")
+                  sweep_members
+              with
+              | (k, _) :: _ ->
+                  Error
+                    (Printf.sprintf
+                       "sweep: unknown field %S (a sweep object takes \
+                        \"param\" and \"values\")"
+                       k)
+              | [] -> Ok ())
+          | Some _ -> Error "field \"sweep\" must be an object"))
+  | _ -> Error "a scenario must be a JSON object"
+
 let of_json json =
+  let* () = validate json in
   let* name = Dsim.Json.member_str json "name" ~default:"scenario" in
   let* protocol_str = Dsim.Json.member_str json "protocol" ~default:"bmmb" in
   let* protocol =
@@ -151,6 +192,7 @@ let override json key value =
   | other -> other
 
 let expand json =
+  let* () = validate json in
   match Dsim.Json.member_opt json "sweep" with
   | None ->
       let* spec = of_json json in
@@ -194,6 +236,58 @@ let expand json =
 let expand_string text =
   let* json = Dsim.Json.parse text in
   expand json
+
+let load_file path =
+  let* text =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  match expand_string text with
+  | Ok specs -> Ok specs
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+(* The fully-resolved spec as JSON: every default baked in, so it is a
+   complete content address for campaign job keying (two scenario files
+   that elaborate to the same spec share cache entries). *)
+let spec_to_json spec =
+  let num_i i = Dsim.Json.Number (float_of_int i) in
+  Dsim.Json.Obj
+    ([
+       ("name", Dsim.Json.String spec.name);
+       ( "protocol",
+         Dsim.Json.String
+           (match spec.protocol with
+           | `Bmmb -> "bmmb"
+           | `Fmmb -> "fmmb"
+           | `Fmmb_online -> "fmmb-online") );
+       ("topology", Dsim.Json.String spec.topology);
+       ("n", num_i spec.n);
+       ("gprime", Dsim.Json.String spec.gprime);
+       ("r", num_i spec.r);
+       ("extra", num_i spec.extra);
+       ("k", num_i spec.k);
+       ("fack", Dsim.Json.Number spec.fack);
+       ("fprog", Dsim.Json.Number spec.fprog);
+       ("seed", num_i spec.seed);
+       ("scheduler", Dsim.Json.String spec.scheduler);
+       ( "arrivals",
+         Dsim.Json.String
+           (match spec.arrivals with
+           | Batch -> "batch"
+           | Poisson _ -> "poisson"
+           | Staggered _ -> "staggered") );
+     ]
+    @ (match spec.arrivals with
+      | Poisson rate -> [ ("rate", Dsim.Json.Number rate) ]
+      | Staggered gap -> [ ("gap", Dsim.Json.Number gap) ]
+      | Batch -> [])
+    @ [
+        ("check", Dsim.Json.Bool spec.check); ("repeat", num_i spec.repeat);
+      ])
 
 (* --- Execution ------------------------------------------------------------ *)
 

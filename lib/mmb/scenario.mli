@@ -69,8 +69,21 @@ val build_scheduler : string -> (int Amac.Mac_intf.policy, string) result
 
 (** {1 Scenario pipeline} *)
 
+val validate : Dsim.Json.t -> (unit, string) result
+(** Reject unknown fields (typos silently swallowed by defaults otherwise)
+    with a message listing the full field vocabulary.  [of_json] and
+    [expand] call this for you. *)
+
 val of_json : Dsim.Json.t -> (spec, string) result
 val of_string : string -> (spec, string) result
+
+val load_file : string -> (spec list, string) result
+(** Read, parse, validate, and {!expand} a scenario file; every error is
+    prefixed with the file name. *)
+
+val spec_to_json : spec -> Dsim.Json.t
+(** The fully-resolved spec, every default baked in — a complete content
+    address for campaign job keying. *)
 
 val expand : Dsim.Json.t -> (spec list, string) result
 (** Like {!of_json}, but honoring an optional sweep directive:

@@ -23,15 +23,48 @@ let zero =
     forced = 0;
   }
 
-let state = ref zero
+(* The main registry.  Callers deep in the simulation stack (Mmb.Runner
+   above all) note counters here ambiently; a campaign runner that fans
+   runs across domains installs a resolver redirecting each worker to its
+   own registry (Exec.Pool does this with domain-local storage), so the
+   registry itself stays free of parallel primitives (lint D6).  The
+   resolver is only swapped from the main domain while no workers run. *)
+let main_registry = ref zero
 
-let snapshot () = !state
+let resolver : (unit -> snap ref) ref = ref (fun () -> main_registry)
 
-let reset () = state := zero
+let set_resolver f = resolver := f
+
+let clear_resolver () = resolver := fun () -> main_registry
+
+let registry () = !resolver ()
+
+let snapshot () = !(registry ())
+
+let reset () = registry () := zero
+
+let add a b =
+  {
+    runs = a.runs + b.runs;
+    events = a.events + b.events;
+    pushes = a.pushes + b.pushes;
+    cancelled = a.cancelled + b.cancelled;
+    (* High-water marks don't add: the combined mark is the max. *)
+    heap_high_water = max a.heap_high_water b.heap_high_water;
+    bcasts = a.bcasts + b.bcasts;
+    rcvs = a.rcvs + b.rcvs;
+    acks = a.acks + b.acks;
+    forced = a.forced + b.forced;
+  }
+
+let merge delta =
+  let r = registry () in
+  r := add !r delta
 
 let note_sim sim =
-  let s = !state in
-  state :=
+  let r = registry () in
+  let s = !r in
+  r :=
     {
       s with
       runs = s.runs + 1;
@@ -42,8 +75,9 @@ let note_sim sim =
     }
 
 let note_mac ~bcasts ~rcvs ~acks ~forced =
-  let s = !state in
-  state :=
+  let r = registry () in
+  let s = !r in
+  r :=
     {
       s with
       bcasts = s.bcasts + bcasts;
@@ -66,20 +100,51 @@ let diff ~before ~after =
     forced = after.forced - before.forced;
   }
 
-let to_json ~label ?wall_s s =
+let fields s =
   let n v = Dsim.Json.Number (float_of_int v) in
+  [
+    ("runs", n s.runs);
+    ("events", n s.events);
+    ("pushes", n s.pushes);
+    ("cancelled", n s.cancelled);
+    ("heap_high_water", n s.heap_high_water);
+    ("bcasts", n s.bcasts);
+    ("rcvs", n s.rcvs);
+    ("acks", n s.acks);
+    ("forced", n s.forced);
+  ]
+
+let to_json ~label ?wall_s s =
   Dsim.Json.Obj
     ([
        ("kind", Dsim.Json.String "engine");
        ("label", Dsim.Json.String label);
-       ("runs", n s.runs);
-       ("events", n s.events);
-       ("pushes", n s.pushes);
-       ("cancelled", n s.cancelled);
-       ("heap_high_water", n s.heap_high_water);
-       ("bcasts", n s.bcasts);
-       ("rcvs", n s.rcvs);
-       ("acks", n s.acks);
-       ("forced", n s.forced);
      ]
+    @ fields s
     @ match wall_s with None -> [] | Some w -> [ ("wall_s", Dsim.Json.Number w) ])
+
+let snap_to_json s = Dsim.Json.Obj (fields s)
+
+let snap_of_json json =
+  let ( let* ) = Result.bind in
+  let* runs = Dsim.Json.member_int json "runs" ~default:0 in
+  let* events = Dsim.Json.member_int json "events" ~default:0 in
+  let* pushes = Dsim.Json.member_int json "pushes" ~default:0 in
+  let* cancelled = Dsim.Json.member_int json "cancelled" ~default:0 in
+  let* heap_high_water = Dsim.Json.member_int json "heap_high_water" ~default:0 in
+  let* bcasts = Dsim.Json.member_int json "bcasts" ~default:0 in
+  let* rcvs = Dsim.Json.member_int json "rcvs" ~default:0 in
+  let* acks = Dsim.Json.member_int json "acks" ~default:0 in
+  let* forced = Dsim.Json.member_int json "forced" ~default:0 in
+  Ok
+    {
+      runs;
+      events;
+      pushes;
+      cancelled;
+      heap_high_water;
+      bcasts;
+      rcvs;
+      acks;
+      forced;
+    }

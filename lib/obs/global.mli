@@ -5,7 +5,14 @@
     that drive many runs without wiring an {!Observer} — the benchmark
     suite above all — can still attribute engine cost to an experiment by
     snapshotting before and after and writing the {!diff} as a metrics
-    sidecar. *)
+    sidecar.
+
+    The accumulators live in a {e registry}.  By default there is exactly
+    one, used by everything on the main domain.  A parallel campaign
+    runner ({!Exec.Pool}) installs a {!set_resolver} redirecting each
+    worker domain to its own registry and merges the per-worker deltas
+    after join — this module itself deliberately contains no parallel
+    primitives (lint D6). *)
 
 type snap = {
   runs : int;  (** simulations completed *)
@@ -18,6 +25,8 @@ type snap = {
   acks : int;
   forced : int;  (** watchdog-forced deliveries *)
 }
+
+val zero : snap
 
 val snapshot : unit -> snap
 
@@ -32,6 +41,25 @@ val diff : before:snap -> after:snap -> snap
 (** Per-window delta; [heap_high_water] reports the window's running max
     (high-water marks don't subtract). *)
 
+val add : snap -> snap -> snap
+(** Counter-wise sum; [heap_high_water] combines by max. *)
+
+val merge : snap -> unit
+(** {!add} a delta into the current registry. *)
+
+val set_resolver : (unit -> snap ref) -> unit
+(** Redirect all accumulator traffic through [f]: every operation above
+    acts on [f ()].  Install only from the main domain while no workers
+    are running; {!Exec.Pool} wraps worker fan-out with this. *)
+
+val clear_resolver : unit -> unit
+(** Restore the default single-registry behaviour. *)
+
 val to_json : label:string -> ?wall_s:float -> snap -> Dsim.Json.t
 (** A [{"kind":"engine","label":...}] sidecar line; [wall_s] is supplied
     by the caller (the library never reads wall clocks — lint D3). *)
+
+val snap_to_json : snap -> Dsim.Json.t
+(** Bare counter object (no kind/label), for cache and manifest entries. *)
+
+val snap_of_json : Dsim.Json.t -> (snap, string) result

@@ -1,0 +1,4 @@
+let f work = Domain.spawn work
+let m = Mutex.create ()
+let c = Atomic.make 0
+let g () = Atomic.incr c

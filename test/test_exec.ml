@@ -1,0 +1,256 @@
+(* The campaign runner (lib/exec): deterministic merge across worker
+   counts and job orders, the content-addressed cache, resumable
+   manifests, and the Sink capture plumbing.
+
+   The identity tests run real 2- and 4-domain campaigns, so `dune
+   runtest` exercises the parallel path itself, not just the sequential
+   fallback. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_path name =
+  let p = Filename.concat "_exec_test" name in
+  rm_rf p;
+  Exec.Cache.mkdir_p "_exec_test";
+  p
+
+(* A job that runs a real BMMB simulation: everything (topology, problem,
+   scheduler, seeds) derives from the spec, so it must be reproducible on
+   any worker in any order — the property these tests pin down. *)
+let sim_job seed =
+  Exec.Job.make
+    ~spec:
+      (Dsim.Json.Obj
+         [
+           ("kind", Dsim.Json.String "line-bmmb");
+           ("n", Dsim.Json.Number 12.);
+           ("seed", Dsim.Json.Number (float_of_int seed));
+         ])
+    (fun () ->
+      let dual = Graphs.Dual.of_equal (Graphs.Gen.line 12) in
+      let rng = Dsim.Rng.create ~seed in
+      let assignment = Mmb.Problem.random rng ~n:12 ~k:3 in
+      let res =
+        Mmb.Runner.run_bmmb ~dual ~fack:20. ~fprog:1.
+          ~policy:(Amac.Schedulers.random_compliant ())
+          ~assignment ~seed ()
+      in
+      Exec.Sink.printf "job seed=%d time=%.1f\n" seed res.Mmb.Runner.time;
+      Dsim.Json.Obj
+        [
+          ("time", Dsim.Json.Number res.Mmb.Runner.time);
+          ("bcasts", Dsim.Json.Number (float_of_int res.Mmb.Runner.bcasts));
+          ("complete", Dsim.Json.Bool res.Mmb.Runner.complete);
+        ])
+
+(* Everything observable about an outcome except wall clock. *)
+let signature outcomes =
+  Array.to_list outcomes
+  |> List.map (fun o ->
+         Printf.sprintf "%d|%s|%s|%s|%s" o.Exec.Campaign.index
+           o.Exec.Campaign.digest
+           (Dsim.Json.to_string o.Exec.Campaign.result)
+           o.Exec.Campaign.output
+           (Dsim.Json.to_string
+              (Obs.Global.snap_to_json o.Exec.Campaign.engine)))
+
+let sources outcomes =
+  Array.to_list outcomes
+  |> List.map (fun o ->
+         match o.Exec.Campaign.source with
+         | Exec.Campaign.Ran -> "ran"
+         | Exec.Campaign.Cached -> "cached"
+         | Exec.Campaign.Resumed -> "resumed")
+
+(* --- Deterministic merge across worker counts ---------------------------- *)
+
+let test_parallel_identity () =
+  let job_list () = List.init 8 sim_job in
+  let serial, s1 = Exec.Campaign.run ~jobs:1 (job_list ()) in
+  let two, s2 = Exec.Campaign.run ~jobs:2 (job_list ()) in
+  let four, s4 = Exec.Campaign.run ~jobs:4 (job_list ()) in
+  Alcotest.(check (list string))
+    "2 domains, byte-identical outcomes" (signature serial) (signature two);
+  Alcotest.(check (list string))
+    "4 domains, byte-identical outcomes" (signature serial) (signature four);
+  List.iter
+    (fun s -> Alcotest.(check int) "all executed" 8 s.Exec.Campaign.ran)
+    [ s1; s2; s4 ];
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check int) "slot i holds job i" i o.Exec.Campaign.index;
+      Alcotest.(check bool)
+        "each job contributes one engine run" true
+        (o.Exec.Campaign.engine.Obs.Global.runs = 1))
+    serial
+
+(* Satellite: per-worker RNG hygiene.  The same cell embedded in different
+   job lists lands on different workers in a different interleaving — its
+   result must not change. *)
+let test_rng_hygiene_across_orders () =
+  let find seed outcomes =
+    let target = Exec.Job.digest ~salt:"" (sim_job seed) in
+    Array.to_list outcomes
+    |> List.find (fun o -> o.Exec.Campaign.digest = target)
+  in
+  let a, _ =
+    Exec.Campaign.run ~jobs:2 [ sim_job 5; sim_job 6; sim_job 7 ]
+  in
+  let b, _ =
+    Exec.Campaign.run ~jobs:2 [ sim_job 7; sim_job 9; sim_job 5; sim_job 3 ]
+  in
+  List.iter
+    (fun seed ->
+      let oa = find seed a and ob = find seed b in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d result independent of order/worker" seed)
+        (Dsim.Json.to_string oa.Exec.Campaign.result)
+        (Dsim.Json.to_string ob.Exec.Campaign.result);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d report text too" seed)
+        oa.Exec.Campaign.output ob.Exec.Campaign.output)
+    [ 5; 7 ]
+
+(* --- Content-addressed cache --------------------------------------------- *)
+
+let test_cache_hit_and_salt_invalidation () =
+  let dir = fresh_path "cache_roundtrip" in
+  let jobs () = List.init 4 sim_job in
+  let run salt =
+    let cache = Exec.Cache.create ~dir in
+    let outcomes, stats = Exec.Campaign.run ~jobs:1 ~salt ~cache (jobs ()) in
+    (signature outcomes, stats)
+  in
+  let sig1, s1 = run "v1" in
+  Alcotest.(check int) "cold cache executes all" 4 s1.Exec.Campaign.ran;
+  let sig2, s2 = run "v1" in
+  Alcotest.(check int) "warm cache executes none" 0 s2.Exec.Campaign.ran;
+  Alcotest.(check int) "all four served from cache" 4 s2.Exec.Campaign.cached;
+  Alcotest.(check (list string)) "replay is byte-identical" sig1 sig2;
+  let _, s3 = run "v2" in
+  Alcotest.(check int) "salt bump invalidates everything" 4
+    s3.Exec.Campaign.ran
+
+let test_cache_counts_hits () =
+  let dir = fresh_path "cache_counts" in
+  let cache = Exec.Cache.create ~dir in
+  let _ = Exec.Campaign.run ~jobs:1 ~cache [ sim_job 1; sim_job 2 ] in
+  Alcotest.(check int) "two misses on a cold cache" 2
+    (Exec.Cache.misses cache);
+  let cache2 = Exec.Cache.create ~dir in
+  let _ = Exec.Campaign.run ~jobs:1 ~cache:cache2 [ sim_job 1; sim_job 2 ] in
+  Alcotest.(check int) "two hits on the warm cache" 2 (Exec.Cache.hits cache2)
+
+(* --- Resumable manifest --------------------------------------------------- *)
+
+let test_resume_from_partial_manifest () =
+  let manifest = fresh_path "resume.jsonl" in
+  let all = List.init 6 sim_job in
+  let prefix = List.filteri (fun i _ -> i < 3) all in
+  let baseline, _ = Exec.Campaign.run ~jobs:1 all in
+  (* An interrupted campaign: only the first three cells made it to disk
+     (same per-index digests as the full campaign). *)
+  let _, s1 = Exec.Campaign.run ~jobs:1 ~manifest prefix in
+  Alcotest.(check int) "interrupted run executed its prefix" 3
+    s1.Exec.Campaign.ran;
+  (* A torn final line — the crash wrote half a record. *)
+  let oc = open_out_gen [ Open_append ] 0o644 manifest in
+  output_string oc "{\"idx\": 99, \"truncated";
+  close_out oc;
+  let resumed, s2 = Exec.Campaign.run ~jobs:2 ~manifest all in
+  Alcotest.(check int) "three jobs replayed from the checkpoint" 3
+    s2.Exec.Campaign.resumed;
+  Alcotest.(check int) "three executed fresh" 3 s2.Exec.Campaign.ran;
+  Alcotest.(check (list string))
+    "prefix replayed, remainder computed"
+    [ "resumed"; "resumed"; "resumed"; "ran"; "ran"; "ran" ]
+    (sources resumed);
+  Alcotest.(check (list string))
+    "resumed campaign is byte-identical to an uninterrupted one"
+    (signature baseline) (signature resumed);
+  (* The completed campaign checkpointed everything: a third invocation
+     replays all six without touching the simulator. *)
+  let _, s3 = Exec.Campaign.run ~jobs:1 ~manifest all in
+  Alcotest.(check int) "full manifest leaves nothing to run" 0
+    s3.Exec.Campaign.ran
+
+let test_manifest_salt_mismatch_restarts () =
+  let manifest = fresh_path "salted.jsonl" in
+  let all = [ sim_job 1; sim_job 2 ] in
+  let _ = Exec.Campaign.run ~jobs:1 ~salt:"v1" ~manifest all in
+  let _, s = Exec.Campaign.run ~jobs:1 ~salt:"v2" ~manifest all in
+  Alcotest.(check int) "stale-salt manifest is discarded, not replayed" 2
+    s.Exec.Campaign.ran
+
+(* --- Job keying ------------------------------------------------------------ *)
+
+let test_canonical_key_order_invariance () =
+  let a =
+    Dsim.Json.Obj
+      [
+        ("n", Dsim.Json.Number 12.);
+        ("seed", Dsim.Json.Number 3.);
+        ("nested", Dsim.Json.Obj [ ("b", Dsim.Json.Null); ("a", Dsim.Json.Bool true) ]);
+      ]
+  in
+  let b =
+    Dsim.Json.Obj
+      [
+        ("nested", Dsim.Json.Obj [ ("a", Dsim.Json.Bool true); ("b", Dsim.Json.Null) ]);
+        ("seed", Dsim.Json.Number 3.);
+        ("n", Dsim.Json.Number 12.);
+      ]
+  in
+  Alcotest.(check string) "field order never changes the canonical form"
+    (Exec.Job.canonical a) (Exec.Job.canonical b);
+  let job spec = Exec.Job.make ~spec (fun () -> Dsim.Json.Null) in
+  Alcotest.(check string) "so digests agree"
+    (Exec.Job.digest ~salt:"s" (job a))
+    (Exec.Job.digest ~salt:"s" (job b));
+  Alcotest.(check bool) "salt is part of the address" false
+    (Exec.Job.digest ~salt:"s" (job a) = Exec.Job.digest ~salt:"t" (job a));
+  Alcotest.(check bool) "spec is part of the address" false
+    (Exec.Job.digest ~salt:"s" (job a)
+    = Exec.Job.digest ~salt:"s" (job Dsim.Json.Null))
+
+(* --- Sink ------------------------------------------------------------------ *)
+
+let test_sink_capture_nests () =
+  let (), outer =
+    Exec.Sink.capture (fun () ->
+        Exec.Sink.emit "a";
+        let (), inner = Exec.Sink.capture (fun () -> Exec.Sink.emit "b") in
+        Alcotest.(check string) "inner capture sees only its own text" "b"
+          inner;
+        Exec.Sink.printf "%c" 'c')
+  in
+  Alcotest.(check string) "outer capture excludes the nested text" "ac" outer
+
+let suite =
+  [
+    ( "exec",
+      [
+        Alcotest.test_case "deterministic merge at 1/2/4 domains" `Quick
+          test_parallel_identity;
+        Alcotest.test_case "per-worker RNG hygiene across orders" `Quick
+          test_rng_hygiene_across_orders;
+        Alcotest.test_case "cache round-trip + salt invalidation" `Quick
+          test_cache_hit_and_salt_invalidation;
+        Alcotest.test_case "cache hit/miss accounting" `Quick
+          test_cache_counts_hits;
+        Alcotest.test_case "resume from a torn partial manifest" `Quick
+          test_resume_from_partial_manifest;
+        Alcotest.test_case "manifest salt mismatch restarts" `Quick
+          test_manifest_salt_mismatch_restarts;
+        Alcotest.test_case "canonical job keying" `Quick
+          test_canonical_key_order_invariance;
+        Alcotest.test_case "sink capture nesting" `Quick
+          test_sink_capture_nests;
+      ] );
+  ]

@@ -72,6 +72,20 @@ let test_d5_scope () =
   check_rules "out of scope under bin/" []
     (Lint.lint_source ~file:"bin/fixture.ml" source)
 
+(* --- D6: parallel primitives confined to lib/exec ------------------------ *)
+
+let test_d6_scope () =
+  let source = read_file "lint_fixtures/d6_domain.ml" in
+  check_rules "Domain/Mutex/Atomic flagged under lib/"
+    [ "D6"; "D6"; "D6"; "D6" ]
+    (Lint.lint_source ~file:"lib/mmb/fixture.ml" source);
+  check_rules "and under bench/" [ "D6"; "D6"; "D6"; "D6" ]
+    (Lint.lint_source ~file:"bench/fixture.ml" source);
+  check_rules "lib/exec is the sanctioned home" []
+    (Lint.lint_source ~file:"lib/exec/pool.ml" source);
+  check_rules "also when rooted elsewhere" []
+    (Lint.lint_source ~file:"/root/repo/lib/exec/pool.ml" source)
+
 (* --- Cross-rule: clean fixture, escape hatches for every rule ------------ *)
 
 let test_clean () =
@@ -86,6 +100,7 @@ let per_rule_hits =
     ("D3", "let f () = Sys.time ()", "lib/mmb/x.ml");
     ("D4", "let f a b = a == b", "lib/mmb/x.ml");
     ("D5", "let f l = List.sort compare l", "lib/mmb/x.ml");
+    ("D6", "let f () = Atomic.make 0", "lib/mmb/x.ml");
   ]
 
 let test_every_rule_suppressible () =
@@ -121,6 +136,8 @@ let suite =
         Alcotest.test_case "D3 clock scoped to lib/" `Quick test_d3_scope;
         Alcotest.test_case "D4 physical equality" `Quick test_d4_hit;
         Alcotest.test_case "D5 polymorphic sort" `Quick test_d5_scope;
+        Alcotest.test_case "D6 parallel primitives confined to lib/exec"
+          `Quick test_d6_scope;
         Alcotest.test_case "clean fixture" `Quick test_clean;
         Alcotest.test_case "suppression + allowlist for every rule" `Quick
           test_every_rule_suppressible;

@@ -255,6 +255,89 @@ let test_sweep_errors () =
       {|{"sweep":{"param":"k","values":[0],"x":1}, "n": 0}|};
     ]
 
+(* --- Loader hardening: typos fail loudly, with the field named ----------- *)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_unknown_field_rejected () =
+  (match Mmb.Scenario.of_string {|{"topolgy": "ring"}|} with
+  | Ok _ -> Alcotest.fail "typo'd field accepted (silently defaulted)"
+  | Error e ->
+      Alcotest.(check bool) "error names the offending field" true
+        (contains ~sub:"topolgy" e);
+      Alcotest.(check bool) "error lists the vocabulary" true
+        (contains ~sub:"topology" e));
+  (match Mmb.Scenario.expand_string {|{"seeed": 3}|} with
+  | Ok _ -> Alcotest.fail "expand must validate too"
+  | Error e ->
+      Alcotest.(check bool) "expand error names the field" true
+        (contains ~sub:"seeed" e));
+  match Mmb.Scenario.of_string {|{"sweep":{"param":"k","values":[1],"step":2}}|} with
+  | Ok _ -> Alcotest.fail "unknown sweep field accepted"
+  | Error e ->
+      Alcotest.(check bool) "sweep error names the field" true
+        (contains ~sub:"step" e)
+
+let test_unknown_sweep_param_rejected () =
+  match
+    Mmb.Scenario.expand_string {|{"sweep":{"param":"kk","values":[1,2]}}|}
+  with
+  | Ok _ -> Alcotest.fail "sweep over a nonexistent parameter accepted"
+  | Error e ->
+      Alcotest.(check bool) "error names the bogus parameter" true
+        (contains ~sub:"kk" e)
+
+let test_load_file_prefixes_errors () =
+  let path = Filename.temp_file "scenario" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc {|{"protokoll": "bmmb"}|};
+      close_out oc;
+      (match Mmb.Scenario.load_file path with
+      | Ok _ -> Alcotest.fail "bad file accepted"
+      | Error e ->
+          Alcotest.(check bool) "error carries the file name" true
+            (contains ~sub:path e);
+          Alcotest.(check bool) "and the field" true
+            (contains ~sub:"protokoll" e));
+      match Mmb.Scenario.load_file (path ^ ".missing") with
+      | Ok _ -> Alcotest.fail "missing file accepted"
+      | Error _ -> ())
+
+let test_load_file_expands () =
+  let path = Filename.temp_file "scenario" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc {|{"n": 9, "sweep":{"param":"k","values":[1,2]}}|};
+      close_out oc;
+      match Mmb.Scenario.load_file path with
+      | Error e -> Alcotest.fail e
+      | Ok specs ->
+          Alcotest.(check (list int)) "sweep expanded" [ 1; 2 ]
+            (List.map (fun s -> s.Mmb.Scenario.k) specs))
+
+let test_spec_to_json_roundtrip () =
+  let text =
+    {|{"name":"rt","protocol":"bmmb","arrivals":"poisson","rate":0.5,"n":9}|}
+  in
+  let spec = Result.get_ok (Mmb.Scenario.of_string text) in
+  let json = Mmb.Scenario.spec_to_json spec in
+  (* The resolved spec is itself a valid scenario, and fully resolved:
+     re-parsing it yields the same spec (the campaign's keying invariant). *)
+  let spec' = Result.get_ok (Mmb.Scenario.of_json json) in
+  Alcotest.(check bool) "spec_to_json round-trips through of_json" true
+    (spec = spec');
+  Alcotest.(check string) "and re-serializes identically"
+    (Dsim.Json.to_string json)
+    (Dsim.Json.to_string (Mmb.Scenario.spec_to_json spec'))
+
 let test_no_sweep_is_singleton () =
   match Mmb.Scenario.expand_string {|{"n": 7}|} with
   | Ok [ spec ] -> Alcotest.(check int) "n" 7 spec.Mmb.Scenario.n
@@ -269,6 +352,16 @@ let sweep_suite =
       Alcotest.test_case "rejects malformed sweeps" `Quick test_sweep_errors;
       Alcotest.test_case "no sweep = singleton" `Quick
         test_no_sweep_is_singleton;
+      Alcotest.test_case "unknown fields rejected with the field named"
+        `Quick test_unknown_field_rejected;
+      Alcotest.test_case "unknown sweep param rejected" `Quick
+        test_unknown_sweep_param_rejected;
+      Alcotest.test_case "load_file prefixes errors with the file" `Quick
+        test_load_file_prefixes_errors;
+      Alcotest.test_case "load_file expands sweeps" `Quick
+        test_load_file_expands;
+      Alcotest.test_case "spec_to_json round-trips" `Quick
+        test_spec_to_json_roundtrip;
     ] )
 
 let suite = suite @ [ sweep_suite ]
