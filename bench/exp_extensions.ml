@@ -23,7 +23,7 @@ let e10_online () =
               let arrivals =
                 Mmb.Problem.poisson_arrivals rng ~n:20 ~k:30 ~rate
               in
-              Mmb.Runner.run_bmmb_online ~dual ~fack ~fprog
+              Obs.Run.bmmb_online ~dual ~fack ~fprog
                 ~policy:(Amac.Schedulers.adversarial ())
                 ~arrivals ~seed ())
             [ 1; 2; 3 ]
@@ -53,7 +53,7 @@ let e10_online () =
     List.map
       (fun (name, discipline) ->
         let res =
-          Mmb.Runner.run_bmmb_online ~dual ~fack ~fprog
+          Obs.Run.bmmb_online ~dual ~fack ~fprog
             ~policy:(Amac.Schedulers.adversarial ())
             ~arrivals ~seed:5 ~discipline ()
         in
@@ -87,7 +87,7 @@ let e11_round_construction () =
         in
         let assignment = Mmb.Problem.singleton rng ~n ~k:3 in
         let run backend =
-          Mmb.Runner.run_fmmb ~dual ~fprog:1. ~c:2.
+          Obs.Run.fmmb ~dual ~fprog:1. ~c:2.
             ~policy:(Amac.Enhanced_mac.minimal_random ())
             ~assignment ~seed:(n + 1) ~backend ()
         in
@@ -204,7 +204,7 @@ let e14_online_fmmb () =
         let rng = Dsim.Rng.create ~seed:(k * 11) in
         let assignment = Mmb.Problem.singleton rng ~n ~k in
         let staged =
-          Mmb.Runner.run_fmmb ~dual ~fprog:1. ~c:2.
+          Obs.Run.fmmb ~dual ~fprog:1. ~c:2.
             ~policy:(Amac.Enhanced_mac.minimal_random ())
             ~assignment ~seed:(k + 1) ()
         in

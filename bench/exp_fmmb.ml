@@ -17,7 +17,7 @@ let fmmb_run ~dual ~k ~seed =
   let rng = Dsim.Rng.create ~seed:(seed * 31 + 7) in
   let n = Graphs.Dual.n dual in
   let assignment = Mmb.Problem.singleton rng ~n ~k in
-  Mmb.Runner.run_fmmb ~dual ~fprog ~c
+  Obs.Run.fmmb ~dual ~fprog ~c
     ~policy:(Amac.Enhanced_mac.minimal_random ())
     ~assignment ~seed ()
 
@@ -137,7 +137,7 @@ let e6_crossover () =
   let rng = Dsim.Rng.create ~seed:5 in
   let assignment = Mmb.Problem.singleton rng ~n ~k in
   let fmmb_res =
-    Mmb.Runner.run_fmmb ~dual ~fprog ~c
+    Obs.Run.fmmb ~dual ~fprog ~c
       ~policy:(Amac.Enhanced_mac.minimal_random ())
       ~assignment ~seed:11 ()
   in
@@ -147,7 +147,7 @@ let e6_crossover () =
       (fun ratio ->
         let fack = float_of_int ratio *. fprog in
         let bmmb =
-          Mmb.Runner.run_bmmb ~dual ~fack ~fprog
+          Obs.Run.bmmb ~dual ~fack ~fprog
             ~policy:(Amac.Schedulers.adversarial ())
             ~assignment ~seed:11 ()
         in
@@ -264,7 +264,7 @@ let e9_ablations () =
         let dual = Graphs.Dual.of_equal (Graphs.Gen.line 30) in
         let assignment = List.init k (fun i -> (i, i)) in
         let run discipline =
-          Mmb.Runner.run_bmmb ~dual ~fack ~fprog:1.
+          Obs.Run.bmmb ~dual ~fack ~fprog:1.
             ~policy:(Amac.Schedulers.adversarial ())
             ~assignment ~seed:3 ~discipline ()
         in
@@ -401,7 +401,7 @@ let e9_ablations () =
         let assignment = Mmb.Problem.singleton rng ~n ~k in
         let params = Mmb.Fmmb.default_params ~n ~k ~c:c_assumed in
         let res =
-          Mmb.Runner.run_fmmb ~dual ~fprog:1. ~c:c_assumed
+          Obs.Run.fmmb ~dual ~fprog:1. ~c:c_assumed
             ~policy:(Amac.Enhanced_mac.minimal_random ())
             ~assignment ~seed:55 ~params ()
         in
@@ -428,7 +428,7 @@ let e9_ablations () =
     List.map
       (fun (name, make) ->
         let res =
-          Mmb.Runner.run_bmmb ~dual ~fack ~fprog:1. ~policy:(make ())
+          Obs.Run.bmmb ~dual ~fack ~fprog:1. ~policy:(make ())
             ~assignment ~seed:4 ()
         in
         [

@@ -86,7 +86,7 @@ let control_cell d =
         ]
       in
       let eager =
-        Mmb.Runner.run_bmmb ~dual ~fack ~fprog
+        Obs.Run.bmmb ~dual ~fack ~fprog
           ~policy:(Amac.Schedulers.eager ())
           ~assignment ~seed:0 ()
       in

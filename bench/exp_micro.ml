@@ -25,7 +25,7 @@ let bmmb_line_run () =
   let dual = Graphs.Dual.of_equal (Graphs.Gen.line 40) in
   let assignment = Mmb.Problem.all_at ~node:0 ~k:4 in
   ignore
-    (Mmb.Runner.run_bmmb ~dual ~fack:20. ~fprog:1.
+    (Obs.Run.bmmb ~dual ~fack:20. ~fprog:1.
        ~policy:(Amac.Schedulers.adversarial ())
        ~assignment ~seed:1 ())
 

@@ -16,7 +16,7 @@ let avg_time ~dual ~policy ~assignment ~seeds =
   List.iter
     (fun seed ->
       let res =
-        Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed ()
+        Obs.Run.bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed ()
       in
       if not (res.Mmb.Runner.complete && res.Mmb.Runner.within_bound) then
         ok := false;
@@ -171,7 +171,7 @@ let e2_cell r =
             let g = Graphs.Gen.line n in
             let dual = Graphs.Dual.r_restricted_random rng ~g ~r ~extra:16 in
             let res =
-              Mmb.Runner.run_bmmb ~dual ~fack ~fprog
+              Obs.Run.bmmb ~dual ~fack ~fprog
                 ~policy:(Amac.Schedulers.adversarial ())
                 ~assignment ~seed ()
             in
@@ -238,7 +238,7 @@ let e3_cell d =
       let dual_r = Graphs.Dual.r_restricted_random rng ~g ~r:2 ~extra:8 in
       let assignment = [ (0, 0); (d - 1, 1) ] in
       let short =
-        Mmb.Runner.run_bmmb ~dual:dual_r ~fack ~fprog
+        Obs.Run.bmmb ~dual:dual_r ~fack ~fprog
           ~policy:(Amac.Schedulers.adversarial ())
           ~assignment ~seed:d ()
       in
@@ -321,7 +321,7 @@ let e7_cell seed =
       in
       let assignment = Mmb.Problem.random rng ~n ~k in
       let res =
-        Mmb.Runner.run_bmmb ~dual ~fack:(2. +. Dsim.Rng.float rng 30.)
+        Obs.Run.bmmb ~dual ~fack:(2. +. Dsim.Rng.float rng 30.)
           ~fprog:1. ~policy ~assignment ~seed
           ~check_compliance:(seed mod 10 = 0) ()
       in

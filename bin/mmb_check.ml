@@ -1,0 +1,22 @@
+(* CLI driver for the architecture checker (see lib/check/check.ml), a
+   thin instantiation of the shared analyzer CLI (Analysis.Cli):
+
+     mmb_check [--allow FILE] [--json] [--rules] [--no-stale] PATH...
+
+   Unlike the lint it also scans [.mli] files: interfaces carry
+   cross-layer type references.  Exit code 0 on a clean tree, 1 on
+   findings, 2 on usage errors or unparseable files.  Wired to
+   [dune build @check] by the root dune file. *)
+
+let () =
+  Analysis.Cli.main
+    {
+      Analysis.Cli.name = "mmb_check";
+      exts = [ ".ml"; ".mli" ];
+      rules_doc =
+        List.map
+          (fun (r : Analysis.Rule.t) -> (r.Analysis.Rule.id, r.doc))
+          Check.default_rules;
+      run =
+        (fun ~allow ~stale files -> Check.run_files ~allow ~stale files);
+    }

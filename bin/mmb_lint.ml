@@ -1,62 +1,22 @@
-(* CLI driver for the determinism lint (see lib/lint/lint.ml).
+(* CLI driver for the determinism lint (see lib/lint/lint.ml), a thin
+   instantiation of the shared analyzer CLI (Analysis.Cli):
 
-   Usage: mmb_lint [--allow FILE] PATH...
+     mmb_lint [--allow FILE] [--json] [--rules] [--no-stale] PATH...
 
-   Each PATH is an [.ml] file or a directory walked recursively (skipping
-   [_build] and dot-directories).  Findings print one per line as
-   [file:line:col [rule-id] message]; the exit code is 1 if there are any,
-   0 on a clean tree.  Wired to [dune build @lint] by the root dune file. *)
-
-let rec collect acc path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list
-    |> List.sort String.compare (* readdir order is unspecified *)
-    |> List.filter (fun name ->
-           name <> "_build" && not (String.starts_with ~prefix:"." name))
-    |> List.fold_left (fun acc name -> collect acc (Filename.concat path name)) acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+   Each PATH is an [.ml] file or a directory walked recursively.  Exit
+   code 0 on a clean tree, 1 on findings, 2 on usage errors or
+   unparseable files.  Wired to [dune build @lint] by the root dune
+   file. *)
 
 let () =
-  let allow = ref [] in
-  let paths = ref [] in
-  let rec parse = function
-    | [] -> ()
-    | "--allow" :: file :: rest ->
-        allow := !allow @ Lint.load_allowlist file;
-        parse rest
-    | "--allow" :: [] ->
-        prerr_endline "mmb_lint: --allow needs a file argument";
-        exit 2
-    | ("--help" | "-help") :: _ ->
-        print_endline "usage: mmb_lint [--allow FILE] PATH...";
-        exit 0
-    | p :: rest ->
-        paths := p :: !paths;
-        parse rest
-  in
-  (try parse (List.tl (Array.to_list Sys.argv))
-   with Sys_error e ->
-     Printf.eprintf "mmb_lint: %s\n" e;
-     exit 2);
-  if !paths = [] then begin
-    prerr_endline "usage: mmb_lint [--allow FILE] PATH...";
-    exit 2
-  end;
-  let files =
-    try
-      List.fold_left collect [] (List.rev !paths) |> List.sort String.compare
-    with Sys_error e ->
-      Printf.eprintf "mmb_lint: %s\n" e;
-      exit 2
-  in
-  let findings = Lint.lint_files ~allow:!allow files in
-  List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
-  match findings with
-  | [] ->
-      Printf.printf "mmb_lint: %d files clean\n" (List.length files);
-      exit 0
-  | _ ->
-      Printf.eprintf "mmb_lint: %d finding(s) in %d files\n"
-        (List.length findings) (List.length files);
-      exit 1
+  Analysis.Cli.main
+    {
+      Analysis.Cli.name = "mmb_lint";
+      exts = [ ".ml" ];
+      rules_doc =
+        List.map
+          (fun (r : Lint.rule) -> (r.Lint.id, r.Lint.doc))
+          Lint.default_rules;
+      run =
+        (fun ~allow ~stale files -> Lint.run_files ~allow ~stale files);
+    }

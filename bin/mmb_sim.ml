@@ -207,7 +207,7 @@ let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
         | _ -> ()
       in
       let res =
-        Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
+        Obs.Run.bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
           ~check_compliance:want_trace ?obs ~setup ()
       in
       (match (obs, metrics) with
@@ -270,7 +270,7 @@ let run_fmmb ~dual ~fprog ~k ~seed ~metrics =
              ())
   in
   let res =
-    Mmb.Runner.run_fmmb ~dual ~fprog ~c:2.
+    Obs.Run.fmmb ~dual ~fprog ~c:2.
       ~policy:(Amac.Enhanced_mac.minimal_random ())
       ~assignment ~seed ?obs ()
   in
@@ -401,7 +401,7 @@ let sweep_cmd =
                   Mmb.Problem.random rng ~n:(Graphs.Dual.n dual) ~k
                 in
                 let res =
-                  Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment
+                  Obs.Run.bmmb ~dual ~fack ~fprog ~policy ~assignment
                     ~seed ()
                 in
                 Printf.printf "%8d  %10.1f  %10.1f  %10.2f\n" v
@@ -444,7 +444,7 @@ let online_cmd =
                 ~rate
             in
             let res =
-              Mmb.Runner.run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals
+              Obs.Run.bmmb_online ~dual ~fack ~fprog ~policy ~arrivals
                 ~seed ()
             in
             describe_dual dual;

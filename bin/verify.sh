@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verify in one command (see ROADMAP.md): both static analyzers,
+# the build, the test suite, and one randomized-hash-seed test pass to
+# catch order-dependent Hashtbl traversals that default hashing hides.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== dune build @lint @check"
+dune build @lint @check
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== OCAMLRUNPARAM=R dune runtest --force"
+OCAMLRUNPARAM=R dune runtest --force
+
+echo "verify: all green"

@@ -124,7 +124,9 @@ let run_round t =
             let uid = t.next_uid in
             t.next_uid <- uid + 1;
             t.n_bcast <- t.n_bcast + 1;
-            broadcasting.(v) <- Some (Message.make ~uid ~src:v body);
+            (* The sender's own record of its broadcast; trivially on a
+               reliable "edge" (itself). *)
+            broadcasting.(v) <- Some (Message.make ~uid ~src:v ~reliable:true body);
             record t ~time:t_start
               (Dsim.Trace.Bcast { node = v; msg = uid; instance = uid }))
   done;
@@ -160,7 +162,7 @@ let run_round t =
               (Dsim.Trace.Rcv
                  { node = j; msg = c.Mac_intf.cand_uid; instance = c.Mac_intf.cand_uid });
             Message.make ~uid:c.Mac_intf.cand_uid ~src:c.Mac_intf.cand_sender
-              c.Mac_intf.cand_body)
+              ~reliable:c.Mac_intf.cand_is_g_neighbor c.Mac_intf.cand_body)
           chosen
       in
       t.inbox.(j) <- envelopes

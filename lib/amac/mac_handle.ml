@@ -7,6 +7,11 @@ type 'msg t = {
   h_trace : Dsim.Trace.t option;
 }
 
+let record h event =
+  match h.h_trace with
+  | None -> ()
+  | Some tr -> Dsim.Trace.record tr ~time:(h.h_now ()) event
+
 let of_standard mac =
   {
     h_n = Graphs.Dual.n (Standard_mac.dual mac);

@@ -16,4 +16,9 @@ type 'msg t = {
   h_trace : Dsim.Trace.t option;
 }
 
+val record : 'msg t -> Dsim.Trace.event -> unit
+(** Record a problem-level event ([Arrive]/[Deliver]) on the handle's
+    trace at the current MAC time, if a trace is attached.  Protocols use
+    this instead of touching [Dsim.Trace] directly (check A4). *)
+
 val of_standard : 'msg Standard_mac.t -> 'msg t

@@ -1,6 +1,6 @@
-type 'a t = { uid : int; src : int; body : 'a }
+type 'a t = { uid : int; src : int; reliable : bool; body : 'a }
 
-let make ~uid ~src body = { uid; src; body }
+let make ~uid ~src ~reliable body = { uid; src; reliable; body }
 
-let pp pp_body ppf { uid; src; body } =
-  Fmt.pf ppf "#%d@%d[%a]" uid src pp_body body
+let pp pp_body ppf { uid; src; reliable; body } =
+  Fmt.pf ppf "#%d@%d%s[%a]" uid src (if reliable then "" else "?") pp_body body

@@ -4,14 +4,23 @@
     (Section 2).  We realize this by wrapping each protocol-level body in an
     envelope carrying a fresh [uid] per [bcast] call; the [uid] doubles as
     the broadcast-instance identifier that materializes the paper's "cause"
-    function. *)
+    function.
+
+    The envelope also carries [reliable]: whether the sender is a
+    G-neighbor of the receiver.  This is MAC-layer knowledge — the engines
+    compute it from the dual graph when they deliver — exported so that
+    protocols above the MAC can condition on "heard a reliable neighbor"
+    (as the paper's algorithms do) without ever querying link state
+    themselves.  Algorithms stay link-oblivious; the check A2 rule enforces
+    that they do. *)
 
 type 'a t = {
   uid : int;  (** unique per bcast call *)
   src : int;  (** the broadcasting node *)
+  reliable : bool;  (** did this copy traverse a G (reliable) edge? *)
   body : 'a;  (** protocol-level content *)
 }
 
-val make : uid:int -> src:int -> 'a -> 'a t
+val make : uid:int -> src:int -> reliable:bool -> 'a -> 'a t
 
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

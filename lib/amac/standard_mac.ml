@@ -103,6 +103,11 @@ let handlers_exn t node =
 
 let busy t ~node = t.busy.(node)
 let sim t = t.sim
+
+(* Environment-event injection: the sanctioned way for code above the MAC
+   (problem harnesses, arrival schedules) to put work on the engine's
+   timeline without reaching into Dsim.Sim directly (check A4). *)
+let env_at t ~time f = ignore (Dsim.Sim.schedule_at t.sim ~time f)
 let dual t = t.dual
 let trace t = t.trace
 let fack t = t.fack
@@ -287,7 +292,7 @@ let abort t ~node =
                  conservatively keep every pending event and let [deliver]
                  apply the eps_abort cutoff; with eps_abort = 0 this still
                  cancels everything strictly later than now. *)
-              if t.eps_abort = 0. then begin
+              if Float.equal t.eps_abort 0. then begin
                 Dsim.Sim.cancel t.sim handle;
                 Hashtbl.remove inst.pending receiver
               end)

@@ -68,6 +68,13 @@ val abort : 'msg t -> node:int -> unit
     node has no broadcast in flight. *)
 
 val sim : 'msg t -> Dsim.Sim.t
+
+val env_at : 'msg t -> time:float -> (unit -> unit) -> unit
+(** Inject an environment event (an arrival, a protocol kickoff) at an
+    absolute time on the MAC's engine.  This is the sanctioned injection
+    point for layers above the MAC — protocols must not schedule engine
+    events themselves (check A4). *)
+
 val dual : 'msg t -> Graphs.Dual.t
 val trace : 'msg t -> Dsim.Trace.t option
 val fack : 'msg t -> float

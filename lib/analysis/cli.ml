@@ -1,0 +1,92 @@
+(* The shared analyzer CLI: both mmb_lint and mmb_check are thin
+   instantiations of this driver.
+
+     tool [--allow FILE] [--json] [--rules] [--no-stale] PATH...
+
+   Each PATH is a source file or a directory walked recursively
+   (skipping _build and dot-directories).  Exit code: 0 clean, 1
+   findings, 2 usage error or unparseable file. *)
+
+type tool = {
+  name : string;
+  exts : string list;  (* extensions collected from directories *)
+  rules_doc : (string * string) list;  (* id, one-line doc *)
+  run : allow:Allow.t -> stale:bool -> string list -> Finding.t list;
+}
+
+let rec collect ~exts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare (* readdir order is unspecified *)
+    |> List.filter (fun name ->
+           name <> "_build" && not (String.starts_with ~prefix:"." name))
+    |> List.fold_left
+         (fun acc name -> collect ~exts acc (Filename.concat path name))
+         acc
+  else if List.exists (fun ext -> Filename.check_suffix path ext) exts then
+    path :: acc
+  else acc
+
+let collect_files ~exts paths =
+  List.fold_left (collect ~exts) [] paths |> List.sort String.compare
+
+let usage tool =
+  Printf.sprintf "usage: %s [--allow FILE] [--json] [--rules] [--no-stale] PATH..."
+    tool.name
+
+let main tool =
+  let allow = ref Allow.empty in
+  let json = ref false in
+  let stale = ref true in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: file :: rest ->
+        allow := Allow.merge !allow (Allow.load file);
+        parse rest
+    | [ "--allow" ] ->
+        Printf.eprintf "%s: --allow needs a file argument\n" tool.name;
+        exit 2
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--no-stale" :: rest ->
+        stale := false;
+        parse rest
+    | "--rules" :: _ ->
+        List.iter
+          (fun (id, doc) -> Printf.printf "%-4s %s\n" id doc)
+          tool.rules_doc;
+        exit 0
+    | ("--help" | "-help") :: _ ->
+        print_endline (usage tool);
+        exit 0
+    | opt :: _ when String.starts_with ~prefix:"-" opt ->
+        Printf.eprintf "%s: unknown option %s\n%s\n" tool.name opt (usage tool);
+        exit 2
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  (try parse (List.tl (Array.to_list Sys.argv))
+   with Sys_error e ->
+     Printf.eprintf "%s: %s\n" tool.name e;
+     exit 2);
+  if !paths = [] then begin
+    prerr_endline (usage tool);
+    exit 2
+  end;
+  let files =
+    try collect_files ~exts:tool.exts (List.rev !paths)
+    with Sys_error e ->
+      Printf.eprintf "%s: %s\n" tool.name e;
+      exit 2
+  in
+  let findings =
+    try tool.run ~allow:!allow ~stale:!stale files
+    with Sys_error e ->
+      Printf.eprintf "%s: %s\n" tool.name e;
+      exit 2
+  in
+  Report.print ~json:!json ~tool:tool.name ~files:(List.length files) findings;
+  exit (Report.exit_code findings)

@@ -1,0 +1,20 @@
+(** The shared analyzer CLI driver; [mmb_lint] and [mmb_check] are thin
+    instantiations. *)
+
+type tool = {
+  name : string;  (** binary name, used in messages *)
+  exts : string list;  (** extensions collected when walking directories *)
+  rules_doc : (string * string) list;  (** (id, doc) printed by [--rules] *)
+  run : allow:Allow.t -> stale:bool -> string list -> Finding.t list;
+}
+
+val collect_files : exts:string list -> string list -> string list
+(** Expand paths: files kept as-is when matching an extension,
+    directories walked recursively (skipping [_build] and dot-dirs),
+    result sorted. *)
+
+val main : tool -> 'a
+(** Parse [--allow FILE] (repeatable), [--json], [--rules] (print the
+    rule table and exit), [--no-stale] (keep quiet about suppressions
+    that suppress nothing), then run and exit with 0 (clean), 1
+    (findings) or 2 (usage error / unparseable file).  Never returns. *)

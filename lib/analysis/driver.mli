@@ -1,0 +1,36 @@
+(** The shared analyzer driver.
+
+    Files ending in [.mli] are parsed as interfaces and walked through
+    the rule iterator's [signature] entry; everything else is parsed as
+    an implementation.  Unparseable input yields a single [E0] finding.
+
+    Escape-hatch order: a suppression comment is consulted before the
+    allowlist, and the first hatch that covers a finding takes the hit
+    (relevant only to stale accounting). *)
+
+val read_file : string -> string
+
+val run_source :
+  marker:string ->
+  rules:Rule.t list ->
+  allow:Allow.t ->
+  file:string ->
+  string ->
+  Finding.t list
+(** Analyze source text posed at path [file] (which drives per-rule path
+    filters — tests pose fixtures "as if" they lived under [lib/]).
+    Findings are sorted by (file, line, col, rule).  No stale findings. *)
+
+val run_file :
+  marker:string -> rules:Rule.t list -> allow:Allow.t -> string -> Finding.t list
+
+val run_files :
+  marker:string ->
+  rules:Rule.t list ->
+  allow:Allow.t ->
+  ?stale:bool ->
+  string list ->
+  Finding.t list
+(** Analyze many files.  With [stale] (default off), suppression
+    comments and allowlist entries that suppressed nothing across the
+    whole run are themselves reported ([S1]/[S2]). *)

@@ -1,0 +1,19 @@
+(* Path predicates shared by rule scopes and allowlists.  All matching is
+   anchored at path-component boundaries so the same rule files work on
+   repo-relative and absolute paths. *)
+
+let find_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let has_suffix ~suffix file =
+  String.equal suffix file || String.ends_with ~suffix:("/" ^ suffix) file
+
+let in_dir ~dir file =
+  String.starts_with ~prefix:(dir ^ "/") file
+  || find_substring ~sub:("/" ^ dir ^ "/") file <> None

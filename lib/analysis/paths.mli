@@ -1,0 +1,15 @@
+(** Path predicates shared by rule scopes and allowlists. *)
+
+val find_substring : sub:string -> string -> int option
+(** Index of the first occurrence of [sub], if any. *)
+
+val has_suffix : suffix:string -> string -> bool
+(** Suffix match anchored at a path-component boundary: ["exec/cache.ml"]
+    matches ["lib/exec/cache.ml"] but neither ["lib/exec/xcache.ml"] nor
+    ["lib/notexec/cache.ml"]. *)
+
+val in_dir : dir:string -> string -> bool
+(** Does the path contain [dir] as a directory-component prefix, either
+    at the front (["lib/mmb/x.ml"]) or after any component
+    (["/root/repo/lib/mmb/x.ml"])?  [dir] may itself be multi-component,
+    e.g. ["lib/exec"]. *)

@@ -1,0 +1,13 @@
+(** Finding output, text or JSON. *)
+
+val to_json : tool:string -> files:int -> Finding.t list -> string
+(** One compact object:
+    [{"tool":...,"files":N,"findings":[{"file":...,"line":...,...}]}]. *)
+
+val exit_code : Finding.t list -> int
+(** [0] clean, [1] findings, [2] if any [E*] finding (unparseable file). *)
+
+val print : json:bool -> tool:string -> files:int -> Finding.t list -> unit
+(** Text mode prints one {!Finding.to_string} line per finding plus a
+    summary ([stdout] findings, [stderr] summary when nonzero); JSON
+    mode prints the single {!to_json} object on [stdout]. *)

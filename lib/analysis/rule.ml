@@ -1,0 +1,12 @@
+(* The rule shape both analyzers instantiate.  [build] receives the file
+   path so rules whose behaviour depends on where the code lives (the
+   checker's layer rule, above all) can close over it. *)
+
+type reporter = loc:Location.t -> string -> unit
+
+type t = {
+  id : string;
+  doc : string;
+  applies : string -> bool;
+  build : file:string -> reporter -> Ast_iterator.iterator;
+}

@@ -1,0 +1,80 @@
+(* In-source suppression comments.  A comment containing the analyzer's
+   marker followed by rule ids suppresses those rules on its own line and
+   the line directly below.  Each analyzer has its own marker (the lint
+   and the checker read different ones), so one tool's escape hatch never
+   silences the other.
+
+   Entries are hit-counted: a suppression that suppresses nothing is
+   itself reported (rule S1), keeping the escape hatch honest. *)
+
+type entry = {
+  s_line : int;  (* 1-based line of the comment *)
+  s_ids : string list;
+  mutable s_hits : int;
+}
+
+type t = entry list
+
+let is_rule_id tok =
+  String.length tok >= 2
+  && tok.[0] >= 'A'
+  && tok.[0] <= 'Z'
+  && String.for_all
+       (fun c -> c >= '0' && c <= '9')
+       (String.sub tok 1 (String.length tok - 1))
+
+let scan ~marker source : t =
+  let mlen = String.length marker in
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (ln, line) ->
+         match Paths.find_substring ~sub:marker line with
+         | None -> None
+         | Some i ->
+             let rest =
+               String.sub line (i + mlen) (String.length line - i - mlen)
+             in
+             let rest =
+               match Paths.find_substring ~sub:"*)" rest with
+               | Some j -> String.sub rest 0 j
+               | None -> rest
+             in
+             let ids =
+               String.split_on_char ' ' rest
+               |> List.map String.trim
+               |> List.filter is_rule_id
+             in
+             if ids = [] then None
+             else Some { s_line = ln; s_ids = ids; s_hits = 0 })
+
+let suppressed t ~rule ~line =
+  List.fold_left
+    (fun hit e ->
+      if
+        (e.s_line = line || e.s_line = line - 1)
+        && List.exists (String.equal rule) e.s_ids
+      then begin
+        e.s_hits <- e.s_hits + 1;
+        true
+      end
+      else hit)
+    false t
+
+let stale t ~file =
+  List.filter_map
+    (fun e ->
+      if e.s_hits > 0 then None
+      else
+        Some
+          {
+            Finding.file;
+            line = e.s_line;
+            col = 0;
+            rule = "S1";
+            msg =
+              Printf.sprintf
+                "stale suppression comment (%s): it suppresses no finding; \
+                 delete it"
+                (String.concat " " e.s_ids);
+          })
+    t

@@ -1,0 +1,23 @@
+(** In-source suppression comments, parameterized by the analyzer's
+    marker string (the lint and the checker use different markers, so
+    each tool only honours its own escape hatch).
+
+    A comment containing the marker followed by rule ids suppresses
+    those rules on the comment's line and the line directly below it.
+    Hit counts feed {!stale}, which reports comments that suppressed
+    nothing as [S1] findings. *)
+
+type t
+
+val is_rule_id : string -> bool
+(** An uppercase letter followed by digits, e.g. ["D1"], ["A42"]. *)
+
+val scan : marker:string -> string -> t
+(** Collect the suppression comments of one source file. *)
+
+val suppressed : t -> rule:string -> line:int -> bool
+(** Is [rule] suppressed at [line]?  Bumps every covering entry's hit
+    count. *)
+
+val stale : t -> file:string -> Finding.t list
+(** [S1] findings for comments whose hit count is still zero. *)

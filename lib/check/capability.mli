@@ -1,0 +1,21 @@
+(** Named capability lists — the sanctioned cross-layer surfaces the
+    architecture rules enforce by default-deny. *)
+
+val mmb_graphs : (string * string list) list
+(** The Graphs surface lib/mmb may touch (check A2): per submodule, the
+    sanctioned members.  All of it is setup or measurement — generators,
+    global scalars, whole-structure validity oracles.  Edge membership
+    and adjacency queries are deliberately absent: the paper's protocols
+    are link-oblivious. *)
+
+val mmb_sanctioned : string list -> bool
+(** Is this qualified path within the sanctioned surface?  Paths not
+    rooted at [Graphs] trivially pass; a bare [Graphs] reference (an
+    [open] or module alias) is denied. *)
+
+val mmb_surface_doc : string
+(** The surface rendered for finding messages. *)
+
+val registries : string list
+(** Path suffixes of the files allowed to hold top-level mutable state
+    (check A3): the deliberate process-global registries. *)

@@ -1,0 +1,32 @@
+(* mmb_check — cross-module architecture and abstraction-boundary
+   analyzer, the second static-analysis pass beside the determinism lint.
+   Same machinery (Analysis), different concerns: where mmb_lint guards
+   replayability, mmb_check guards the layer DAG and the MAC abstraction
+   boundary the paper's algorithms are defined against.
+
+   Scans both [.ml] and [.mli] files (interfaces carry cross-layer type
+   references too).  Escape hatches mirror the lint's, under this
+   checker's own marker so one tool's hatch never silences the other. *)
+
+module Layers = Layers
+module Refs = Refs
+module Capability = Capability
+module Rules = Rules
+
+(* The checker's suppression-comment marker.  (Kept out of doc comments
+   so the stale-suppression scan never mistakes prose for a hatch.) *)
+let marker = "check: allow"
+
+let default_rules = Rules.default
+
+let check_source ?(rules = default_rules) ?(allow = []) ~file source =
+  Analysis.Driver.run_source ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) ~file source
+
+let check_file ?(rules = default_rules) ?(allow = []) file =
+  Analysis.Driver.run_file ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) file
+
+let run_files ?(rules = default_rules) ?(allow = Analysis.Allow.empty)
+    ?(stale = false) files =
+  Analysis.Driver.run_files ~marker ~rules ~allow ~stale files

@@ -1,0 +1,54 @@
+(** mmb_check — cross-module architecture and abstraction-boundary
+    analyzer.
+
+    The second static-analysis pass beside the determinism lint: same
+    shared machinery ([Analysis]), different concerns.  The rules
+    ({!Rules}) enforce the layer DAG ({!Layers}), the MAC abstraction
+    boundary via a named capability surface ({!Capability}), the
+    top-level-mutable-state registry discipline, the engine-access
+    seams, and float-equality hygiene.
+
+    Scans implementations and interfaces ([.mli] files carry
+    cross-layer type references too).  Escape hatches mirror the
+    lint's — a suppression comment carrying this checker's {!marker}
+    plus the rule id, or an allowlist file ([check.allow] at the repo
+    root, wired by [dune build @check]) — and both are stale-checked. *)
+
+module Layers = Layers
+module Refs = Refs
+module Capability = Capability
+module Rules = Rules
+
+val marker : string
+(** The suppression-comment marker this checker honours (distinct from
+    the lint's). *)
+
+val default_rules : Analysis.Rule.t list
+(** A1–A5, in order. *)
+
+val check_source :
+  ?rules:Analysis.Rule.t list ->
+  ?allow:(string * string) list ->
+  file:string ->
+  string ->
+  Analysis.Finding.t list
+(** Analyze source text posed at [file] (which drives rule scopes and
+    chooses implementation vs interface parsing by extension — tests
+    pose fixtures "as if" they lived under [lib/mmb/]).  Unparseable
+    source yields a single [E0] finding. *)
+
+val check_file :
+  ?rules:Analysis.Rule.t list ->
+  ?allow:(string * string) list ->
+  string ->
+  Analysis.Finding.t list
+
+val run_files :
+  ?rules:Analysis.Rule.t list ->
+  ?allow:Analysis.Allow.t ->
+  ?stale:bool ->
+  string list ->
+  Analysis.Finding.t list
+(** The CLI entry point: hit-counted allowlist, and with [stale] also
+    reporting suppression comments ([S1]) and allowlist entries ([S2])
+    that suppressed nothing. *)

@@ -1,0 +1,61 @@
+(* The project's layer DAG.  References must point strictly downward:
+
+     dsim → graphs → amac → {mmb, radio} → obs → exec → {bench, bin}
+
+   (an arrow means "may be referenced by"; mmb and radio are siblings
+   and must not reference each other).  The analyzer libraries (lint,
+   analysis, check) sit outside the DAG: they are tooling over the
+   sources, not simulation code, and nothing simulation-side may import
+   them anyway since they would drag in compiler-libs. *)
+
+type t = { name : string; rank : int }
+
+let dag = "dsim -> graphs -> amac -> {mmb, radio} -> obs -> exec -> {bench, bin}"
+
+let lib_dirs =
+  [
+    ("dsim", 0);
+    ("graphs", 1);
+    ("amac", 2);
+    ("mmb", 3);
+    ("radio", 3);
+    ("obs", 4);
+    ("exec", 5);
+  ]
+
+(* Top-level wrapped-library module name -> layer.  bench and bin are
+   executables, not libraries, so no module ever resolves to them. *)
+let modules =
+  [
+    ("Dsim", "dsim");
+    ("Graphs", "graphs");
+    ("Amac", "amac");
+    ("Mmb", "mmb");
+    ("Radio", "radio");
+    ("Obs", "obs");
+    ("Exec", "exec");
+  ]
+
+let of_dir d =
+  Option.map (fun rank -> { name = d; rank }) (List.assoc_opt d lib_dirs)
+
+(* Layer of a source path: the component after a "lib" component, or the
+   pseudo-layers bench/bin at the top of the DAG. *)
+let of_path file =
+  let comps = String.split_on_char '/' file in
+  let rec after_lib = function
+    | "lib" :: d :: _ -> of_dir d
+    | _ :: rest -> after_lib rest
+    | [] -> None
+  in
+  match after_lib comps with
+  | Some l -> Some l
+  | None ->
+      if List.exists (fun c -> c = "bench") comps then
+        Some { name = "bench"; rank = 6 }
+      else if List.exists (fun c -> c = "bin") comps then
+        Some { name = "bin"; rank = 6 }
+      else None
+
+let of_module m =
+  match List.assoc_opt m modules with None -> None | Some d -> of_dir d

@@ -1,0 +1,18 @@
+(** Cross-module reference extraction — the raw material of the
+    architecture rules. *)
+
+type kind = Value | Constr | Field | Type | Module
+
+type t = {
+  r_path : string list;  (** qualified path, [Stdlib]-normalized *)
+  r_kind : kind;
+  r_loc : Location.t;
+}
+
+val kind_to_string : kind -> string
+
+val iter : (t -> unit) -> Ast_iterator.iterator
+(** An iterator that surfaces every qualified reference in a structure
+    or signature: identifiers, constructors (expression and pattern),
+    record fields, type constructors, and module expressions/types
+    (which covers [open]/[include]/module aliases). *)

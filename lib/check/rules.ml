@@ -1,0 +1,231 @@
+(* The architecture rules (A1–A5).  Where the determinism lint (D-rules)
+   protects replayability, these protect the shape of the codebase: the
+   layer DAG, the MAC abstraction boundary at the heart of the paper,
+   and the engine-access discipline that keeps instrumentation optional.
+
+     A1  layer DAG back-edges                 references must point down
+     A2  Graphs surface of lib/mmb            protocols are link-oblivious
+     A3  top-level mutable state in lib/      only declared registries
+     A4  engine access outside amac/obs       use the sanctioned seams
+     A5  float =/<> in lib/                   use Float.equal/tolerances *)
+
+open Analysis
+
+let null_iterator =
+  (* For builds that decide, from the file, that nothing can match. *)
+  {
+    Ast_iterator.default_iterator with
+    structure = (fun _ _ -> ());
+    signature = (fun _ _ -> ());
+  }
+
+(* --- A1: the layer DAG -------------------------------------------------- *)
+
+let rule_a1 =
+  {
+    Rule.id = "A1";
+    doc = "layer DAG: references must point strictly down " ^ Layers.dag;
+    applies = (fun file -> Layers.of_path file <> None);
+    build =
+      (fun ~file report ->
+        match Layers.of_path file with
+        | None -> null_iterator
+        | Some here ->
+            Refs.iter (fun r ->
+                match r.Refs.r_path with
+                | [] -> ()
+                | m :: _ -> (
+                    match Layers.of_module m with
+                    | Some target
+                      when target.Layers.rank > here.Layers.rank ->
+                        report ~loc:r.Refs.r_loc
+                          (Printf.sprintf
+                             "layer back-edge: %s (layer %s) references the \
+                              %s %s (layer %s); allowed flow is %s"
+                             file here.Layers.name
+                             (Refs.kind_to_string r.Refs.r_kind)
+                             (String.concat "." r.Refs.r_path)
+                             target.Layers.name Layers.dag)
+                    | Some target
+                      when target.Layers.rank = here.Layers.rank
+                           && target.Layers.name <> here.Layers.name ->
+                        report ~loc:r.Refs.r_loc
+                          (Printf.sprintf
+                             "sibling-layer edge: %s (layer %s) references \
+                              the %s %s (layer %s); sibling layers are \
+                              independent in %s"
+                             file here.Layers.name
+                             (Refs.kind_to_string r.Refs.r_kind)
+                             (String.concat "." r.Refs.r_path)
+                             target.Layers.name Layers.dag)
+                    | _ -> ())));
+  }
+
+(* --- A2: the MAC abstraction boundary ----------------------------------- *)
+
+let rule_a2 =
+  {
+    Rule.id = "A2";
+    doc = "lib/mmb touches Graphs only through the sanctioned capability list";
+    applies = Paths.in_dir ~dir:"lib/mmb";
+    build =
+      (fun ~file:_ report ->
+        Refs.iter (fun r ->
+            if not (Capability.mmb_sanctioned r.Refs.r_path) then
+              report ~loc:r.Refs.r_loc
+                (Printf.sprintf
+                   "%s is outside lib/mmb's sanctioned Graphs surface; the \
+                    paper's protocols are link-oblivious (adjacency answers \
+                    reach them only through MAC delivery behaviour) — move \
+                    the query below the MAC or into graphs/obs.  Sanctioned: \
+                    %s"
+                   (String.concat "." r.Refs.r_path)
+                   Capability.mmb_surface_doc)));
+  }
+
+(* --- A3: top-level mutable state ---------------------------------------- *)
+
+let mutable_creators =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Atomic"; "make" ];
+    [ "Bytes"; "create" ];
+  ]
+
+(* Walk an expression looking for mutable-state creators evaluated at
+   module initialization: stop at every function or lazy boundary (those
+   bodies run later, per call). *)
+let creator_scan report =
+  let rec iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun _ e ->
+          match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _
+          | Parsetree.Pexp_lazy _ ->
+              ()
+          | Parsetree.Pexp_apply (fn, _)
+            when Astutil.path_is mutable_creators fn ->
+              (match Astutil.ident_path fn with
+              | Some p -> report ~loc:fn.Parsetree.pexp_loc (String.concat "." p)
+              | None -> ());
+              Ast_iterator.default_iterator.expr iter e
+          | _ -> Ast_iterator.default_iterator.expr iter e);
+    }
+  in
+  iter
+
+let rule_a3 =
+  {
+    Rule.id = "A3";
+    doc = "top-level mutable state in lib/ confined to declared registries";
+    applies =
+      (fun file ->
+        Paths.in_dir ~dir:"lib" file
+        && not
+             (List.exists
+                (fun suffix -> Paths.has_suffix ~suffix file)
+                Capability.registries));
+    build =
+      (fun ~file:_ report ->
+        let scan =
+          creator_scan (fun ~loc creator ->
+              report ~loc
+                (Printf.sprintf
+                   "top-level mutable state (%s) at module initialization; \
+                    thread state through per-run records, or declare the \
+                    file a registry in Check.Capability.registries"
+                   creator))
+        in
+        {
+          Ast_iterator.default_iterator with
+          structure_item =
+            (fun it si ->
+              match si.Parsetree.pstr_desc with
+              | Parsetree.Pstr_value (_, vbs) ->
+                  List.iter
+                    (fun vb ->
+                      match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+                      (* [let () = ...] / [let _ = ...] are executable
+                         main bodies, not retained state. *)
+                      | Parsetree.Ppat_any -> ()
+                      | Parsetree.Ppat_construct
+                          ({ txt = Longident.Lident "()"; _ }, None) ->
+                          ()
+                      | _ -> scan.Ast_iterator.expr scan vb.Parsetree.pvb_expr)
+                    vbs
+              | Parsetree.Pstr_eval _ -> ()
+              | _ -> Ast_iterator.default_iterator.structure_item it si);
+        });
+  }
+
+(* --- A4: engine access discipline --------------------------------------- *)
+
+(* Scheduling engine events and emitting trace events are MAC-layer and
+   observability-layer powers.  Protocols above the MAC inject work via
+   Amac.Standard_mac.env_at and record via Amac.Mac_handle.record; the
+   radio layer's own MAC implementations are allowlisted individually. *)
+let banned_engine_calls =
+  [
+    [ "Dsim"; "Sim"; "schedule" ];
+    [ "Sim"; "schedule" ];
+    [ "Dsim"; "Sim"; "schedule_at" ];
+    [ "Sim"; "schedule_at" ];
+    [ "Dsim"; "Sim"; "cancel" ];
+    [ "Sim"; "cancel" ];
+    [ "Dsim"; "Trace"; "record" ];
+    [ "Trace"; "record" ];
+  ]
+
+let rule_a4 =
+  {
+    Rule.id = "A4";
+    doc = "Dsim.Sim injection / Trace emission confined to amac and obs";
+    applies =
+      (fun file ->
+        Paths.in_dir ~dir:"lib" file
+        && (not (Paths.in_dir ~dir:"lib/dsim" file))
+        && (not (Paths.in_dir ~dir:"lib/amac" file))
+        && not (Paths.in_dir ~dir:"lib/obs" file));
+    build =
+      (fun ~file:_ report ->
+        Astutil.expr_rule (fun e ->
+            match Astutil.ident_path e with
+            | Some p when List.mem p banned_engine_calls ->
+                report ~loc:e.Parsetree.pexp_loc
+                  (Printf.sprintf
+                     "%s is direct engine access from above the MAC; inject \
+                      environment events with Amac.Standard_mac.env_at and \
+                      record trace events with Amac.Mac_handle.record"
+                     (String.concat "." p))
+            | _ -> ()));
+  }
+
+(* --- A5: float equality ------------------------------------------------- *)
+
+let rule_a5 =
+  {
+    Rule.id = "A5";
+    doc = "float literal compared with polymorphic =/<> inside lib/";
+    applies = Paths.in_dir ~dir:"lib";
+    build =
+      (fun ~file:_ report ->
+        Astutil.expr_rule (fun e ->
+            match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_apply (fn, [ (_, a); (_, b) ])
+              when Astutil.path_is [ [ "=" ]; [ "<>" ] ] fn
+                   && (Astutil.is_float_literal a
+                      || Astutil.is_float_literal b) ->
+                report ~loc:fn.Parsetree.pexp_loc
+                  "float compared with polymorphic =/<>; use Float.equal \
+                   (or an explicit tolerance) so the intent survives \
+                   refactors into generic code"
+            | _ -> ()));
+  }
+
+let default = [ rule_a1; rule_a2; rule_a3; rule_a4; rule_a5 ]

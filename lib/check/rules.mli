@@ -1,0 +1,26 @@
+(** The architecture rules.
+
+    - [A1] layer-DAG back-edges (and sibling edges between mmb and
+      radio): every cross-library reference must point strictly down
+      {!Layers.dag}.
+    - [A2] lib/mmb touches [Graphs] only through the sanctioned
+      capability surface ({!Capability.mmb_graphs}) — the paper's
+      protocols are link-oblivious.
+    - [A3] top-level mutable state ([ref]/[Hashtbl.create]/
+      [Buffer.create]/...) at module initialization inside [lib/],
+      outside the declared registries ({!Capability.registries}).
+    - [A4] engine-event injection ([Dsim.Sim.schedule]/[schedule_at]/
+      [cancel]) and trace emission ([Dsim.Trace.record]) outside
+      [lib/amac] and [lib/obs]; protocols use the sanctioned seams
+      [Amac.Standard_mac.env_at] and [Amac.Mac_handle.record].
+    - [A5] float literals compared with polymorphic [=]/[<>] inside
+      [lib/]. *)
+
+val rule_a1 : Analysis.Rule.t
+val rule_a2 : Analysis.Rule.t
+val rule_a3 : Analysis.Rule.t
+val rule_a4 : Analysis.Rule.t
+val rule_a5 : Analysis.Rule.t
+
+val default : Analysis.Rule.t list
+(** A1–A5, in order. *)

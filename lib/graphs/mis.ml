@@ -34,6 +34,51 @@ let greedy_in_order g order =
 
 let greedy g = greedy_in_order g (Array.init (Graph.n g) Fun.id)
 
+let is_connected_dominating ~g ~member =
+  let n = Graph.n g in
+  let comp = Bfs.components g in
+  let ncomp = Bfs.component_count g in
+  let dominated v =
+    member v || Array.exists member (Graph.neighbors g v)
+  in
+  let all_dominated = List.for_all dominated (List.init n Fun.id) in
+  if not all_dominated then false
+  else begin
+    (* Per component: the members must induce a connected subgraph. *)
+    let ok = ref true in
+    for c = 0 to ncomp - 1 do
+      let members =
+        List.filter (fun v -> comp.(v) = c && member v) (List.init n Fun.id)
+      in
+      match members with
+      | [] ->
+          (* A component with nodes but no member cannot be dominated
+             (covered above) unless empty — components always have >= 1
+             node, so only singleton member-free components matter and
+             those failed domination already. *)
+          ()
+      | root :: _ ->
+          (* BFS within the member-induced subgraph. *)
+          let seen = Hashtbl.create 16 in
+          let queue = Queue.create () in
+          Hashtbl.replace seen root ();
+          Queue.push root queue;
+          while not (Queue.is_empty queue) do
+            let u = Queue.pop queue in
+            Array.iter
+              (fun v ->
+                if member v && not (Hashtbl.mem seen v) then begin
+                  Hashtbl.replace seen v ();
+                  Queue.push v queue
+                end)
+              (Graph.neighbors g u)
+          done;
+          if List.exists (fun v -> not (Hashtbl.mem seen v)) members then
+            ok := false
+    done;
+    !ok
+  end
+
 let greedy_seeded rng g =
   let order = Array.init (Graph.n g) Fun.id in
   Dsim.Rng.shuffle rng order;

@@ -15,3 +15,10 @@ val greedy : Graph.t -> int list
 
 val greedy_seeded : Dsim.Rng.t -> Graph.t -> int list
 (** Greedy over a uniformly shuffled node order, for randomized oracles. *)
+
+val is_connected_dominating : g:Graph.t -> member:(int -> bool) -> bool
+(** Does the member set dominate [g] and induce a connected subgraph
+    within every component?  The validity oracle for backbone
+    construction ({!Mmb.Structuring}) — it lives here, not in [lib/mmb],
+    because it is a pure graph predicate (check A2 keeps adjacency
+    queries out of the protocol layer). *)

@@ -13,18 +13,18 @@
      D6  Domain/Mutex/Atomic outside exec  uncontrolled interleavings
 
    Findings print as [file:line:col [rule-id] message]; any finding makes
-   the driver exit nonzero.  Two escape hatches exist:
+   the driver exit nonzero.  The escape hatches (suppression comments
+   carrying this lint's marker, and allowlist files) live in
+   [Analysis.Suppress] and [Analysis.Allow]; both are hit-counted, so a
+   hatch that suppresses nothing is itself reported as stale.
 
-   - a suppression comment [(* lint: allow D1 *)] on the finding's line or
-     the line directly above it;
-   - an allowlist file (see [load_allowlist]) pairing a rule id with a
-     path suffix, for files whose whole job is the flagged construct
-     (e.g. [lib/dsim/tbl.ml] wraps Hashtbl.fold for everyone else).
+   The finding/allow/suppress/driver machinery is shared with the
+   architecture checker (lib/check) through [Analysis]; this module owns
+   only the determinism rules.  Adding a rule = one more entry in
+   [default_rules]: give it an id, a path filter, and an [Ast_iterator]
+   built from [expr_rule]. *)
 
-   Adding a rule = one more entry in [default_rules]: give it an id, a
-   path filter, and an [Ast_iterator] built from [expr_rule]. *)
-
-type finding = {
+type finding = Analysis.Finding.t = {
   file : string;
   line : int;
   col : int;
@@ -32,154 +32,35 @@ type finding = {
   msg : string;
 }
 
-let finding_to_string f =
-  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.msg
+let finding_to_string = Analysis.Finding.to_string
 
-let compare_findings a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+(* The lint's suppression-comment marker.  (Kept out of doc comments so
+   the stale-suppression scan never mistakes prose for a hatch.) *)
+let marker = "lint: allow"
 
-(* --- Path helpers ------------------------------------------------------- *)
-
-(* Matching is by path suffix anchored at a component boundary, so
-   "lib/dsim/rng.ml" matches both a repo-relative and an absolute path. *)
-let path_has_suffix ~suffix file =
-  String.equal suffix file
-  || String.ends_with ~suffix:("/" ^ suffix) file
-
-(* --- Allowlist ---------------------------------------------------------- *)
+(* --- Allowlist (legacy pair-based surface) ------------------------------ *)
 
 type allow = (string * string) list (* rule id, path suffix *)
 
-(* One entry per line: [RULE path/suffix.ml].  Blank lines and lines
-   starting with [#] are ignored. *)
-let parse_allowlist source : allow =
-  String.split_on_char '\n' source
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else
-           match String.index_opt line ' ' with
-           | None -> None
-           | Some i ->
-               let rule = String.sub line 0 i in
-               let path =
-                 String.trim (String.sub line (i + 1) (String.length line - i - 1))
-               in
-               if path = "" then None else Some (rule, path))
-
-let load_allowlist path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> parse_allowlist (really_input_string ic (in_channel_length ic)))
-
-let allowed allow ~rule ~file =
-  List.exists
-    (fun (r, suffix) -> String.equal r rule && path_has_suffix ~suffix file)
-    allow
-
-(* --- Suppression comments ---------------------------------------------- *)
-
-(* [(* lint: allow D1 D4 *)] suppresses the listed rules on its own line
-   and the line below.  Tokens that are not rule ids (prose after a dash,
-   say) are ignored. *)
-let is_rule_id tok =
-  String.length tok >= 2
-  && tok.[0] >= 'A'
-  && tok.[0] <= 'Z'
-  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tok 1 (String.length tok - 1))
-
-let find_substring ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = if i + m > n then None
-    else if String.sub s i m = sub then Some i
-    else go (i + 1)
-  in
-  go 0
-
-(* line number (1-based) -> rule ids allowed there *)
-let suppressions source : (int * string list) list =
-  String.split_on_char '\n' source
-  |> List.mapi (fun i line -> (i + 1, line))
-  |> List.filter_map (fun (ln, line) ->
-         match find_substring ~sub:"lint: allow" line with
-         | None -> None
-         | Some i ->
-             let rest =
-               String.sub line (i + 11) (String.length line - i - 11)
-             in
-             let rest =
-               match find_substring ~sub:"*)" rest with
-               | Some j -> String.sub rest 0 j
-               | None -> rest
-             in
-             let ids =
-               String.split_on_char ' ' rest
-               |> List.map String.trim
-               |> List.filter is_rule_id
-             in
-             if ids = [] then None else Some (ln, ids))
-
-let suppressed sup ~rule ~line =
-  List.exists
-    (fun (ln, ids) ->
-      (ln = line || ln = line - 1) && List.exists (String.equal rule) ids)
-    sup
+let parse_allowlist source : allow = Analysis.Allow.pairs (Analysis.Allow.parse source)
+let load_allowlist path = Analysis.Allow.pairs (Analysis.Allow.load path)
 
 (* --- Rule machinery ----------------------------------------------------- *)
 
-type reporter = loc:Location.t -> string -> unit
+type reporter = Analysis.Rule.reporter
 
-type rule = {
+type rule = Analysis.Rule.t = {
   id : string;
   doc : string;
   applies : string -> bool; (* repo-relative path filter *)
-  build : reporter -> Ast_iterator.iterator;
+  build : file:string -> reporter -> Ast_iterator.iterator;
 }
 
-(* An iterator that calls [on_expr] on every expression (and still
-   recurses).  All current rules are expression-shaped; structure- or
-   pattern-level rules would add analogous helpers here. *)
-let expr_rule on_expr =
-  {
-    Ast_iterator.default_iterator with
-    expr =
-      (fun it e ->
-        on_expr e;
-        Ast_iterator.default_iterator.expr it e);
-  }
+let expr_rule = Analysis.Astutil.expr_rule
 
-let rec flatten_longident = function
-  | Longident.Lident s -> [ s ]
-  | Longident.Ldot (l, s) -> flatten_longident l @ [ s ]
-  | Longident.Lapply _ -> []
-
-(* Module path of expression [e] if it is an identifier, with any leading
-   [Stdlib] dropped so [Stdlib.Hashtbl.fold] and [Hashtbl.fold] match. *)
-let ident_path e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_ident { txt; _ } -> (
-      match flatten_longident txt with
-      | "Stdlib" :: rest -> Some rest
-      | path -> Some path)
-  | _ -> None
-
-let path_is candidates e =
-  match ident_path e with
-  | Some p -> List.mem p candidates
-  | None -> false
-
-let is_int_literal e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_constant (Parsetree.Pconst_integer _) -> true
-  | _ -> false
+let path_is = Analysis.Astutil.path_is
+let ident_path = Analysis.Astutil.ident_path
+let is_int_literal = Analysis.Astutil.is_int_literal
 
 (* --- The rules ---------------------------------------------------------- *)
 
@@ -189,7 +70,7 @@ let rule_d1 =
     doc = "Hashtbl.iter/Hashtbl.fold: iteration order is unspecified";
     applies = (fun _ -> true);
     build =
-      (fun report ->
+      (fun ~file:_ report ->
         expr_rule (fun e ->
             match e.Parsetree.pexp_desc with
             | Parsetree.Pexp_apply (fn, _)
@@ -206,9 +87,10 @@ let rule_d2 =
   {
     id = "D2";
     doc = "global Random.* outside Dsim.Rng";
-    applies = (fun file -> not (path_has_suffix ~suffix:"lib/dsim/rng.ml" file));
+    applies =
+      (fun file -> not (Analysis.Paths.has_suffix ~suffix:"lib/dsim/rng.ml" file));
     build =
-      (fun report ->
+      (fun ~file:_ report ->
         expr_rule (fun e ->
             match ident_path e with
             | Some ("Random" :: _ :: _) ->
@@ -231,12 +113,9 @@ let rule_d3 =
   {
     id = "D3";
     doc = "wall-clock/ambient reads inside lib/";
-    applies =
-      (fun file ->
-        String.starts_with ~prefix:"lib/" file
-        || find_substring ~sub:"/lib/" file <> None);
+    applies = Analysis.Paths.in_dir ~dir:"lib";
     build =
-      (fun report ->
+      (fun ~file:_ report ->
         expr_rule (fun e ->
             match ident_path e with
             | Some p when List.mem p banned ->
@@ -254,7 +133,7 @@ let rule_d4 =
     doc = "physical equality on non-int expressions";
     applies = (fun _ -> true);
     build =
-      (fun report ->
+      (fun ~file:_ report ->
         expr_rule (fun e ->
             match e.Parsetree.pexp_desc with
             | Parsetree.Pexp_apply (fn, [ (_, a); (_, b) ])
@@ -302,12 +181,9 @@ let rule_d5 =
   {
     id = "D5";
     doc = "polymorphic compare in sort comparators inside lib/";
-    applies =
-      (fun file ->
-        String.starts_with ~prefix:"lib/" file
-        || find_substring ~sub:"/lib/" file <> None);
+    applies = Analysis.Paths.in_dir ~dir:"lib";
     build =
-      (fun report ->
+      (fun ~file:_ report ->
         expr_rule (fun e ->
             match e.Parsetree.pexp_desc with
             | Parsetree.Pexp_apply (fn, (_, cmp) :: _)
@@ -329,13 +205,9 @@ let rule_d6 =
   {
     id = "D6";
     doc = "parallel primitives (Domain/Mutex/Atomic/...) outside lib/exec";
-    applies =
-      (fun file ->
-        not
-          (String.starts_with ~prefix:"lib/exec/" file
-          || find_substring ~sub:"/lib/exec/" file <> None));
+    applies = (fun file -> not (Analysis.Paths.in_dir ~dir:"lib/exec" file));
     build =
-      (fun report ->
+      (fun ~file:_ report ->
         expr_rule (fun e ->
             match ident_path e with
             | Some (m :: _ :: _) when List.mem m parallel_modules ->
@@ -352,53 +224,18 @@ let default_rules = [ rule_d1; rule_d2; rule_d3; rule_d4; rule_d5; rule_d6 ]
 
 (* --- Driver ------------------------------------------------------------- *)
 
-(* Lint [source], reporting findings under path [file] (which also drives
-   per-rule path filters — tests exploit this to lint fixtures "as if"
-   they lived under lib/). *)
 let lint_source ?(rules = default_rules) ?(allow = []) ~file source =
-  let sup = suppressions source in
-  let findings = ref [] in
-  let lexbuf = Lexing.from_string source in
-  Location.init lexbuf file;
-  match Parse.implementation lexbuf with
-  | exception _ ->
-      [
-        {
-          file;
-          line = 1;
-          col = 0;
-          rule = "E0";
-          msg = "source does not parse; fix the syntax error first";
-        };
-      ]
-  | ast ->
-      List.iter
-        (fun rule ->
-          if rule.applies file then begin
-            let report ~loc msg =
-              let pos = loc.Location.loc_start in
-              let line = pos.Lexing.pos_lnum in
-              let col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol in
-              if
-                (not (suppressed sup ~rule:rule.id ~line))
-                && not (allowed allow ~rule:rule.id ~file)
-              then findings := { file; line; col; rule = rule.id; msg } :: !findings
-            in
-            let it = rule.build report in
-            it.Ast_iterator.structure it ast
-          end)
-        rules;
-      List.sort_uniq compare_findings !findings
+  Analysis.Driver.run_source ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) ~file source
 
-let lint_file ?rules ?allow file =
-  let ic = open_in file in
-  let source =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  lint_source ?rules ?allow ~file source
+let lint_file ?(rules = default_rules) ?(allow = []) file =
+  Analysis.Driver.run_file ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) file
 
-let lint_files ?rules ?allow files =
-  List.concat_map (fun f -> lint_file ?rules ?allow f) files
-  |> List.sort compare_findings
+let lint_files ?(rules = default_rules) ?(allow = []) files =
+  Analysis.Driver.run_files ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) files
+
+let run_files ?(rules = default_rules) ?(allow = Analysis.Allow.empty)
+    ?(stale = false) files =
+  Analysis.Driver.run_files ~marker ~rules ~allow ~stale files

@@ -17,12 +17,18 @@
       anywhere outside [lib/exec/] — the campaign runner's pool is the
       single sanctioned bridge to multicore execution.
 
-    Escape hatches: a [(* lint: allow D1 *)] comment on the finding's
-    line or the line directly above it, or an allowlist entry pairing a
-    rule id with a path suffix.  See DESIGN.md "Determinism & lint
-    rules". *)
+    Escape hatches: a suppression comment carrying this lint's marker
+    and the rule id on the finding's line or the line directly above it
+    ({!Analysis.Suppress}), or an allowlist entry pairing a rule id with
+    a path suffix ({!Analysis.Allow}).  Both are hit-counted; a hatch
+    that suppresses nothing is reported as stale ([S1]/[S2]) by
+    {!run_files}.  See DESIGN.md "Determinism & lint rules".
 
-type finding = {
+    The finding/allow/suppress/driver machinery is shared with the
+    architecture checker ([Check]) through [Analysis]; this module owns
+    only the determinism rules. *)
+
+type finding = Analysis.Finding.t = {
   file : string;
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
@@ -32,6 +38,9 @@ type finding = {
 
 val finding_to_string : finding -> string
 (** [file:line:col [rule-id] message] — the CLI output format. *)
+
+val marker : string
+(** The suppression-comment marker this lint honours. *)
 
 type allow = (string * string) list
 (** Allowlist entries: [(rule id, path suffix)].  A finding is dropped
@@ -45,13 +54,13 @@ val parse_allowlist : string -> allow
 val load_allowlist : string -> allow
 (** [parse_allowlist] over a file's contents. *)
 
-type reporter = loc:Location.t -> string -> unit
+type reporter = Analysis.Rule.reporter
 
-type rule = {
+type rule = Analysis.Rule.t = {
   id : string;
   doc : string;
   applies : string -> bool;  (** path filter, repo-relative *)
-  build : reporter -> Ast_iterator.iterator;
+  build : file:string -> reporter -> Ast_iterator.iterator;
 }
 (** A lint rule: adding one to {!default_rules} is the whole extension
     story — give it an id, a path filter, and an iterator that calls the
@@ -76,3 +85,14 @@ val lint_file : ?rules:rule list -> ?allow:allow -> string -> finding list
 val lint_files :
   ?rules:rule list -> ?allow:allow -> string list -> finding list
 (** Lint many files; the concatenated findings are re-sorted. *)
+
+val run_files :
+  ?rules:rule list ->
+  ?allow:Analysis.Allow.t ->
+  ?stale:bool ->
+  string list ->
+  finding list
+(** The CLI entry point: like {!lint_files} but over a hit-counted
+    {!Analysis.Allow.t}, and with [stale] set also reporting suppression
+    comments ([S1]) and allowlist entries ([S2]) that suppressed
+    nothing. *)

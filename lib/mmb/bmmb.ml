@@ -19,11 +19,7 @@ type t = {
 }
 
 let now t = t.mac.Amac.Mac_handle.h_now ()
-
-let record_trace t event =
-  match t.mac.Amac.Mac_handle.h_trace with
-  | None -> ()
-  | Some tr -> Dsim.Trace.record tr ~time:(now t) event
+let record_trace t event = Amac.Mac_handle.record t.mac event
 
 let push t st msg =
   (match t.discipline with

@@ -68,7 +68,7 @@ let run ~dual ~fack ~fprog ~policy ~proposals ~seed ?ids
       }
   done;
   for node = 0 to n - 1 do
-    ignore (Dsim.Sim.schedule_at sim ~time:0. (fun () -> maybe_send node))
+    Amac.Standard_mac.env_at mac ~time:0. (fun () -> maybe_send node)
   done;
   ignore (Dsim.Sim.run ~max_events sim);
   let decisions = Array.map (fun st -> snd st.best) states in

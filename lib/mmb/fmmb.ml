@@ -42,7 +42,7 @@ type result = {
 }
 
 let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
-    ?(backend = Rounds) ?max_spread_phases ?trace ?mmb_trace () =
+    ?(backend = Rounds) ?max_spread_phases ?trace ?on_event () =
   let fresh_engine () =
     make_engine ~backend ~dual ~fprog ~rng ~policy ?trace ()
   in
@@ -54,14 +54,12 @@ let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
      completion time is measured in rounds, below). *)
   let known = Array.init n (fun _ -> Hashtbl.create 8) in
   let stage_base = ref 0. in
-  (* Problem-level events go to [mmb_trace], at stage-granular times
+  (* Problem-level events go to [on_event], at stage-granular times
      (matching the tracker's clock).  Kept separate from [trace]: the
      per-stage engines restart uids and times, so their MAC events must
      not share a stream with the monotone MMB lifecycle. *)
   let record_mmb ~time event =
-    match mmb_trace with
-    | None -> ()
-    | Some tr -> Dsim.Trace.record tr ~time event
+    match on_event with None -> () | Some f -> f ~time event
   in
   let deliver ~node ~payload =
     if not (Hashtbl.mem known.(node) payload) then begin

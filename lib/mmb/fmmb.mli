@@ -54,11 +54,14 @@ val run :
   ?backend:backend ->
   ?max_spread_phases:int ->
   ?trace:Dsim.Trace.t ->
-  ?mmb_trace:Dsim.Trace.t ->
+  ?on_event:(time:float -> Dsim.Trace.event -> unit) ->
   unit ->
   result
 (** [max_spread_phases] defaults to [4 * (D + k) + 8].  [trace] is handed
     to each per-stage MAC engine (stage-local uids and times — suitable
-    for inspection, not for a single-stream audit); [mmb_trace] receives
+    for inspection, not for a single-stream audit); [on_event] receives
     only the problem-level [Arrive]/[Deliver] lifecycle at stage-granular
-    monotone times, which is what span derivation ({!Obs.Spans}) wants. *)
+    monotone times, which is what span derivation ({!Obs.Spans}) wants —
+    {!Obs.Run} points it at an observer-attached trace.  Handing out a
+    callback instead of recording into a trace here keeps trace emission
+    out of the protocol layer (check A4). *)

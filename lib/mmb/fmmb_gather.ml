@@ -22,7 +22,6 @@ type result = {
 let run ~dual ~rng ~policy ~params ~mis ~initial ~on_payload ?engine ?trace
     ?(fprog = 1.) () =
   let n = Graphs.Dual.n dual in
-  let g = Graphs.Dual.reliable dual in
   let { periods; p_active; use_acks } = params in
   let budget_rounds = 3 * periods in
   let sets = Array.init n (fun _ -> Hashtbl.create 8) in
@@ -59,8 +58,7 @@ let run ~dual ~rng ~policy ~params ~mis ~initial ~on_payload ?engine ?trace
             List.exists
               (fun env ->
                 match env.Amac.Message.body with
-                | Fmmb_msg.Probe { origin } ->
-                    Graphs.Graph.mem_edge g origin v
+                | Fmmb_msg.Probe { origin = _ } -> env.Amac.Message.reliable
                 | _ -> false)
               inbox
     | 1 ->
@@ -68,8 +66,8 @@ let run ~dual ~rng ~policy ~params ~mis ~initial ~on_payload ?engine ?trace
           List.iter
             (fun env ->
               match env.Amac.Message.body with
-              | Fmmb_msg.Data { origin; payload }
-                when Graphs.Graph.mem_edge g origin v ->
+              | Fmmb_msg.Data { origin = _; payload }
+                when env.Amac.Message.reliable ->
                   Hashtbl.replace sets.(v) payload ();
                   if absorbed.(v) = None then absorbed.(v) <- Some payload
               | _ -> ())
@@ -79,8 +77,8 @@ let run ~dual ~rng ~policy ~params ~mis ~initial ~on_payload ?engine ?trace
           List.iter
             (fun env ->
               match env.Amac.Message.body with
-              | Fmmb_msg.Ack_data { origin; payload }
-                when Graphs.Graph.mem_edge g origin v ->
+              | Fmmb_msg.Ack_data { origin = _; payload }
+                when env.Amac.Message.reliable ->
                   Hashtbl.remove sets.(v) payload
               | _ -> ())
             inbox

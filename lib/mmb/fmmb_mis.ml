@@ -31,7 +31,6 @@ type result = {
 
 let run ~dual ~rng ~policy ~params ?engine ?trace ?(fprog = 1.) () =
   let n = Graphs.Dual.n dual in
-  let g = Graphs.Dual.reliable dual in
   let { phases; election_rounds; announce_rounds; p_announce } = params in
   let phase_len = election_rounds + announce_rounds in
   let budget_rounds = phases * phase_len in
@@ -65,8 +64,7 @@ let run ~dual ~rng ~policy ~params ?engine ?trace ?(fprog = 1.) () =
       (* Announcement: hearing a G-neighbor's announcement covers v. *)
       let covered_by env =
         match env.Amac.Message.body with
-        | Fmmb_msg.Announce { origin } ->
-            Graphs.Graph.mem_edge g origin v
+        | Fmmb_msg.Announce { origin = _ } -> env.Amac.Message.reliable
         | _ -> false
       in
       match status.(v) with

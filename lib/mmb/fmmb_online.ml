@@ -31,13 +31,13 @@ type t = {
    gather, odd periods spread. *)
 let is_gather_period period = period mod 2 = 0
 
-let smallest set except =
-  Dsim.Tbl.min_key ~skip:(Hashtbl.mem except) ~cmp:Int.compare set
-
-let no_except : (int, unit) Hashtbl.t = Hashtbl.create 1
+let smallest ?except set =
+  let skip =
+    match except with None -> fun _ -> false | Some e -> Hashtbl.mem e
+  in
+  Dsim.Tbl.min_key ~skip ~cmp:Int.compare set
 
 let process_inbox t v ~prev_round inbox =
-  let g = Graphs.Dual.reliable t.dual in
   let prev_period = prev_round / 3 and prev_sub = prev_round mod 3 in
   (* Payload-bearing receptions are knowledge regardless of sub-round. *)
   List.iter
@@ -54,7 +54,7 @@ let process_inbox t v ~prev_round inbox =
             List.exists
               (fun env ->
                 match env.Amac.Message.body with
-                | Fmmb_msg.Probe { origin } -> Graphs.Graph.mem_edge g origin v
+                | Fmmb_msg.Probe { origin = _ } -> env.Amac.Message.reliable
                 | _ -> false)
               inbox
     | 1 ->
@@ -62,8 +62,8 @@ let process_inbox t v ~prev_round inbox =
           List.iter
             (fun env ->
               match env.Amac.Message.body with
-              | Fmmb_msg.Data { origin; payload }
-                when Graphs.Graph.mem_edge g origin v ->
+              | Fmmb_msg.Data { origin = _; payload }
+                when env.Amac.Message.reliable ->
                   Hashtbl.replace t.custody.(v) payload ();
                   if t.absorbed.(v) = None then t.absorbed.(v) <- Some payload
               | _ -> ())
@@ -73,8 +73,8 @@ let process_inbox t v ~prev_round inbox =
           List.iter
             (fun env ->
               match env.Amac.Message.body with
-              | Fmmb_msg.Ack_data { origin; payload }
-                when Graphs.Graph.mem_edge g origin v ->
+              | Fmmb_msg.Ack_data { origin = _; payload }
+                when env.Amac.Message.reliable ->
                   Hashtbl.remove t.pending.(v) payload
               | _ -> ())
             inbox
@@ -89,7 +89,7 @@ let process_inbox t v ~prev_round inbox =
             if
               prev_sub < 2
               && t.relay_buf.(v) = None
-              && Graphs.Graph.mem_edge g env.Amac.Message.src v
+              && env.Amac.Message.reliable
             then t.relay_buf.(v) <- Some payload
         | _ -> ())
       inbox
@@ -106,7 +106,7 @@ let act t v ~round =
         else Amac.Enhanced_mac.Listen
     | 1 ->
         if (not t.mis.(v)) && t.heard_probe.(v) then begin
-          match smallest t.pending.(v) no_except with
+          match smallest t.pending.(v) with
           | Some payload ->
               Amac.Enhanced_mac.Broadcast (Fmmb_msg.Data { origin = v; payload })
           | None -> Amac.Enhanced_mac.Listen
@@ -134,7 +134,7 @@ let act t v ~round =
         (match t.current.(v) with
         | Some m -> Hashtbl.replace t.sent.(v) m ()
         | None -> ());
-        t.current.(v) <- smallest t.custody.(v) t.sent.(v)
+        t.current.(v) <- smallest ~except:t.sent.(v) t.custody.(v)
       end
     end;
     match sub with

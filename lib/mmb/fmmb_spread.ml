@@ -14,7 +14,6 @@ type result = { rounds_run : int; phases_run : int }
 let run ~dual ~rng ~policy ~params ~mis ~sets ~on_payload ~stop ~max_phases
     ?engine ?trace ?(fprog = 1.) () =
   let n = Graphs.Dual.n dual in
-  let g = Graphs.Dual.reliable dual in
   let { periods_per_phase; p_active; relays } = params in
   let phase_len = 3 * periods_per_phase in
   let budget_rounds = max_phases * phase_len in
@@ -42,7 +41,7 @@ let run ~dual ~rng ~policy ~params ~mis ~sets ~on_payload ~stop ~max_phases
             if
               relays && prev_sub < 2
               && relay_buf.(v) = None
-              && Graphs.Graph.mem_edge g env.Amac.Message.src v
+              && env.Amac.Message.reliable
             then relay_buf.(v) <- Some payload
         | _ -> ())
       inbox

@@ -1,0 +1,20 @@
+type t = {
+  want_trace : bool;
+  attach : Dsim.Trace.t -> unit;
+  wire_sim : Dsim.Sim.t -> unit;
+  on_event : (time:float -> Dsim.Trace.event -> unit) option;
+  finish : allow_open:bool -> unit;
+  note_sim : Dsim.Sim.t -> unit;
+  note_mac : bcasts:int -> rcvs:int -> acks:int -> forced:int -> unit;
+}
+
+let none =
+  {
+    want_trace = false;
+    attach = (fun _ -> ());
+    wire_sim = (fun _ -> ());
+    on_event = None;
+    finish = (fun ~allow_open:_ -> ());
+    note_sim = (fun _ -> ());
+    note_mac = (fun ~bcasts:_ ~rcvs:_ ~acks:_ ~forced:_ -> ());
+  }

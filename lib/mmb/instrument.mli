@@ -1,0 +1,30 @@
+(** Instrumentation hooks for {!Runner}, dependency-inverted.
+
+    The protocol layer must not depend on the observability layer (check
+    A1: [mmb] sits below [obs] in the layer DAG), yet runs need spans,
+    streaming compliance, engine gauges, and global engine-cost
+    accounting.  This record is the seam: {!Runner} calls these hooks at
+    the right moments with no knowledge of who listens, and [Obs.Run]
+    builds records wired to an [Obs.Observer] / [Obs.Global].  The
+    default, {!none}, does nothing. *)
+
+type t = {
+  want_trace : bool;
+      (** ask the runner to hand the MAC a (retention-free) trace even
+          when compliance checking is off, so subscribers see events *)
+  attach : Dsim.Trace.t -> unit;
+      (** called once with the trace the MAC records into, if any *)
+  wire_sim : Dsim.Sim.t -> unit;
+      (** called once with the engine before the run starts *)
+  on_event : (time:float -> Dsim.Trace.event -> unit) option;
+      (** problem-level [Arrive]/[Deliver] lifecycle for engine-less runs
+          (FMMB's round backends); unused by the continuous-time paths *)
+  finish : allow_open:bool -> unit;
+      (** called after the run; [allow_open] is false only when the run
+          drained naturally and open instances would be a violation *)
+  note_sim : Dsim.Sim.t -> unit;  (** fold engine counters into totals *)
+  note_mac : bcasts:int -> rcvs:int -> acks:int -> forced:int -> unit;
+}
+
+val none : t
+(** Every hook is a no-op; the default for un-instrumented runs. *)

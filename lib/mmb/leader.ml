@@ -60,7 +60,7 @@ let run ~dual ~fack ~fprog ~policy ~seed ?ids ?(check_compliance = false)
       }
   done;
   for node = 0 to n - 1 do
-    ignore (Dsim.Sim.schedule_at sim ~time:0. (fun () -> maybe_send node))
+    Amac.Standard_mac.env_at mac ~time:0. (fun () -> maybe_send node)
   done;
   ignore (Dsim.Sim.run ~max_events sim);
   (* Verify agreement component by component. *)

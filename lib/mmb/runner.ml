@@ -21,31 +21,27 @@ type bmmb_result = {
 let bmmb_msg_id (m : int) = m
 
 (* The trace handed to the MAC: the retained one when auditing post-hoc,
-   else a retention-free trace that only feeds [obs] subscribers. *)
-let obs_trace ~retained ~obs =
-  match (retained, obs) with
-  | Some tr, _ -> Some tr
-  | None, Some _ -> Some (Dsim.Trace.create ~enabled:false ())
-  | None, None -> None
-
-let note_globals sim ~bcasts ~rcvs ~acks ~forced =
-  Obs.Global.note_sim sim;
-  Obs.Global.note_mac ~bcasts ~rcvs ~acks ~forced
+   else a retention-free trace that only feeds the instrument's
+   subscribers. *)
+let pick_trace ~retained ~(instrument : Instrument.t) =
+  match retained with
+  | Some tr -> Some tr
+  | None ->
+      if instrument.Instrument.want_trace then
+        Some (Dsim.Trace.create ~enabled:false ())
+      else None
 
 let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
     ?(discipline = `Fifo) ?(check_compliance = false)
-    ?(max_events = 50_000_000) ?obs ?setup () =
+    ?(max_events = 50_000_000) ?(instrument = Instrument.none) ?setup () =
   let sim = Dsim.Sim.create () in
   let rng = Dsim.Rng.create ~seed in
   let retained =
     if check_compliance then Some (Dsim.Trace.create ()) else None
   in
-  let trace = obs_trace ~retained ~obs in
-  (match (obs, trace) with
-  | Some o, Some tr ->
-      Obs.Observer.attach o tr;
-      Obs.Observer.wire_sim o sim
-  | _ -> ());
+  let trace = pick_trace ~retained ~instrument in
+  (match trace with Some tr -> instrument.Instrument.attach tr | None -> ());
+  instrument.Instrument.wire_sim sim;
   let mac =
     Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace
       ~msg_id:bmmb_msg_id ()
@@ -60,20 +56,18 @@ let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
   (match setup with Some f -> f sim | None -> ());
   List.iter
     (fun (node, msg) ->
-      ignore
-        (Dsim.Sim.schedule_at sim ~time:0. (fun () ->
-             Bmmb.arrive bmmb ~node ~msg)))
+      Amac.Standard_mac.env_at mac ~time:0. (fun () ->
+          Bmmb.arrive bmmb ~node ~msg))
     assignment;
   let outcome = Dsim.Sim.run ~max_events sim in
   let bcasts = Amac.Standard_mac.bcast_count mac in
   let rcvs = Amac.Standard_mac.rcv_count mac in
   let acks = Amac.Standard_mac.ack_count mac in
   let forced = Amac.Standard_mac.forced_count mac in
-  note_globals sim ~bcasts ~rcvs ~acks ~forced;
-  (match obs with
-  | Some o ->
-      ignore (Obs.Observer.finish o ~allow_open:(outcome <> Dsim.Sim.Drained))
-  | None -> ());
+  instrument.Instrument.note_sim sim;
+  instrument.Instrument.note_mac ~bcasts ~rcvs ~acks ~forced;
+  instrument.Instrument.finish
+    ~allow_open:(outcome <> Dsim.Sim.Drained);
   let violations =
     match retained with
     | None -> []
@@ -126,18 +120,15 @@ type online_result = {
 
 let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
     ?(discipline = `Fifo) ?(check_compliance = false)
-    ?(max_events = 50_000_000) ?obs ?setup () =
+    ?(max_events = 50_000_000) ?(instrument = Instrument.none) ?setup () =
   let sim = Dsim.Sim.create () in
   let rng = Dsim.Rng.create ~seed in
   let retained =
     if check_compliance then Some (Dsim.Trace.create ()) else None
   in
-  let trace = obs_trace ~retained ~obs in
-  (match (obs, trace) with
-  | Some o, Some tr ->
-      Obs.Observer.attach o tr;
-      Obs.Observer.wire_sim o sim
-  | _ -> ());
+  let trace = pick_trace ~retained ~instrument in
+  (match trace with Some tr -> instrument.Instrument.attach tr | None -> ());
+  instrument.Instrument.wire_sim sim;
   let mac =
     Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace
       ~msg_id:bmmb_msg_id ()
@@ -152,20 +143,18 @@ let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
   (match setup with Some f -> f sim | None -> ());
   List.iter
     (fun (time, node, msg) ->
-      ignore
-        (Dsim.Sim.schedule_at sim ~time (fun () ->
-             Bmmb.arrive bmmb ~node ~msg)))
+      Amac.Standard_mac.env_at mac ~time (fun () ->
+          Bmmb.arrive bmmb ~node ~msg))
     arrivals;
   let outcome = Dsim.Sim.run ~max_events sim in
-  note_globals sim
+  instrument.Instrument.note_sim sim;
+  instrument.Instrument.note_mac
     ~bcasts:(Amac.Standard_mac.bcast_count mac)
     ~rcvs:(Amac.Standard_mac.rcv_count mac)
     ~acks:(Amac.Standard_mac.ack_count mac)
     ~forced:(Amac.Standard_mac.forced_count mac);
-  (match obs with
-  | Some o ->
-      ignore (Obs.Observer.finish o ~allow_open:(outcome <> Dsim.Sim.Drained))
-  | None -> ());
+  instrument.Instrument.finish
+    ~allow_open:(outcome <> Dsim.Sim.Drained);
   let latencies =
     List.filter_map
       (fun (_, _, msg) ->
@@ -204,7 +193,7 @@ type fmmb_result = {
 }
 
 let run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
-    ?max_spread_phases ?obs () =
+    ?max_spread_phases ?(instrument = Instrument.none) () =
   let rng = Dsim.Rng.create ~seed in
   let n = Graphs.Dual.n dual in
   let k = List.length assignment in
@@ -212,21 +201,11 @@ let run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
     match params with Some p -> p | None -> Fmmb.default_params ~n ~k ~c
   in
   let tracker = Problem.tracker ~dual assignment in
-  let mmb_trace =
-    match obs with
-    | None -> None
-    | Some o ->
-        let tr = Dsim.Trace.create ~enabled:false () in
-        Obs.Observer.attach o tr;
-        Some tr
-  in
   let fmmb =
     Fmmb.run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker ?backend
-      ?max_spread_phases ?mmb_trace ()
+      ?max_spread_phases ?on_event:instrument.Instrument.on_event ()
   in
-  (match obs with
-  | Some o -> ignore (Obs.Observer.finish o ~allow_open:true)
-  | None -> ());
+  instrument.Instrument.finish ~allow_open:true;
   let d = Graphs.Bfs.diameter (Graphs.Dual.reliable dual) in
   {
     fmmb;

@@ -35,7 +35,7 @@ val run_bmmb :
   ?discipline:Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
-  ?obs:Obs.Observer.t ->
+  ?instrument:Instrument.t ->
   ?setup:(Dsim.Sim.t -> unit) ->
   unit ->
   bmmb_result
@@ -44,14 +44,13 @@ val run_bmmb :
     completion — is audited when [check_compliance] is set.
     [max_events] (default [50_000_000]) is a runaway backstop.
 
-    [obs] attaches an observer: spans and the streaming monitor subscribe
-    to the MAC's event stream (no trace retention unless
-    [check_compliance] also holds), engine gauges are wired, and the
-    observer is finished with [allow_open] set iff the run did not drain.
-    [setup] runs against the simulation after wiring but before the
-    arrivals are scheduled — the hook for progress tickers and wall-clock
-    injection.  Engine totals are also folded into {!Obs.Global}
-    unconditionally. *)
+    [instrument] (default {!Instrument.none}) receives the MAC's trace,
+    the engine, the run's counter totals, and a finish signal with
+    [allow_open] set iff the run did not drain — [Obs.Run] builds
+    instruments wired to observers and the global engine-cost registry;
+    this layer knows nothing about them (check A1).  [setup] runs against
+    the simulation after wiring but before the arrivals are scheduled —
+    the hook for progress tickers and wall-clock injection. *)
 
 (** {1 Online MMB}
 
@@ -80,7 +79,7 @@ val run_bmmb_online :
   ?discipline:Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
-  ?obs:Obs.Observer.t ->
+  ?instrument:Instrument.t ->
   ?setup:(Dsim.Sim.t -> unit) ->
   unit ->
   online_result
@@ -104,10 +103,10 @@ val run_fmmb :
   ?backend:Fmmb.backend ->
   ?params:Fmmb.params ->
   ?max_spread_phases:int ->
-  ?obs:Obs.Observer.t ->
+  ?instrument:Instrument.t ->
   unit ->
   fmmb_result
-(** With [obs], the problem-level [Arrive]/[Deliver] lifecycle feeds the
-    observer's spans (stage-granular times).  The streaming compliance
-    monitor does not apply to FMMB (per-stage engines restart instance
-    uids and clocks); create the observer without [dual]. *)
+(** The problem-level [Arrive]/[Deliver] lifecycle feeds
+    [instrument.on_event] (stage-granular times); [Obs.Run.fmmb] points
+    it at an observer's spans.  The streaming compliance monitor does not
+    apply to FMMB (per-stage engines restart instance uids and clocks). *)

@@ -29,54 +29,12 @@ type result = {
   valid : bool;
 }
 
-let is_connected_dominating ~g ~member =
-  let n = Graphs.Graph.n g in
-  let comp = Graphs.Bfs.components g in
-  let ncomp = Graphs.Bfs.component_count g in
-  let dominated v =
-    member v || Array.exists member (Graphs.Graph.neighbors g v)
-  in
-  let all_dominated = List.for_all dominated (List.init n Fun.id) in
-  if not all_dominated then false
-  else begin
-    (* Per component: the members must induce a connected subgraph. *)
-    let ok = ref true in
-    for c = 0 to ncomp - 1 do
-      let members =
-        List.filter (fun v -> comp.(v) = c && member v) (List.init n Fun.id)
-      in
-      match members with
-      | [] ->
-          (* A component with nodes but no member cannot be dominated
-             (covered above) unless empty — components always have >= 1
-             node, so only singleton member-free components matter and
-             those failed domination already. *)
-          ()
-      | root :: _ ->
-          (* BFS within the member-induced subgraph. *)
-          let seen = Hashtbl.create 16 in
-          let queue = Queue.create () in
-          Hashtbl.replace seen root ();
-          Queue.push root queue;
-          while not (Queue.is_empty queue) do
-            let u = Queue.pop queue in
-            Array.iter
-              (fun v ->
-                if member v && not (Hashtbl.mem seen v) then begin
-                  Hashtbl.replace seen v ();
-                  Queue.push v queue
-                end)
-              (Graphs.Graph.neighbors g u)
-          done;
-          if List.exists (fun v -> not (Hashtbl.mem seen v)) members then
-            ok := false
-    done;
-    !ok
-  end
+(* The validity oracle is a pure graph predicate; it lives in
+   Graphs.Mis (re-exported here for compatibility). *)
+let is_connected_dominating = Graphs.Mis.is_connected_dominating
 
 let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
   let n = Graphs.Dual.n dual in
-  let g = Graphs.Dual.reliable dual in
   let mis_params =
     match mis_params with
     | Some p -> p
@@ -103,11 +61,10 @@ let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
         List.iter
           (fun env ->
             match env.Amac.Message.body with
-            | Fmmb_msg.Announce { origin }
-              when Graphs.Graph.mem_edge g origin v ->
+            | Fmmb_msg.Announce { origin } when env.Amac.Message.reliable ->
                 Hashtbl.replace doms.(v) origin ()
             | Fmmb_msg.Doms { origin; doms = their }
-              when Graphs.Graph.mem_edge g origin v ->
+              when env.Amac.Message.reliable ->
                 Hashtbl.replace heard.(v) origin their
             | _ -> ())
           inbox;
@@ -191,5 +148,7 @@ let run ~dual ~rng ~policy ~c ?mis_params ?params ?(fprog = 1.) () =
     backbone_size;
     rounds_mis = mis_res.Fmmb_mis.rounds_run;
     rounds_structuring;
-    valid = is_connected_dominating ~g ~member:(fun v -> backbone.(v));
+    valid =
+      is_connected_dominating ~g:(Graphs.Dual.reliable dual)
+        ~member:(fun v -> backbone.(v));
   }

@@ -1,11 +1,12 @@
 (** Process-global engine-cost accumulators.
 
-    {!Mmb.Runner} notes every BMMB run's engine and MAC counters here
+    {!Run} notes every BMMB run's engine and MAC counters here
     unconditionally (integer additions — no observable cost), so harnesses
     that drive many runs without wiring an {!Observer} — the benchmark
     suite above all — can still attribute engine cost to an experiment by
     snapshotting before and after and writing the {!diff} as a metrics
-    sidecar.
+    sidecar.  (The protocol-layer [Mmb.Runner] itself notes nothing:
+    check A1 keeps it ignorant of this module.)
 
     The accumulators live in a {e registry}.  By default there is exactly
     one, used by everything on the main domain.  A parallel campaign

@@ -1,0 +1,59 @@
+(* Observed runs: Mmb.Runner entry points with the observability wiring
+   the protocol layer itself is not allowed to know about (check A1).
+   Every harness that wants engine-cost accounting (Obs.Global) or an
+   attached Observer goes through here; pure tests and examples call
+   Mmb.Runner directly and get neither. *)
+
+let note_globals =
+  {
+    Mmb.Instrument.none with
+    Mmb.Instrument.note_sim = Global.note_sim;
+    note_mac = Global.note_mac;
+  }
+
+let instrument_continuous obs =
+  match obs with
+  | None -> note_globals
+  | Some o ->
+      {
+        Mmb.Instrument.want_trace = true;
+        attach = Observer.attach o;
+        wire_sim = Observer.wire_sim o;
+        on_event = None;
+        finish = (fun ~allow_open -> ignore (Observer.finish o ~allow_open));
+        note_sim = Global.note_sim;
+        note_mac = Global.note_mac;
+      }
+
+let bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed ?discipline
+    ?check_compliance ?max_events ?obs ?setup () =
+  Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
+    ?discipline ?check_compliance ?max_events
+    ~instrument:(instrument_continuous obs) ?setup ()
+
+let bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed ?discipline
+    ?check_compliance ?max_events ?obs ?setup () =
+  Mmb.Runner.run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
+    ?discipline ?check_compliance ?max_events
+    ~instrument:(instrument_continuous obs) ?setup ()
+
+let fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
+    ?max_spread_phases ?obs () =
+  let instrument =
+    match obs with
+    | None -> Mmb.Instrument.none
+    | Some o ->
+        (* The MMB lifecycle goes through a retention-free trace so the
+           observer's span deriver sees it as a subscriber. *)
+        let tr = Dsim.Trace.create ~enabled:false () in
+        Observer.attach o tr;
+        {
+          Mmb.Instrument.none with
+          Mmb.Instrument.on_event =
+            Some (fun ~time event -> Dsim.Trace.record tr ~time event);
+          finish =
+            (fun ~allow_open -> ignore (Observer.finish o ~allow_open));
+        }
+  in
+  Mmb.Runner.run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend
+    ?params ?max_spread_phases ~instrument ()

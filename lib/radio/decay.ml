@@ -108,7 +108,8 @@ module Over (R : Radio_intf.RADIO) = struct
         let s = (slot - fl.fl_start) mod t.params.phase_slots in
         let p = 1. /. float_of_int (1 lsl s) in
         if Dsim.Rng.bernoulli t.rng ~p then
-          Slotted.Transmit (Amac.Message.make ~uid:fl.fl_uid ~src:v fl.fl_body)
+          Slotted.Transmit
+            (Amac.Message.make ~uid:fl.fl_uid ~src:v ~reliable:true fl.fl_body)
         else Slotted.Idle
 
   let create ~radio ~dual ~params ~rng ?trace () =

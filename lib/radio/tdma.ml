@@ -59,7 +59,8 @@ let node_fn t v ~slot ~received =
   match t.flying.(v) with
   | Some fl when slot mod n = v ->
       fl.fl_sent <- true;
-      Slotted.Transmit (Amac.Message.make ~uid:fl.fl_uid ~src:v fl.fl_body)
+      Slotted.Transmit
+        (Amac.Message.make ~uid:fl.fl_uid ~src:v ~reliable:true fl.fl_body)
   | _ -> Slotted.Idle
 
 let create ~dual ~rng ?(slot_len = 1.) ?oracle ?trace () =

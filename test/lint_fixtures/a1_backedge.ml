@@ -1,0 +1,5 @@
+(* A1 fixture: posed under lib/mmb/, these are layer back-edges — the
+   protocol layer reaching up into observability. *)
+let note sim = Obs.Global.note_sim sim
+
+let finish o = Obs.Observer.finish o ~allow_open:false

@@ -1,0 +1,5 @@
+(* A2 fixture: posed under lib/mmb/, adjacency queries pierce the MAC
+   abstraction; the sanctioned Dual surface does not. *)
+let bad g u v = Graphs.Graph.mem_edge g u v
+
+let fine dual = Graphs.Dual.n dual

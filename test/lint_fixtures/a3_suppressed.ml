@@ -1,0 +1,5 @@
+(* Suppression fixture for the checker's marker: both hatches live. *)
+(* check: allow A3 — deliberate singleton for this fixture *)
+let counter = ref 0
+
+let cache = Hashtbl.create 16 (* check: allow A3 *)

@@ -1,0 +1,5 @@
+(* A4 fixture: posed above the MAC, direct engine access must go through
+   the sanctioned amac seams instead. *)
+let kickoff sim f = Dsim.Sim.schedule_at sim ~time:0. f
+
+let emit tr ~time event = Dsim.Trace.record tr ~time event

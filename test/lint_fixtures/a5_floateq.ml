@@ -1,0 +1,9 @@
+(* A5 fixture: float literals under polymorphic =/<>; the Float.equal
+   and integer comparisons must NOT be flagged. *)
+let is_zero x = x = 0.
+
+let nonzero y = 0. <> y
+
+let ok x = Float.equal x 0.
+
+let int_ok n = n = 0

@@ -1,0 +1,15 @@
+(* Clean fixture for the checker: protocol-shaped code that stays below
+   every architecture rule even when posed under lib/mmb/. *)
+type t = { mutable sent : int; dual : Graphs.Dual.t }
+
+let create dual = { sent = 0; dual }
+
+let n t = Graphs.Dual.n t.dual
+
+let step t =
+  t.sent <- t.sent + 1;
+  let local = Buffer.create 8 in
+  Buffer.add_string local "x";
+  Buffer.length local
+
+let close_enough a b = Float.abs (a -. b) < 1e-9

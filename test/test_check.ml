@@ -1,0 +1,206 @@
+(* The architecture checker: fixture files under lint_fixtures/ exercise
+   every A-rule's positive hit and the per-tool escape hatches; inline
+   sources pin the scope boundaries (which layer poses fire, which are
+   exempt); and a real-tree scan asserts the shipped sources stay clean
+   under the shipped allowlist, exactly as `dune build @check` runs it. *)
+
+let rules_of findings = List.map (fun f -> f.Analysis.Finding.rule) findings
+let lines_of findings = List.map (fun f -> f.Analysis.Finding.line) findings
+
+let check_rules name expected findings =
+  Alcotest.(check (list string)) name expected (rules_of findings)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Pose a fixture file at a path, so rule scopes see it "living" there. *)
+let posed fixture file = Check.check_source ~file (read_file fixture)
+
+(* --- A1: layer DAG ------------------------------------------------------- *)
+
+let test_a1_backedge () =
+  let fs = posed "lint_fixtures/a1_backedge.ml" "lib/mmb/fixture.ml" in
+  check_rules "protocol layer referencing obs is a back-edge" [ "A1"; "A1" ]
+    fs;
+  Alcotest.(check (list int)) "on the two reference lines" [ 3; 5 ]
+    (lines_of fs);
+  check_rules "the same references are legal from bench" []
+    (posed "lint_fixtures/a1_backedge.ml" "bench/fixture.ml");
+  check_rules "and from the obs layer itself" []
+    (posed "lint_fixtures/a1_backedge.ml" "lib/obs/fixture.ml")
+
+let test_a1_seeded_dsim_backedge () =
+  (* The acceptance seed: an Amac reference from lib/dsim must trip A1. *)
+  let src = "let f ~uid ~src body = Amac.Message.make ~uid ~src body" in
+  check_rules "dsim referencing amac is a back-edge" [ "A1" ]
+    (Check.check_source ~file:"lib/dsim/fixture.ml" src);
+  check_rules "amac referencing amac-from-above is fine" []
+    (Check.check_source ~file:"lib/mmb/fixture.ml" src)
+
+let test_a1_siblings () =
+  let src = "let f () = Radio.Decay.default" in
+  check_rules "mmb referencing radio is a sibling edge" [ "A1" ]
+    (Check.check_source ~file:"lib/mmb/fixture.ml" src);
+  let src' = "let f () = Mmb.Problem.uniform" in
+  check_rules "radio referencing mmb is a sibling edge" [ "A1" ]
+    (Check.check_source ~file:"lib/radio/fixture.ml" src');
+  check_rules "obs may reference mmb (it sits above)" []
+    (Check.check_source ~file:"lib/obs/fixture.ml" src')
+
+let test_a1_interfaces () =
+  check_rules "type references in .mli files count" [ "A1" ]
+    (Check.check_source ~file:"lib/mmb/fixture.mli"
+       "val finish : Obs.Observer.t -> unit");
+  check_rules "downward type references are fine" []
+    (Check.check_source ~file:"lib/obs/fixture.mli"
+       "val wrap : Mmb.Problem.assignment -> unit")
+
+(* --- A2: the MAC abstraction boundary ------------------------------------ *)
+
+let test_a2_boundary () =
+  let fs = posed "lint_fixtures/a2_memedge.ml" "lib/mmb/fixture.ml" in
+  check_rules "adjacency query flagged, Dual surface not" [ "A2" ] fs;
+  Alcotest.(check (list int)) "on the mem_edge line" [ 3 ] (lines_of fs);
+  check_rules "the same query is legal in obs" []
+    (posed "lint_fixtures/a2_memedge.ml" "lib/obs/fixture.ml");
+  check_rules "and in graphs itself" []
+    (posed "lint_fixtures/a2_memedge.ml" "lib/graphs/fixture.ml")
+
+let test_a2_open_denied () =
+  check_rules "open Graphs makes the surface ambient: denied" [ "A2" ]
+    (Check.check_source ~file:"lib/mmb/fixture.ml"
+       "open Graphs\n\nlet f d = Dual.n d");
+  check_rules "unknown submodules are denied by default" [ "A2" ]
+    (Check.check_source ~file:"lib/mmb/fixture.mli"
+       "val m : Graphs.Matrix.t -> int")
+
+(* --- A3: top-level mutable state ----------------------------------------- *)
+
+let test_a3_top_state () =
+  let fs = posed "lint_fixtures/a3_topstate.ml" "lib/mmb/fixture.ml" in
+  check_rules "ref, Hashtbl.create, nested Buffer.create flagged"
+    [ "A3"; "A3"; "A3" ] fs;
+  Alcotest.(check (list int)) "function-local and lazy state exempt"
+    [ 3; 5; 7 ] (lines_of fs);
+  check_rules "registries are declared capability exceptions" []
+    (posed "lint_fixtures/a3_topstate.ml" "lib/obs/global.ml");
+  check_rules "outside lib/ the rule does not apply" []
+    (posed "lint_fixtures/a3_topstate.ml" "bin/fixture.ml")
+
+(* --- A4: engine access discipline ---------------------------------------- *)
+
+let test_a4_engine () =
+  let fs = posed "lint_fixtures/a4_engine.ml" "lib/mmb/fixture.ml" in
+  check_rules "schedule_at and Trace.record flagged above the MAC"
+    [ "A4"; "A4" ] fs;
+  check_rules "the MAC layer owns the engine" []
+    (posed "lint_fixtures/a4_engine.ml" "lib/amac/fixture.ml");
+  check_rules "so does the observability layer" []
+    (posed "lint_fixtures/a4_engine.ml" "lib/obs/fixture.ml");
+  check_rules "and the engine itself" []
+    (posed "lint_fixtures/a4_engine.ml" "lib/dsim/fixture.ml")
+
+(* --- A5: float equality -------------------------------------------------- *)
+
+let test_a5_float_eq () =
+  let fs = posed "lint_fixtures/a5_floateq.ml" "lib/mmb/fixture.ml" in
+  check_rules "= and <> against float literals flagged" [ "A5"; "A5" ] fs;
+  Alcotest.(check (list int)) "Float.equal and int = exempt" [ 3; 5 ]
+    (lines_of fs);
+  check_rules "out of scope outside lib/" []
+    (posed "lint_fixtures/a5_floateq.ml" "bench/fixture.ml")
+
+(* --- Escape hatches ------------------------------------------------------ *)
+
+let test_suppression_marker () =
+  check_rules "previous-line and same-line check suppressions hold" []
+    (posed "lint_fixtures/a3_suppressed.ml" "lib/mmb/fixture.ml");
+  (* The other analyzer's marker must NOT silence this tool. *)
+  let src = "(* lint: allow A3 *)\nlet counter = ref 0" in
+  check_rules "the lint's marker does not silence the checker" [ "A3" ]
+    (Check.check_source ~file:"lib/mmb/fixture.ml" src)
+
+let test_allowlist () =
+  let source = read_file "lint_fixtures/a3_topstate.ml" in
+  let file = "lib/mmb/fixture.ml" in
+  check_rules "allowlist entry silences the file" []
+    (Check.check_source ~file ~allow:[ ("A3", file) ] source);
+  check_rules "another rule's entry does not"
+    [ "A3"; "A3"; "A3" ]
+    (Check.check_source ~file ~allow:[ ("A4", file) ] source)
+
+let test_clean_fixture () =
+  check_rules "clean fixture has zero findings" []
+    (posed "lint_fixtures/check_clean.ml" "lib/mmb/fixture.ml")
+
+let test_parse_error_is_a_finding () =
+  check_rules "unparseable source yields E0" [ "E0" ]
+    (Check.check_source ~file:"lib/mmb/fixture.ml" "let = =")
+
+(* --- Stale escape hatches ------------------------------------------------ *)
+
+let test_stale_suppression () =
+  (* Under its real lint_fixtures/ path the fixture is outside A3's
+     lib/ scope, so neither comment suppresses anything — both stale. *)
+  let fs = Check.run_files ~stale:true [ "lint_fixtures/a3_suppressed.ml" ] in
+  check_rules "comments that suppress nothing are reported" [ "S1"; "S1" ] fs
+
+let test_stale_allow_entry () =
+  let fs =
+    Check.run_files ~stale:true
+      ~allow:(Analysis.Allow.of_pairs [ ("A4", "nowhere/such_file.ml") ])
+      [ "lint_fixtures/check_clean.ml" ]
+  in
+  check_rules "an entry suppressing nothing is reported" [ "S2" ] fs
+
+(* --- The real tree ------------------------------------------------------- *)
+
+(* The same scan `dune build @check` performs, minus bin/bench (the test
+   binary sees only lib/ staged next to it): the shipped sources must be
+   clean under the shipped allowlist.  This is the end-to-end guarantee
+   the fixtures above only approximate. *)
+let test_real_tree () =
+  let files = Analysis.Cli.collect_files ~exts:[ ".ml"; ".mli" ] [ "../lib" ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "scanned a substantial tree (%d files)" (List.length files))
+    true
+    (List.length files > 60);
+  let allow = Analysis.Allow.load "../check.allow" in
+  let fs = Check.run_files ~allow ~stale:true files in
+  Alcotest.(check (list string)) "lib/ is architecture-clean" []
+    (List.map Analysis.Finding.to_string fs)
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "A1 layer back-edges" `Quick test_a1_backedge;
+        Alcotest.test_case "A1 seeded dsim->amac back-edge" `Quick
+          test_a1_seeded_dsim_backedge;
+        Alcotest.test_case "A1 sibling layers" `Quick test_a1_siblings;
+        Alcotest.test_case "A1 interface references" `Quick test_a1_interfaces;
+        Alcotest.test_case "A2 MAC abstraction boundary" `Quick
+          test_a2_boundary;
+        Alcotest.test_case "A2 default-deny (open, unknown)" `Quick
+          test_a2_open_denied;
+        Alcotest.test_case "A3 top-level mutable state" `Quick
+          test_a3_top_state;
+        Alcotest.test_case "A4 engine access discipline" `Quick
+          test_a4_engine;
+        Alcotest.test_case "A5 float equality" `Quick test_a5_float_eq;
+        Alcotest.test_case "suppression markers are per-tool" `Quick
+          test_suppression_marker;
+        Alcotest.test_case "allowlist" `Quick test_allowlist;
+        Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        Alcotest.test_case "parse errors are findings" `Quick
+          test_parse_error_is_a_finding;
+        Alcotest.test_case "stale suppression comments (S1)" `Quick
+          test_stale_suppression;
+        Alcotest.test_case "stale allowlist entries (S2)" `Quick
+          test_stale_allow_entry;
+        Alcotest.test_case "real lib/ tree is clean" `Quick test_real_tree;
+      ] );
+  ]

@@ -37,7 +37,7 @@ let sim_job seed =
       let rng = Dsim.Rng.create ~seed in
       let assignment = Mmb.Problem.random rng ~n:12 ~k:3 in
       let res =
-        Mmb.Runner.run_bmmb ~dual ~fack:20. ~fprog:1.
+        Obs.Run.bmmb ~dual ~fack:20. ~fprog:1.
           ~policy:(Amac.Schedulers.random_compliant ())
           ~assignment ~seed ()
       in

@@ -124,6 +124,67 @@ let test_parse_error_is_a_finding () =
   check_rules "unparseable source yields E0" [ "E0" ]
     (Lint.lint_source ~file:"lib/mmb/x.ml" "let = =")
 
+(* --- Allowlist path anchoring -------------------------------------------- *)
+
+let test_suffix_anchoring () =
+  let yes suffix file =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s matches %s" suffix file)
+      true
+      (Analysis.Paths.has_suffix ~suffix file)
+  and no suffix file =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s does not match %s" suffix file)
+      false
+      (Analysis.Paths.has_suffix ~suffix file)
+  in
+  yes "cache.ml" "cache.ml";
+  yes "cache.ml" "lib/exec/cache.ml";
+  yes "cache.ml" "/root/repo/lib/exec/cache.ml";
+  no "cache.ml" "lib/exec/xcache.ml";
+  no "cache.ml" "lib/exec/cache.mli";
+  yes "exec/cache.ml" "lib/exec/cache.ml";
+  no "exec/cache.ml" "lib/notexec/cache.ml";
+  no "lib/exec/cache.ml" "fib/exec/cache.ml"
+
+let test_allow_anchoring_end_to_end () =
+  let source = "let f t = Hashtbl.iter (fun _ _ -> ()) t" in
+  check_rules "suffix entry anchored at a component silences" []
+    (Lint.lint_source ~file:"lib/exec/cache.ml"
+       ~allow:[ ("D1", "exec/cache.ml") ]
+       source);
+  check_rules "a colliding basename in another dir stays live" [ "D1" ]
+    (Lint.lint_source ~file:"lib/notexec/cache.ml"
+       ~allow:[ ("D1", "exec/cache.ml") ]
+       source);
+  check_rules "a longer basename stays live too" [ "D1" ]
+    (Lint.lint_source ~file:"lib/exec/xcache.ml"
+       ~allow:[ ("D1", "cache.ml") ]
+       source)
+
+(* --- Stale escape hatches ------------------------------------------------ *)
+
+let test_stale_suppression_comment () =
+  let fs = Lint.run_files ~stale:true [ "lint_fixtures/stale_suppress.ml" ] in
+  check_rules "a comment that suppresses nothing is reported" [ "S1" ] fs;
+  Alcotest.(check (list int)) "at the comment's line" [ 2 ] (lines_of fs);
+  check_rules "stale reporting is opt-out" []
+    (Lint.run_files ~stale:false [ "lint_fixtures/stale_suppress.ml" ])
+
+let test_stale_allow_entry () =
+  let fs =
+    Lint.run_files ~stale:true
+      ~allow:(Analysis.Allow.of_pairs [ ("D1", "no/such/file.ml") ])
+      [ "lint_fixtures/clean.ml" ]
+  in
+  check_rules "an entry that suppresses nothing is reported" [ "S2" ] fs;
+  let live =
+    Lint.run_files ~stale:true
+      ~allow:(Analysis.Allow.of_pairs [ ("D1", "lint_fixtures/d1_allowlisted.ml") ])
+      [ "lint_fixtures/d1_allowlisted.ml" ]
+  in
+  check_rules "a live entry is not" [] live
+
 let suite =
   [
     ( "lint",
@@ -143,5 +204,13 @@ let suite =
           test_every_rule_suppressible;
         Alcotest.test_case "parse errors are findings" `Quick
           test_parse_error_is_a_finding;
+        Alcotest.test_case "allowlist suffix anchoring" `Quick
+          test_suffix_anchoring;
+        Alcotest.test_case "allowlist anchoring end-to-end" `Quick
+          test_allow_anchoring_end_to_end;
+        Alcotest.test_case "stale suppression comments (S1)" `Quick
+          test_stale_suppression_comment;
+        Alcotest.test_case "stale allowlist entries (S2)" `Quick
+          test_stale_allow_entry;
       ] );
   ]

@@ -371,7 +371,7 @@ let observed_run ~seed =
       ()
   in
   let res =
-    Mmb.Runner.run_bmmb ~dual ~fack:8. ~fprog:1.
+    Obs.Run.bmmb ~dual ~fack:8. ~fprog:1.
       ~policy:(Amac.Schedulers.eager ())
       ~assignment:[ (0, 0); (4, 1) ]
       ~seed ~check_compliance:true ~obs ()
@@ -459,7 +459,7 @@ let test_fmmb_spans () =
   let dual = Graphs.Dual.of_equal (Graphs.Gen.line 4) in
   let obs = Obs.Observer.create ~n:4 () in
   let res =
-    Mmb.Runner.run_fmmb ~dual ~fprog:2. ~c:2.
+    Obs.Run.fmmb ~dual ~fprog:2. ~c:2.
       ~policy:(Amac.Enhanced_mac.minimal_random ())
       ~assignment:[ (0, 0); (3, 1) ]
       ~seed:1 ~obs ()
