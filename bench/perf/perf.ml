@@ -1,0 +1,303 @@
+(* bench/perf — the perf-regression benchmark suite (DESIGN.md §13).
+
+   Where bench/main.exe reproduces the paper's tables (model time), this
+   executable measures the *engine*: how fast the simulator chews through
+   events, how much it allocates per event, and how deep the queue gets.
+   Four fixed workloads cover the hot path end to end:
+
+     heap_micro   raw Dsim.Heap push/cancel/pop churn (no simulator)
+     bmmb_line    BMMB on a reliable line, adversarial scheduler
+     bmmb_grid    BMMB on a grid with r-restricted unreliable links
+                  (exercises the G'-only and watchdog paths)
+     fmmb_grey    FMMB on a grey-zone instance (enhanced model)
+
+   Each benchmark reports events/sec, GC minor words per event, and the
+   heap high-water mark.  Timings go to a JSON document (see
+   BENCH_PERF.json at the repo root for the committed baseline); pass
+   --append FILE --label L to add a labelled entry to an existing
+   document so successive PRs accumulate a trajectory.
+
+   `--smoke` runs every workload at a tiny scale and self-validates the
+   emitted JSON — bin/verify.sh wires this in as a cheap CI assertion
+   that the suite runs and its output parses; smoke timings mean
+   nothing.  Wall-clock use is sanctioned here: this directory is below
+   bench/, outside the lint's D3 scope, and none of these numbers feed
+   back into simulation behaviour. *)
+
+type result = {
+  id : string;
+  events : int; (* engine callbacks (heap ops for the micro) *)
+  wall_s : float;
+  events_per_sec : float;
+  minor_words_per_event : float;
+  heap_high_water : int;
+}
+
+(* One measured workload: [f] returns (events, heap high-water).  The
+   workload is deterministic, so two runs do identical work — keep the
+   faster wall clock to damp OS-scheduler noise (allocation counts are
+   identical either way). *)
+let measure ~id f =
+  let run () =
+    let minor0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    let events, high_water = f () in
+    let wall_s = Sys.time () -. t0 in
+    let minor = Gc.minor_words () -. minor0 in
+    (events, high_water, wall_s, minor)
+  in
+  let e1, h1, w1, m1 = run () in
+  let e2, h2, w2, m2 = run () in
+  if e1 <> e2 || h1 <> h2 then failwith "bench/perf: nondeterministic workload";
+  let events, high_water, wall_s, minor =
+    if w2 < w1 then (e2, h2, w2, m2) else (e1, h1, w1, m1)
+  in
+  let ev = float_of_int events in
+  {
+    id;
+    events;
+    wall_s;
+    events_per_sec = (if wall_s > 0. then ev /. wall_s else 0.);
+    minor_words_per_event = (if events > 0 then minor /. ev else 0.);
+    heap_high_water = high_water;
+  }
+
+(* --- Workloads ----------------------------------------------------------- *)
+
+(* Heap churn: pseudo-random push times, a cancel for every third entry,
+   full drain.  Counts one event per push and per (attempted) pop. *)
+let heap_micro ~n () =
+  let h = Dsim.Heap.create () in
+  let events = ref 0 in
+  let handles = Array.make 3 None in
+  for i = 0 to n - 1 do
+    let time = float_of_int ((i * 7919) mod n) in
+    let hd = Dsim.Heap.push h ~time i in
+    incr events;
+    if i mod 3 = 0 then handles.(0) <- Some hd;
+    if i mod 3 = 1 then begin
+      (match handles.(0) with
+      | Some old -> Dsim.Heap.cancel h old
+      | None -> ());
+      handles.(0) <- None
+    end
+  done;
+  let rec drain () =
+    match Dsim.Heap.pop h with
+    | Some _ ->
+        incr events;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (!events, Dsim.Heap.high_water h)
+
+(* BMMB runs through Obs.Run so the global engine registry sees them; the
+   workload delta supplies events and heap depth.  [repeats] identical
+   runs (fresh seeds) push the wall time into reliably measurable
+   territory. *)
+let bmmb ~dual ~k ~fack ~policy ~repeats () =
+  let assignment = Mmb.Problem.all_at ~node:0 ~k in
+  let before = Obs.Global.snapshot () in
+  for seed = 1 to repeats do
+    let res =
+      Obs.Run.bmmb ~dual ~fack ~fprog:1. ~policy ~assignment ~seed ()
+    in
+    if not res.Mmb.Runner.complete then failwith "bench/perf: BMMB incomplete"
+  done;
+  let d = Obs.Global.diff ~before ~after:(Obs.Global.snapshot ()) in
+  (d.Obs.Global.events, d.Obs.Global.heap_high_water)
+
+let bmmb_line ~n ~k ~repeats () =
+  bmmb
+    ~dual:(Graphs.Dual.of_equal (Graphs.Gen.line n))
+    ~k ~fack:20.
+    ~policy:(Amac.Schedulers.adversarial ())
+    ~repeats ()
+
+let bmmb_grid ~rows ~cols ~k ~repeats () =
+  let g = Graphs.Gen.grid ~rows ~cols in
+  let rng = Dsim.Rng.create ~seed:11 in
+  let dual =
+    Graphs.Dual.r_restricted_random rng ~g ~r:2 ~extra:(2 * rows * cols)
+  in
+  bmmb ~dual ~k ~fack:20.
+    ~policy:(Amac.Schedulers.random_compliant ())
+    ~repeats ()
+
+(* FMMB: Obs.Run.fmmb without an observer attaches no instrument, so
+   note the engine counters into the global registry ourselves. *)
+let fmmb_grey ~n ~k ~seed () =
+  let rng = Dsim.Rng.create ~seed:(seed * 31 + 7) in
+  let side = sqrt (float_of_int n /. 3.) in
+  let dual =
+    Graphs.Dual.grey_zone_connected rng ~n ~width:side ~height:side ~c:2.
+      ~p:0.4 ~max_tries:1000
+  in
+  let assignment =
+    Mmb.Problem.singleton (Dsim.Rng.create ~seed:(seed * 7)) ~n ~k
+  in
+  let instrument =
+    {
+      Mmb.Instrument.none with
+      Mmb.Instrument.note_sim = Obs.Global.note_sim;
+      note_mac = Obs.Global.note_mac;
+    }
+  in
+  let before = Obs.Global.snapshot () in
+  let res =
+    Mmb.Runner.run_fmmb ~dual ~fprog:1. ~c:2.
+      ~policy:(Amac.Enhanced_mac.minimal_random ())
+      ~backend:(Mmb.Fmmb.Continuous Amac.Round_sync.Generous)
+      ~assignment ~seed ~instrument ()
+  in
+  if not res.Mmb.Runner.fmmb.Mmb.Fmmb.complete then
+    failwith "bench/perf: FMMB incomplete";
+  let d = Obs.Global.diff ~before ~after:(Obs.Global.snapshot ()) in
+  (d.Obs.Global.events, d.Obs.Global.heap_high_water)
+
+let suite ~smoke =
+  if smoke then
+    [
+      ("heap_micro", heap_micro ~n:2_000);
+      ("bmmb_line", bmmb_line ~n:12 ~k:2 ~repeats:1);
+      ("bmmb_grid", bmmb_grid ~rows:4 ~cols:4 ~k:2 ~repeats:1);
+      ("fmmb_grey", fmmb_grey ~n:18 ~k:2 ~seed:1);
+    ]
+  else
+    [
+      ("heap_micro", heap_micro ~n:400_000);
+      ("bmmb_line", bmmb_line ~n:300 ~k:40 ~repeats:24);
+      ("bmmb_grid", bmmb_grid ~rows:16 ~cols:16 ~k:16 ~repeats:18);
+      ("fmmb_grey", fmmb_grey ~n:60 ~k:6 ~seed:1);
+    ]
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let result_json r =
+  Dsim.Json.Obj
+    [
+      ("id", Dsim.Json.String r.id);
+      ("events", Dsim.Json.Number (float_of_int r.events));
+      ("wall_s", Dsim.Json.Number r.wall_s);
+      ("events_per_sec", Dsim.Json.Number r.events_per_sec);
+      ("minor_words_per_event", Dsim.Json.Number r.minor_words_per_event);
+      ("heap_high_water", Dsim.Json.Number (float_of_int r.heap_high_water));
+    ]
+
+let entry_json ~label ~mode results =
+  Dsim.Json.Obj
+    [
+      ("label", Dsim.Json.String label);
+      ("mode", Dsim.Json.String mode);
+      ("results", Dsim.Json.List (List.map result_json results));
+    ]
+
+let doc_json entries =
+  Dsim.Json.Obj
+    [
+      ("schema", Dsim.Json.String "mmb-bench-perf/1");
+      ("entries", Dsim.Json.List entries);
+    ]
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+(* Append one labelled entry to an existing document (or start one). *)
+let append_entry ~path entry =
+  let existing =
+    if Sys.file_exists path then
+      match Dsim.Json.parse (read_file path) with
+      | Ok doc -> (
+          match Dsim.Json.member_opt doc "entries" with
+          | Some (Dsim.Json.List es) -> es
+          | _ -> [])
+      | Error e -> failwith (Printf.sprintf "%s: unparseable: %s" path e)
+    else []
+  in
+  write_file path (Dsim.Json.to_string (doc_json (existing @ [ entry ])) ^ "\n")
+
+(* --- Self-validation (the --smoke contract) ------------------------------ *)
+
+let validate json_string =
+  match Dsim.Json.parse json_string with
+  | Error e -> failwith ("bench/perf: emitted invalid JSON: " ^ e)
+  | Ok doc -> (
+      match Dsim.Json.member_opt doc "results" with
+      | Some (Dsim.Json.List (_ :: _ as rs)) ->
+          List.iter
+            (fun r ->
+              match Dsim.Json.member_opt r "events" with
+              | Some (Dsim.Json.Number e) when e > 0. -> ()
+              | _ -> failwith "bench/perf: a benchmark reported no events")
+            rs
+      | _ -> failwith "bench/perf: emitted no results")
+
+(* --- CLI ----------------------------------------------------------------- *)
+
+let usage = "perf [--smoke] [--label L] [--append FILE] [--metrics-out FILE]"
+
+let () =
+  let smoke = ref false in
+  let label = ref "run" in
+  let append = ref None in
+  let metrics_out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--label" :: l :: rest ->
+        label := l;
+        parse rest
+    | "--append" :: f :: rest ->
+        append := Some f;
+        parse rest
+    | "--metrics-out" :: f :: rest ->
+        metrics_out := Some f;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\nusage: %s\n" arg usage;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let sidecar = Option.map open_out !metrics_out in
+  let results =
+    List.map
+      (fun (id, f) ->
+        let before = Obs.Global.snapshot () in
+        let r = measure ~id f in
+        (* Engine-sidecar line per benchmark, same shape as bench/main's
+           per-experiment lines. *)
+        Option.iter
+          (fun oc ->
+            let delta =
+              Obs.Global.diff ~before ~after:(Obs.Global.snapshot ())
+            in
+            output_string oc
+              (Dsim.Json.to_string
+                 (Obs.Global.to_json ~label:("perf." ^ id) ~wall_s:r.wall_s
+                    delta));
+            output_char oc '\n')
+          sidecar;
+        r)
+      (suite ~smoke:!smoke)
+  in
+  Option.iter close_out sidecar;
+  let mode = if !smoke then "smoke" else "full" in
+  let entry = entry_json ~label:!label ~mode results in
+  let entry_string = Dsim.Json.to_string entry in
+  validate entry_string;
+  (match !append with
+  | Some path -> append_entry ~path entry
+  | None -> print_endline entry_string);
+  if !smoke then prerr_endline "bench/perf: smoke ok"

@@ -17,4 +17,10 @@ dune runtest
 echo "== OCAMLRUNPARAM=R dune runtest --force"
 OCAMLRUNPARAM=R dune runtest --force
 
+# Perf-suite smoke: asserts the benchmark harness runs end to end and
+# emits parseable JSON (perf.exe self-validates its output under
+# --smoke).  Timings at smoke scale mean nothing and are discarded.
+echo "== bench/perf --smoke"
+dune exec bench/perf/perf.exe -- --smoke > /dev/null
+
 echo "verify: all green"

@@ -1,7 +1,7 @@
 open Mac_intf
 
 let deliveries_at delay nodes =
-  Array.to_list (Array.map (fun receiver -> { receiver; delay }) nodes)
+  Array.fold_right (fun receiver acc -> { receiver; delay } :: acc) nodes []
 
 let eager ?(latency_frac = 0.1) () =
   let plan ctx =
@@ -23,24 +23,37 @@ let random_compliant ?(p_unreliable = 0.5) () =
       (0.5 +. (0.5 *. Dsim.Rng.float rng 1.)) *. ctx.bc_fack
     in
     let uniform_delay () = Dsim.Rng.float rng ack_delay in
-    let g_deliveries =
-      Array.to_list
-        (Array.map
-           (fun receiver -> { receiver; delay = uniform_delay () })
-           ctx.bc_g_neighbors)
-    in
+    (* Both builds draw in ascending receiver order — the [let d] before
+       each recursive call pins the draw sequence, which the traces
+       depend on — without the intermediate array/list copies of the
+       map-then-to_list formulation. *)
     let g'_deliveries =
-      Array.to_list ctx.bc_g'_only_neighbors
-      |> List.filter_map (fun receiver ->
-             if Dsim.Rng.bernoulli rng ~p:p_unreliable then
-               Some { receiver; delay = uniform_delay () }
-             else None)
+      let a = ctx.bc_g'_only_neighbors in
+      let rec build i =
+        if i >= Array.length a then []
+        else if Dsim.Rng.bernoulli rng ~p:p_unreliable then
+          let d = { receiver = a.(i); delay = uniform_delay () } in
+          d :: build (i + 1)
+        else build (i + 1)
+      in
+      build
     in
-    { ack_delay; deliveries = g_deliveries @ g'_deliveries }
+    let deliveries =
+      let a = ctx.bc_g_neighbors in
+      let rec build i =
+        if i >= Array.length a then g'_deliveries 0
+        else
+          let d = { receiver = a.(i); delay = uniform_delay () } in
+          d :: build (i + 1)
+      in
+      build 0
+    in
+    { ack_delay; deliveries }
   in
   let forced ctx =
-    let arr = Array.of_list ctx.fc_candidates in
-    Dsim.Rng.pick ctx.fc_rng arr
+    (* Same single length-bounded draw as [Rng.pick] on an array copy,
+       without the copy. *)
+    Dsim.Rng.pick_list ctx.fc_rng ctx.fc_candidates
   in
   { pol_name = "random"; pol_plan = plan; pol_forced = forced }
 
@@ -85,24 +98,32 @@ let bursty ?(p_bad = 0.15) ?(p_good = 0.1) () =
     let rng = ctx.bc_rng in
     let ack_delay = (0.5 +. (0.5 *. Dsim.Rng.float rng 1.)) *. ctx.bc_fack in
     let uniform_delay () = Dsim.Rng.float rng ack_delay in
-    let g_deliveries =
-      Array.to_list
-        (Array.map
-           (fun receiver -> { receiver; delay = uniform_delay () })
-           ctx.bc_g_neighbors)
-    in
+    (* Ascending-order builds with let-pinned draws, as in
+       [random_compliant]. *)
     let g'_deliveries =
-      Array.to_list ctx.bc_g'_only_neighbors
-      |> List.filter_map (fun receiver ->
-             if edge_up rng ctx.bc_sender receiver then
-               Some { receiver; delay = uniform_delay () }
-             else None)
+      let a = ctx.bc_g'_only_neighbors in
+      let rec build i =
+        if i >= Array.length a then []
+        else if edge_up rng ctx.bc_sender a.(i) then
+          let d = { receiver = a.(i); delay = uniform_delay () } in
+          d :: build (i + 1)
+        else build (i + 1)
+      in
+      build
     in
-    { ack_delay; deliveries = g_deliveries @ g'_deliveries }
+    let deliveries =
+      let a = ctx.bc_g_neighbors in
+      let rec build i =
+        if i >= Array.length a then g'_deliveries 0
+        else
+          let d = { receiver = a.(i); delay = uniform_delay () } in
+          d :: build (i + 1)
+      in
+      build 0
+    in
+    { ack_delay; deliveries }
   in
-  let forced ctx =
-    Dsim.Rng.pick ctx.fc_rng (Array.of_list ctx.fc_candidates)
-  in
+  let forced ctx = Dsim.Rng.pick_list ctx.fc_rng ctx.fc_candidates in
   { pol_name = "bursty"; pol_plan = plan; pol_forced = forced }
 
 let name p = p.pol_name

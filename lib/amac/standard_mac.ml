@@ -1,5 +1,59 @@
 exception Not_well_formed of string
 
+(* Sorted dynamic set of instance uids, replacing a per-node [Hashtbl] on
+   the watchdog hot path.  Uids are minted in increasing order, so [add]
+   is almost always an append, and traversal is ascending with no
+   snapshot, sort, or allocation — deterministic by construction. *)
+module Uidset = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+
+  (* Position of [uid] in the sorted prefix, or its insertion point. *)
+  let search s uid =
+    let lo = ref 0 and hi = ref s.len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if s.a.(mid) < uid then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let add s uid =
+    let cap = Array.length s.a in
+    if s.len = cap then begin
+      let a = Array.make (if cap = 0 then 8 else 2 * cap) 0 in
+      Array.blit s.a 0 a 0 cap;
+      s.a <- a
+    end;
+    if s.len = 0 || uid > s.a.(s.len - 1) then begin
+      s.a.(s.len) <- uid;
+      s.len <- s.len + 1
+    end
+    else begin
+      let i = search s uid in
+      if i >= s.len || s.a.(i) <> uid then begin
+        Array.blit s.a i s.a (i + 1) (s.len - i);
+        s.a.(i) <- uid;
+        s.len <- s.len + 1
+      end
+    end
+
+  let remove s uid =
+    let i = search s uid in
+    if i < s.len && s.a.(i) = uid then begin
+      Array.blit s.a (i + 1) s.a i (s.len - i - 1);
+      s.len <- s.len - 1
+    end
+
+  (* Fold smallest-uid-first. *)
+  let fold_asc f s init =
+    let acc = ref init in
+    for i = 0 to s.len - 1 do
+      acc := f s.a.(i) !acc
+    done;
+    !acc
+end
+
 type status = Open | Acked | Aborted of float
 
 type 'msg instance = {
@@ -30,10 +84,29 @@ type 'msg t = {
   (* Per-receiver progress-watchdog state. *)
   connected_open : int array; (* open instances from G-neighbors *)
   cover : int array; (* open G'-instances that already delivered here *)
-  contenders : (int, unit) Hashtbl.t array;
+  contenders : Uidset.t array;
       (* open, not-yet-delivered-here instances from G'-neighbors *)
   watchdog : Dsim.Sim.handle option array;
+  (* One watchdog callback per node, allocated on first use and reused for
+     every rescheduling (watchdogs churn on each delivery/termination). *)
+  watchdog_fn : (unit -> unit) option array;
+  (* Likewise one [fc_has_received] probe per node, reused across every
+     watchdog fire at that node. *)
+  has_received_fn : ('msg -> bool) option array;
   received_bodies : ('msg, unit) Hashtbl.t array;
+  (* Recycled instance tables: a broadcast's [delivered]/[pending] tables
+     return here once the instance is discarded, so steady-state bcasts
+     allocate no fresh buckets.  Reset before reuse; both tables are only
+     ever traversed commutatively or probed by key, so a recycled bucket
+     layout cannot influence any run. *)
+  mutable pool_delivered : (int, unit) Hashtbl.t list;
+  mutable pool_pending : (int, Dsim.Sim.handle) Hashtbl.t list;
+  (* Epoch-stamped scratch for [validate_plan]: a slot is "marked" iff it
+     holds the current epoch, so clearing between broadcasts is one
+     integer bump instead of a fresh table per plan. *)
+  mutable scratch_epoch : int;
+  scratch_nbr : int array; (* marked = G'-neighbor of this plan's sender *)
+  scratch_seen : int array; (* marked = receiver already in this plan *)
   mutable n_bcast : int;
   mutable n_rcv : int;
   mutable n_ack : int;
@@ -45,6 +118,11 @@ let record t event =
   match t.trace with
   | None -> ()
   | Some tr -> Dsim.Trace.record tr ~time:(Dsim.Sim.now t.sim) event
+
+(* Call-site guard for [record]: OCaml evaluates arguments eagerly, so
+   an unguarded call allocates the event record even with tracing off —
+   on the deliver path that is an allocation per event. *)
+let tracing t = Option.is_some t.trace
 
 (* The trace [msg] field: the MMB payload id when a projection was given
    (so span derivation can link arrivals to broadcasts), else the uid. *)
@@ -78,9 +156,16 @@ let create ~sim ~dual ~fack ~fprog ~policy ~rng ?(eps_abort = 0.) ?trace
     instances = Hashtbl.create 256;
     connected_open = Array.make n 0;
     cover = Array.make n 0;
-    contenders = Array.init n (fun _ -> Hashtbl.create 8);
+    contenders = Array.init n (fun _ -> Uidset.create ());
     watchdog = Array.make n None;
+    watchdog_fn = Array.make n None;
+    has_received_fn = Array.make n None;
     received_bodies = Array.init n (fun _ -> Hashtbl.create 16);
+    pool_delivered = [];
+    pool_pending = [];
+    scratch_epoch = 0;
+    scratch_nbr = Array.make n 0;
+    scratch_seen = Array.make n 0;
     n_bcast = 0;
     n_rcv = 0;
     n_ack = 0;
@@ -125,10 +210,15 @@ let rec recheck_watchdog t j =
   match (needed, t.watchdog.(j)) with
   | true, Some _ | false, None -> ()
   | true, None ->
-      let handle =
-        Dsim.Sim.schedule ~cat:"mac.watchdog" t.sim ~delay:t.fprog (fun () ->
-            fire_watchdog t j)
+      let fn =
+        match t.watchdog_fn.(j) with
+        | Some fn -> fn
+        | None ->
+            let fn () = fire_watchdog t j in
+            t.watchdog_fn.(j) <- Some fn;
+            fn
       in
+      let handle = Dsim.Sim.schedule ~cat:"mac.watchdog" t.sim ~delay:t.fprog fn in
       t.watchdog.(j) <- Some handle
   | false, Some handle ->
       Dsim.Sim.cancel t.sim handle;
@@ -137,11 +227,12 @@ let rec recheck_watchdog t j =
 and fire_watchdog t j =
   t.watchdog.(j) <- None;
   if t.connected_open.(j) > 0 && t.cover.(j) = 0 then begin
-    (* Key-sorted traversal: the candidate list order feeds the forced-
-       choice policy, so it must not depend on hash order. *)
+    (* Ascending-uid traversal with a cons per candidate: descending-uid
+       list, exactly what the old key-sorted Hashtbl snapshot produced —
+       the order feeds the forced-choice policy, so it is load-bearing. *)
     let candidates =
-      Dsim.Tbl.sorted_fold ~cmp:Int.compare
-        (fun uid () acc ->
+      Uidset.fold_asc
+        (fun uid acc ->
           match Hashtbl.find_opt t.instances uid with
           | None -> acc
           | Some inst when inst.status <> Open -> acc
@@ -150,7 +241,7 @@ and fire_watchdog t j =
                 Mac_intf.cand_uid = inst.uid;
                 cand_sender = inst.sender;
                 cand_body = inst.body;
-                cand_is_g_neighbor = Graphs.Graph.mem_edge (g t) inst.sender j;
+                cand_is_g_neighbor = Graphs.Dual.is_reliable t.dual inst.sender j;
               }
               :: acc)
         t.contenders.(j) []
@@ -161,13 +252,20 @@ and fire_watchdog t j =
            undelivered G-neighbor instance, which is a contender. *)
         assert false
     | _ ->
+        let has_received =
+          match t.has_received_fn.(j) with
+          | Some fn -> fn
+          | None ->
+              let fn body = Hashtbl.mem t.received_bodies.(j) body in
+              t.has_received_fn.(j) <- Some fn;
+              fn
+        in
         let ctx =
           {
             Mac_intf.fc_receiver = j;
             fc_now = Dsim.Sim.now t.sim;
             fc_candidates = candidates;
-            fc_has_received =
-              (fun body -> Hashtbl.mem t.received_bodies.(j) body);
+            fc_has_received = has_received;
             fc_rng = t.rng;
           }
         in
@@ -196,24 +294,27 @@ and deliver t inst j =
         Dsim.Sim.now t.sim <= at +. t.eps_abort +. 1e-12
   in
   if deliverable then begin
+    (* A forced delivery cancels the still-scheduled planned one; when the
+       planned event itself is firing, its handle is already dead and the
+       cancel is a no-op — either way the stale [pending] binding is
+       harmless (cancels of dead handles no-op), so no removal. *)
     (match Hashtbl.find_opt inst.pending j with
-    | Some handle ->
-        Dsim.Sim.cancel t.sim handle;
-        Hashtbl.remove inst.pending j
+    | Some handle -> Dsim.Sim.cancel t.sim handle
     | None -> ());
     Hashtbl.replace inst.delivered j ();
     (* Progress-cover bookkeeping only concerns open instances: a
        terminated instance has already left the contend sets. *)
     if inst.status = Open then begin
-      Hashtbl.remove t.contenders.(j) inst.uid;
+      Uidset.remove t.contenders.(j) inst.uid;
       t.cover.(j) <- t.cover.(j) + 1;
       recheck_watchdog t j
     end;
     Hashtbl.replace t.received_bodies.(j) inst.body ();
     t.n_rcv <- t.n_rcv + 1;
-    record t
-      (Dsim.Trace.Rcv
-         { node = j; msg = mid t ~uid:inst.uid inst.body; instance = inst.uid });
+    if tracing t then
+      record t
+        (Dsim.Trace.Rcv
+           { node = j; msg = mid t ~uid:inst.uid inst.body; instance = inst.uid });
     (handlers_exn t j).Mac_intf.on_rcv ~src:inst.sender inst.body
   end
 
@@ -227,14 +328,12 @@ let terminate t inst ~keep_late_deliveries =
       Dsim.Sim.cancel t.sim h;
       inst.ack_handle <- None
   | None -> ());
-  Dsim.Tbl.sorted_iter ~cmp:Int.compare
-    (fun receiver handle ->
-      if not keep_late_deliveries then begin
-        Dsim.Sim.cancel t.sim handle;
-        ignore receiver
-      end)
-    inst.pending;
   if not keep_late_deliveries then begin
+    (* Cancelling is one liveness-bit write per handle; the effects
+       commute, so hash-order traversal cannot perturb the run. *)
+    Dsim.Tbl.iter_commutative
+      (fun _receiver handle -> Dsim.Sim.cancel t.sim handle)
+      inst.pending;
     Hashtbl.reset inst.pending;
     Hashtbl.remove t.instances inst.uid
   end;
@@ -250,25 +349,33 @@ let terminate t inst ~keep_late_deliveries =
         recheck_watchdog t j
       end
       else begin
-        Hashtbl.remove t.contenders.(j) inst.uid;
+        Uidset.remove t.contenders.(j) inst.uid;
         recheck_watchdog t j
       end)
     (Graphs.Graph.neighbors (g' t) inst.sender);
   t.busy.(inst.sender) <- false;
   t.current.(inst.sender) <- None;
+  if not keep_late_deliveries then begin
+    (* The instance is unreachable now (gone from [t.instances], pending
+       all cancelled, contend sets purged above) — recycle its tables. *)
+    Hashtbl.reset inst.delivered;
+    t.pool_delivered <- inst.delivered :: t.pool_delivered;
+    t.pool_pending <- inst.pending :: t.pool_pending
+  end;
   ignore now
 
 let ack t inst =
   inst.status <- Acked;
   terminate t inst ~keep_late_deliveries:false;
   t.n_ack <- t.n_ack + 1;
-  record t
-    (Dsim.Trace.Ack
-       {
-         node = inst.sender;
-         msg = mid t ~uid:inst.uid inst.body;
-         instance = inst.uid;
-       });
+  if tracing t then
+    record t
+      (Dsim.Trace.Ack
+         {
+           node = inst.sender;
+           msg = mid t ~uid:inst.uid inst.body;
+           instance = inst.uid;
+         });
   (handlers_exn t inst.sender).Mac_intf.on_ack inst.body
 
 let abort t ~node =
@@ -281,41 +388,33 @@ let abort t ~node =
       match Hashtbl.find_opt t.instances uid with
       | None -> assert false
       | Some inst ->
-          let now = Dsim.Sim.now t.sim in
-          inst.status <- Aborted now;
-          (* Cancel deliveries scheduled beyond the eps_abort window; keep
-             imminent ones — [deliver] re-checks the window at fire time. *)
-          let far = Dsim.Tbl.to_sorted_list ~cmp:Int.compare inst.pending in
-          List.iter
-            (fun (receiver, handle) ->
-              (* We cannot read the scheduled time back from the handle, so
-                 conservatively keep every pending event and let [deliver]
-                 apply the eps_abort cutoff; with eps_abort = 0 this still
-                 cancels everything strictly later than now. *)
-              if Float.equal t.eps_abort 0. then begin
-                Dsim.Sim.cancel t.sim handle;
-                Hashtbl.remove inst.pending receiver
-              end)
-            far;
+          inst.status <- Aborted (Dsim.Sim.now t.sim);
+          (* With eps_abort = 0, [terminate ~keep_late_deliveries:false]
+             cancels every pending delivery; with eps_abort > 0 they are
+             kept and [deliver] applies the window cutoff at fire time. *)
           terminate t inst ~keep_late_deliveries:(t.eps_abort > 0.);
           t.n_abort <- t.n_abort + 1;
-          record t
-            (Dsim.Trace.Abort
-               {
-                 node;
-                 msg = mid t ~uid:inst.uid inst.body;
-                 instance = inst.uid;
-               });
+          if tracing t then
+            record t
+              (Dsim.Trace.Abort
+                 {
+                   node;
+                   msg = mid t ~uid:inst.uid inst.body;
+                   instance = inst.uid;
+                 });
           if t.eps_abort > 0. then begin
             (* Drop the instance record once the late window has passed. *)
             ignore
               (Dsim.Sim.schedule ~cat:"mac.abort_gc" t.sim
                  ~delay:(t.eps_abort +. 1e-9) (fun () ->
-                   Dsim.Tbl.sorted_iter ~cmp:Int.compare
+                   Dsim.Tbl.iter_commutative
                      (fun _ handle -> Dsim.Sim.cancel t.sim handle)
                      inst.pending;
                    Hashtbl.reset inst.pending;
-                   Hashtbl.remove t.instances inst.uid))
+                   Hashtbl.remove t.instances inst.uid;
+                   Hashtbl.reset inst.delivered;
+                   t.pool_delivered <- inst.delivered :: t.pool_delivered;
+                   t.pool_pending <- inst.pending :: t.pool_pending))
           end))
 
 (* --- Plan validation ---------------------------------------------------- *)
@@ -326,20 +425,27 @@ let validate_plan t ~sender (plan : Mac_intf.plan) =
     invalid_arg
       (Printf.sprintf "Standard_mac: plan ack_delay %g outside [0, %g]"
          ack_delay t.fack);
-  let seen = Hashtbl.create 8 in
+  let n = Graphs.Dual.n t.dual in
+  t.scratch_epoch <- t.scratch_epoch + 1;
+  let epoch = t.scratch_epoch in
+  Array.iter
+    (fun j -> t.scratch_nbr.(j) <- epoch)
+    (Graphs.Graph.neighbors (g' t) sender);
   List.iter
     (fun { Mac_intf.receiver; delay } ->
-      if Hashtbl.mem seen receiver then
+      if receiver < 0 || receiver >= n then
+        invalid_arg "Standard_mac: plan delivers to a non-G'-neighbor";
+      if t.scratch_seen.(receiver) = epoch then
         invalid_arg "Standard_mac: plan delivers twice to one receiver";
-      Hashtbl.replace seen receiver ();
-      if not (Graphs.Graph.mem_edge (g' t) sender receiver) then
+      t.scratch_seen.(receiver) <- epoch;
+      if t.scratch_nbr.(receiver) <> epoch then
         invalid_arg "Standard_mac: plan delivers to a non-G'-neighbor";
       if not (0. <= delay && delay <= ack_delay) then
         invalid_arg "Standard_mac: plan delivery delay outside [0, ack_delay]")
     deliveries;
   Array.iter
     (fun j ->
-      if not (Hashtbl.mem seen j) then
+      if t.scratch_seen.(j) <> epoch then
         invalid_arg "Standard_mac: plan misses a G-neighbor")
     (Graphs.Graph.neighbors (g t) sender)
 
@@ -355,15 +461,13 @@ let bcast t ~node body =
   t.next_uid <- uid + 1;
   t.busy.(node) <- true;
   t.n_bcast <- t.n_bcast + 1;
-  record t (Dsim.Trace.Bcast { node; msg = mid t ~uid body; instance = uid });
+  if tracing t then
+    record t (Dsim.Trace.Bcast { node; msg = mid t ~uid body; instance = uid });
   let g_neighbors = Graphs.Graph.neighbors (g t) node in
   let g'_neighbors = Graphs.Graph.neighbors (g' t) node in
-  let g'_only =
-    Array.of_list
-      (List.filter
-         (fun j -> not (Graphs.Graph.mem_edge (g t) node j))
-         (Array.to_list g'_neighbors))
-  in
+  (* Precomputed at Dual construction; same ascending order the
+     per-broadcast filter used to produce. *)
+  let g'_only = Graphs.Dual.g'_only_neighbors t.dual node in
   let ctx =
     {
       Mac_intf.bc_sender = node;
@@ -379,21 +483,28 @@ let bcast t ~node body =
   in
   let plan = t.policy.Mac_intf.pol_plan ctx in
   validate_plan t ~sender:node plan;
+  let delivered =
+    match t.pool_delivered with
+    | tbl :: rest ->
+        t.pool_delivered <- rest;
+        tbl
+    | [] -> Hashtbl.create 8
+  in
+  let pending =
+    match t.pool_pending with
+    | tbl :: rest ->
+        t.pool_pending <- rest;
+        tbl
+    | [] -> Hashtbl.create 8
+  in
   let inst =
-    {
-      uid;
-      sender = node;
-      body;
-      status = Open;
-      delivered = Hashtbl.create 8;
-      pending = Hashtbl.create 8;
-      ack_handle = None;
-    }
+    { uid; sender = node; body; status = Open; delivered; pending;
+      ack_handle = None }
   in
   Hashtbl.replace t.instances uid inst;
   t.current.(node) <- Some uid;
   Array.iter
-    (fun j -> Hashtbl.replace t.contenders.(j) uid ())
+    (fun j -> Uidset.add t.contenders.(j) uid)
     g'_neighbors;
   Array.iter
     (fun j ->

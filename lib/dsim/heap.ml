@@ -1,25 +1,38 @@
-(* Binary min-heap over (time, seq) keys, backed by a dynamic array.
-   Cancellation is lazy: a cancelled entry stays in the array until it
-   surfaces at the root, where [pop] discards it.  [live] counts only
-   non-cancelled entries so [length] stays exact. *)
+(* Binary min-heap over (time, seq) keys.  Entry records carry seq,
+   payload and the liveness bit; times live in a parallel unboxed float
+   array kept in sync by the sifts.  Splitting the key out matters
+   twice: a mixed int/float record would box its float field, costing an
+   extra allocation per push, and sift comparisons become flat
+   [Float.Array]-style reads instead of pointer chases.  The handle
+   [push] returns IS the entry, so [cancel] is an O(1) field write with
+   no hashing and no lookup table.  Cancellation stays lazy: a dead
+   entry sits in the array until it surfaces at the root, where the one
+   shared drain ([drop_dead]) discards it.  [live] counts only
+   non-cancelled entries so [length] stays exact.
 
-type handle = int
+   Slots at index >= [size] keep whatever entry reference last occupied
+   them (there is no sentinel to overwrite with); at most [capacity]
+   stale references can linger until the next pushes reuse the slots.
+   Events are small closures and heaps die with their simulation, so
+   this bounded retention is deliberate — it buys a branch-free pop. *)
 
-type 'a entry = { time : float; seq : int; value : 'a; mutable alive : bool }
+type 'a entry = { seq : int; value : 'a; mutable alive : bool }
+
+type 'a handle = 'a entry
 
 type 'a t = {
-  mutable data : 'a entry option array;
+  mutable times : float array; (* times.(i) keys data.(i) *)
+  mutable data : 'a entry array;
   mutable size : int; (* used slots in [data], including dead entries *)
   mutable live : int; (* non-cancelled entries *)
   mutable next_seq : int;
-  by_handle : (handle, 'a entry) Hashtbl.t;
   mutable high_water : int; (* max [live] ever observed *)
   mutable n_cancelled : int; (* entries cancelled while still live *)
 }
 
 let create () =
-  { data = Array.make 16 None; size = 0; live = 0; next_seq = 0;
-    by_handle = Hashtbl.create 64; high_water = 0; n_cancelled = 0 }
+  { times = [||]; data = [||]; size = 0; live = 0; next_seq = 0;
+    high_water = 0; n_cancelled = 0 }
 
 let length t = t.live
 let is_empty t = t.live = 0
@@ -27,100 +40,125 @@ let high_water t = t.high_water
 let pushes t = t.next_seq
 let cancelled t = t.n_cancelled
 
-let entry_exn t i =
-  match t.data.(i) with
-  | Some e -> e
-  | None -> invalid_arg "Heap: hole in backing array"
-
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let swap t i j =
-  let tmp = t.data.(i) in
-  t.data.(i) <- t.data.(j);
-  t.data.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less (entry_exn t i) (entry_exn t parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Hole-based sifts: carry the moving (time, entry) pair in registers and
+   write them once at their final slot, instead of swapping pairwise. *)
+let sift_up t start time e =
+  let i = ref start in
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pt = t.times.(parent) in
+    if time < pt || (time = pt && e.seq < t.data.(parent).seq) then begin
+      t.times.(!i) <- pt;
+      t.data.(!i) <- t.data.(parent);
+      i := parent
     end
-  end
+    else stop := true
+  done;
+  t.times.(!i) <- time;
+  t.data.(!i) <- e
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && less (entry_exn t l) (entry_exn t !smallest) then
-    smallest := l;
-  if r < t.size && less (entry_exn t r) (entry_exn t !smallest) then
-    smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
-let grow t =
-  let cap = Array.length t.data in
-  if t.size = cap then begin
-    let data = Array.make (2 * cap) None in
-    Array.blit t.data 0 data 0 cap;
-    t.data <- data
-  end
+let sift_down t time e =
+  let n = t.size in
+  let i = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let l = (2 * !i) + 1 in
+    if l >= n then stop := true
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < n
+          && (t.times.(r) < t.times.(l)
+             || (t.times.(r) = t.times.(l)
+                && t.data.(r).seq < t.data.(l).seq))
+        then r
+        else l
+      in
+      let ct = t.times.(c) in
+      if ct < time || (ct = time && t.data.(c).seq < e.seq) then begin
+        t.times.(!i) <- ct;
+        t.data.(!i) <- t.data.(c);
+        i := c
+      end
+      else stop := true
+    end
+  done;
+  t.times.(!i) <- time;
+  t.data.(!i) <- e
 
 let push t ~time value =
   if Float.is_nan time then invalid_arg "Heap.push: NaN time";
-  grow t;
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  let e = { time; seq; value; alive = true } in
-  t.data.(t.size) <- Some e;
+  let e = { seq = t.next_seq; value; alive = true } in
+  t.next_seq <- t.next_seq + 1;
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    (* Grow using the new entry as filler: every slot then aliases some
+       live entry, so no separate sentinel value is ever needed. *)
+    let cap' = if cap = 0 then 16 else 2 * cap in
+    let data = Array.make cap' e in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data;
+    let times = Array.make cap' time in
+    Array.blit t.times 0 times 0 cap;
+    t.times <- times
+  end;
   t.size <- t.size + 1;
   t.live <- t.live + 1;
   if t.live > t.high_water then t.high_water <- t.live;
-  Hashtbl.replace t.by_handle seq e;
-  sift_up t (t.size - 1);
-  seq
-
-let cancel t handle =
-  match Hashtbl.find_opt t.by_handle handle with
-  | None -> ()
-  | Some e ->
-      if e.alive then begin
-        e.alive <- false;
-        t.live <- t.live - 1;
-        t.n_cancelled <- t.n_cancelled + 1
-      end;
-      Hashtbl.remove t.by_handle handle
-
-let pop_root t =
-  let e = entry_exn t 0 in
-  t.size <- t.size - 1;
-  t.data.(0) <- t.data.(t.size);
-  t.data.(t.size) <- None;
-  if t.size > 0 then sift_down t 0;
+  sift_up t (t.size - 1) time e;
   e
 
-let rec pop t =
-  if t.size = 0 then None
-  else begin
-    let e = pop_root t in
-    if e.alive then begin
-      e.alive <- false;
-      t.live <- t.live - 1;
-      Hashtbl.remove t.by_handle e.seq;
-      Some (e.time, e.value)
-    end
-    else pop t
+let cancel _t e =
+  if e.alive then begin
+    e.alive <- false;
+    _t.live <- _t.live - 1;
+    _t.n_cancelled <- _t.n_cancelled + 1
   end
 
-let rec peek_time t =
+let pop_root t =
+  let e = t.data.(0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then sift_down t t.times.(last) t.data.(last);
+  e
+
+(* The one dead-entry drain (Sim.run used to run one in [peek_time] and a
+   second in [pop]; both now share this). *)
+let rec drop_dead t =
+  if t.size > 0 && not t.data.(0).alive then begin
+    ignore (pop_root t);
+    drop_dead t
+  end
+
+let pop t =
+  drop_dead t;
   if t.size = 0 then None
   else begin
-    let e = entry_exn t 0 in
-    if e.alive then Some e.time
-    else begin
-      ignore (pop_root t);
-      peek_time t
-    end
+    let time = t.times.(0) in
+    let e = pop_root t in
+    e.alive <- false;
+    t.live <- t.live - 1;
+    Some (time, e.value)
+  end
+
+let peek_time t =
+  drop_dead t;
+  if t.size = 0 then None else Some t.times.(0)
+
+type 'a next = Empty | Later of float | Due of float * 'a
+
+let pop_if_before ?horizon t =
+  drop_dead t;
+  if t.size = 0 then Empty
+  else begin
+    let time = t.times.(0) in
+    match horizon with
+    | Some h when time > h -> Later time
+    | _ ->
+        let e = pop_root t in
+        e.alive <- false;
+        t.live <- t.live - 1;
+        Due (time, e.value)
   end

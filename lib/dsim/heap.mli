@@ -1,13 +1,19 @@
-(** Binary min-heap of timestamped entries with stable ordering and O(log n)
+(** Binary min-heap of timestamped entries with stable ordering and O(1)
     cancellation, used as the event queue of the simulator.
 
     Entries are ordered by [(time, seq)] where [seq] is an insertion counter,
-    so two entries scheduled for the same instant pop in insertion order. *)
+    so two entries scheduled for the same instant pop in insertion order.
+    Since [seq] makes every key unique, pop order is a strict total order
+    over pushes — independent of the heap's internal layout.
+
+    A handle is an opaque reference to the inserted entry itself, so
+    {!cancel} is a single field write (no lookup table); cancelled entries
+    are discarded lazily when they reach the root. *)
 
 type 'a t
 (** A mutable min-heap holding values of type ['a]. *)
 
-type handle
+type 'a handle
 (** Identifies one inserted entry, for cancellation. *)
 
 val create : unit -> 'a t
@@ -30,11 +36,11 @@ val cancelled : 'a t -> int
 (** Entries cancelled while still pending (double-cancels and cancels of
     already-popped entries are not counted). *)
 
-val push : 'a t -> time:float -> 'a -> handle
+val push : 'a t -> time:float -> 'a -> 'a handle
 (** [push h ~time v] inserts [v] with priority [time] and returns a handle
-    that can later be passed to {!cancel}. *)
+    that can later be passed to {!cancel}.  One allocation (the entry). *)
 
-val cancel : 'a t -> handle -> unit
+val cancel : 'a t -> 'a handle -> unit
 (** [cancel h hd] removes the entry identified by [hd] if it is still
     present; cancelling an already-popped or already-cancelled entry is a
     no-op. *)
@@ -45,3 +51,14 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_time : 'a t -> float option
 (** [peek_time h] is the priority of the next entry {!pop} would return. *)
+
+type 'a next =
+  | Empty  (** no live entries *)
+  | Later of float  (** next entry is strictly past the horizon *)
+  | Due of float * 'a  (** popped: at or before the horizon *)
+
+val pop_if_before : ?horizon:float -> 'a t -> 'a next
+(** [pop_if_before ?horizon h] combines {!peek_time} and {!pop} in one
+    traversal: pops the minimum entry unless its time is strictly greater
+    than [horizon], in which case it stays queued and its time is returned
+    as [Later].  Without [horizon] the result is never [Later]. *)

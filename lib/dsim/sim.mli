@@ -73,6 +73,11 @@ val category_stats : t -> (string * int * float) list
 (** Per-category [(name, events, wall_seconds)] for events scheduled with
     [?cat], sorted by category name. *)
 
+val cat_interned : t -> int
+(** Number of distinct category names interned so far.  Categories are
+    interned to dense ids at {!schedule} time so per-event accounting is an
+    array index; this count feeds the [engine.cat_interned] metric. *)
+
 val heap_high_water : t -> int
 (** Maximum number of simultaneously pending events ever observed. *)
 

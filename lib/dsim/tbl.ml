@@ -27,6 +27,15 @@ let sorted_iter ~cmp f t =
 let sorted_fold ~cmp f t init =
   List.fold_left (fun acc (k, v) -> f k v acc) init (to_sorted_list ~cmp t)
 
+(* Raw hash-order traversal, restricted by contract to callbacks whose
+   effects commute (pure per-binding field writes, counter bumps): for
+   those the final state is independent of visit order, so no snapshot or
+   sort is owed.  Anything order-sensitive — emitting output, choosing a
+   representative, feeding an RNG or a policy — must use [sorted_iter].
+   The name is the audit trail: call sites assert commutativity by
+   choosing this function (see the D1 note in mmb_lint). *)
+let iter_commutative f t = Hashtbl.iter f t
+
 (* Minimum key under [cmp], skipping keys for which [skip] holds.  A plain
    fold is safe here: min over a total order is commutative, so the result
    is independent of traversal order (and O(n), unlike sorting). *)

@@ -28,6 +28,13 @@ val sorted_fold :
   'acc
 (** [Hashtbl.fold] in ascending key order. *)
 
+val iter_commutative : ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [Hashtbl.iter] in raw hash order, with no snapshot and no sort — O(n)
+    and allocation-free.  Only legal when [f]'s effects commute across
+    bindings (e.g. cancelling independent events, bumping counters), so
+    the final state cannot depend on traversal order.  Order-sensitive
+    work must use {!sorted_iter}; mmb_lint's D1 message points here. *)
+
 val min_key :
   ?skip:('k -> bool) -> cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k option
 (** Minimum key under [cmp] among keys for which [skip] is false

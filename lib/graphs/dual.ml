@@ -2,7 +2,52 @@ type t = {
   g : Graph.t;
   g' : Graph.t;
   embedding : Geometry.point array option;
+  g'_only : int array array;
+  reliable_bits : Bytes.t;
 }
+
+(* Cap on n for the n*n reliable-edge bitset (8 MiB at the cap); larger
+   instances fall back to Graph.mem_edge, which is still correct. *)
+let bitset_max_n = 8192
+
+let build_g'_only ~g ~g' =
+  let n = Graph.n g in
+  Array.init n (fun u ->
+      let nbrs = Graph.neighbors g' u in
+      let count = ref 0 in
+      Array.iter (fun v -> if not (Graph.mem_edge g u v) then incr count) nbrs;
+      if !count = 0 then [||]
+      else begin
+        let out = Array.make !count 0 in
+        let j = ref 0 in
+        Array.iter
+          (fun v ->
+            if not (Graph.mem_edge g u v) then begin
+              out.(!j) <- v;
+              incr j
+            end)
+          nbrs;
+        out
+      end)
+
+let build_reliable_bits ~g =
+  let n = Graph.n g in
+  if n > bitset_max_n then Bytes.empty
+  else begin
+    let bits = Bytes.make (((n * n) + 7) / 8) '\000' in
+    let set u v =
+      let idx = (u * n) + v in
+      let b = idx lsr 3 in
+      Bytes.unsafe_set bits b
+        (Char.chr (Char.code (Bytes.unsafe_get bits b) lor (1 lsl (idx land 7))))
+    in
+    Graph.fold_edges
+      (fun u v () ->
+        set u v;
+        set v u)
+      g ();
+    bits
+  end
 
 let create ?embedding ~g ~g' () =
   if Graph.n g <> Graph.n g' then
@@ -13,11 +58,26 @@ let create ?embedding ~g ~g' () =
   | Some pts when Array.length pts <> Graph.n g ->
       invalid_arg "Dual.create: embedding size mismatch"
   | _ -> ());
-  { g; g'; embedding }
+  { g; g'; embedding;
+    g'_only = build_g'_only ~g ~g';
+    reliable_bits = build_reliable_bits ~g }
 
 let reliable t = t.g
 let unreliable t = t.g'
 let n t = Graph.n t.g
+
+let g'_only_neighbors t u = t.g'_only.(u)
+
+let is_reliable t u v =
+  let n = Graph.n t.g in
+  if u < 0 || v < 0 || u >= n || v >= n || u = v then false
+  else if Bytes.length t.reliable_bits = 0 then Graph.mem_edge t.g u v
+  else begin
+    let idx = (u * n) + v in
+    Char.code (Bytes.unsafe_get t.reliable_bits (idx lsr 3))
+    land (1 lsl (idx land 7))
+    <> 0
+  end
 
 let unreliable_only_edges t =
   List.filter (fun (u, v) -> not (Graph.mem_edge t.g u v)) (Graph.edges t.g')

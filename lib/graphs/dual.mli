@@ -11,6 +11,11 @@ type t = private {
   g' : Graph.t;  (** full graph G' (includes all of G's edges) *)
   embedding : Geometry.point array option;
       (** plane embedding, when the construction is geometric *)
+  g'_only : int array array;
+      (** derived cache: per-node [G' \ G] neighbors — use
+          {!g'_only_neighbors} *)
+  reliable_bits : Bytes.t;
+      (** derived cache: G-adjacency bitset — use {!is_reliable} *)
 }
 
 val create : ?embedding:Geometry.point array -> g:Graph.t -> g':Graph.t -> unit -> t
@@ -21,6 +26,17 @@ val unreliable : t -> Graph.t
 
 val unreliable_only_edges : t -> (int * int) list
 (** The edges of [G' \ G]. *)
+
+val g'_only_neighbors : t -> int -> int array
+(** [g'_only_neighbors t u] is [u]'s neighbors over [G' \ G] (i.e. the
+    endpoints of its unreliable links), sorted ascending.  Precomputed at
+    construction — O(1), and callers must not mutate the returned array. *)
+
+val is_reliable : t -> int -> int -> bool
+(** [is_reliable t u v] iff [(u,v) ∈ E(G)].  Backed by an adjacency bitset
+    built at construction (for [n] up to 8192; [Graph.mem_edge] beyond),
+    so the per-delivery reliability bit costs no binary search.  [false]
+    for [u = v] or out-of-range indices. *)
 
 val n : t -> int
 

@@ -78,8 +78,9 @@ let rule_d1 =
               ->
                 report ~loc:fn.Parsetree.pexp_loc
                   "Hashtbl iteration order is unspecified under seeded \
-                   hashing; use Dsim.Tbl.sorted_iter/sorted_fold (or \
-                   suppress if provably order-independent)"
+                   hashing; use Dsim.Tbl.sorted_iter/sorted_fold, or \
+                   Dsim.Tbl.iter_commutative when the per-binding effects \
+                   provably commute (pure field writes, counter bumps)"
             | _ -> ()));
   }
 

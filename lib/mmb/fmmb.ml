@@ -15,11 +15,14 @@ let default_params ~n ~k ~c =
 
 type backend = Rounds | Continuous of Amac.Round_sync.mode
 
+(* Returns the engine plus the underlying [Dsim.Sim.t] when the backend
+   has one (Continuous), so the caller can hand it to instrumentation. *)
 let make_engine ~backend ~dual ~fprog ~rng ~policy ?trace () =
   match backend with
   | Rounds ->
-      Amac.Round_engine.of_enhanced
-        (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ())
+      ( Amac.Round_engine.of_enhanced
+          (Amac.Enhanced_mac.create ~dual ~fprog ~policy ~rng ?trace ()),
+        None )
   | Continuous mode ->
       let sim = Dsim.Sim.create () in
       let mac =
@@ -27,7 +30,7 @@ let make_engine ~backend ~dual ~fprog ~rng ~policy ?trace () =
           ~policy:(Amac.Round_sync.policy ~mode)
           ~rng ?trace ()
       in
-      Amac.Round_engine.of_round_sync (Amac.Round_sync.create ~mac ())
+      (Amac.Round_engine.of_round_sync (Amac.Round_sync.create ~mac ()), Some sim)
 
 type result = {
   complete : bool;
@@ -42,9 +45,15 @@ type result = {
 }
 
 let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
-    ?(backend = Rounds) ?max_spread_phases ?trace ?on_event () =
+    ?(backend = Rounds) ?max_spread_phases ?trace ?on_event
+    ?(note_sim = fun (_ : Dsim.Sim.t) -> ()) () =
+  (* Continuous-backend stage engines are collected so their cumulative
+     engine counters can be noted once the stages have all run. *)
+  let sims = ref [] in
   let fresh_engine () =
-    make_engine ~backend ~dual ~fprog ~rng ~policy ?trace ()
+    let engine, sim = make_engine ~backend ~dual ~fprog ~rng ~policy ?trace () in
+    (match sim with Some s -> sims := s :: !sims | None -> ());
+    engine
   in
   let n = Graphs.Dual.n dual in
   let g = Graphs.Dual.reliable dual in
@@ -106,6 +115,7 @@ let run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker
     mis_res.Fmmb_mis.rounds_run + gather_res.Fmmb_gather.rounds_run
     + spread_res.Fmmb_spread.rounds_run
   in
+  List.iter note_sim (List.rev !sims);
   let mis_list = List.filter (fun v -> mis.(v)) (List.init n Fun.id) in
   {
     complete = Problem.complete tracker;

@@ -55,9 +55,14 @@ val run :
   ?max_spread_phases:int ->
   ?trace:Dsim.Trace.t ->
   ?on_event:(time:float -> Dsim.Trace.event -> unit) ->
+  ?note_sim:(Dsim.Sim.t -> unit) ->
   unit ->
   result
-(** [max_spread_phases] defaults to [4 * (D + k) + 8].  [trace] is handed
+(** [max_spread_phases] defaults to [4 * (D + k) + 8].  [note_sim] is
+    called once per stage engine after all stages have run, with each
+    [Continuous]-backend engine's simulator, so engine-cost accounting
+    ({!Mmb.Instrument.note_sim} → [Obs.Global]) covers FMMB runs; the
+    [Rounds] backend has no engine and notes nothing.  [trace] is handed
     to each per-stage MAC engine (stage-local uids and times — suitable
     for inspection, not for a single-stream audit); [on_event] receives
     only the problem-level [Arrive]/[Deliver] lifecycle at stage-granular

@@ -203,7 +203,8 @@ let run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
   let tracker = Problem.tracker ~dual assignment in
   let fmmb =
     Fmmb.run ~dual ~fprog ~rng ~policy ~params ~assignment ~tracker ?backend
-      ?max_spread_phases ?on_event:instrument.Instrument.on_event ()
+      ?max_spread_phases ?on_event:instrument.Instrument.on_event
+      ~note_sim:instrument.Instrument.note_sim ()
   in
   instrument.Instrument.finish ~allow_open:true;
   let d = Graphs.Bfs.diameter (Graphs.Dual.reliable dual) in

@@ -8,6 +8,7 @@ type snap = {
   rcvs : int;
   acks : int;
   forced : int;
+  cat_interned : int;
 }
 
 let zero =
@@ -21,6 +22,7 @@ let zero =
     rcvs = 0;
     acks = 0;
     forced = 0;
+    cat_interned = 0;
   }
 
 (* The main registry.  Callers deep in the simulation stack (Mmb.Runner
@@ -55,6 +57,9 @@ let add a b =
     rcvs = a.rcvs + b.rcvs;
     acks = a.acks + b.acks;
     forced = a.forced + b.forced;
+    (* Interned-category counts are per-engine cardinalities, not flows:
+       the combined figure is the largest any one engine reached. *)
+    cat_interned = max a.cat_interned b.cat_interned;
   }
 
 let merge delta =
@@ -72,6 +77,7 @@ let note_sim sim =
       pushes = s.pushes + Dsim.Sim.heap_pushes sim;
       cancelled = s.cancelled + Dsim.Sim.cancelled_events sim;
       heap_high_water = max s.heap_high_water (Dsim.Sim.heap_high_water sim);
+      cat_interned = max s.cat_interned (Dsim.Sim.cat_interned sim);
     }
 
 let note_mac ~bcasts ~rcvs ~acks ~forced =
@@ -98,6 +104,8 @@ let diff ~before ~after =
     rcvs = after.rcvs - before.rcvs;
     acks = after.acks - before.acks;
     forced = after.forced - before.forced;
+    (* Like the high-water mark: report the window's running max. *)
+    cat_interned = after.cat_interned;
   }
 
 let fields s =
@@ -112,6 +120,7 @@ let fields s =
     ("rcvs", n s.rcvs);
     ("acks", n s.acks);
     ("forced", n s.forced);
+    ("cat_interned", n s.cat_interned);
   ]
 
 let to_json ~label ?wall_s s =
@@ -136,6 +145,8 @@ let snap_of_json json =
   let* rcvs = Dsim.Json.member_int json "rcvs" ~default:0 in
   let* acks = Dsim.Json.member_int json "acks" ~default:0 in
   let* forced = Dsim.Json.member_int json "forced" ~default:0 in
+  (* default 0: manifests written before this field existed stay valid. *)
+  let* cat_interned = Dsim.Json.member_int json "cat_interned" ~default:0 in
   Ok
     {
       runs;
@@ -147,4 +158,5 @@ let snap_of_json json =
       rcvs;
       acks;
       forced;
+      cat_interned;
     }

@@ -25,6 +25,9 @@ type snap = {
   rcvs : int;
   acks : int;
   forced : int;  (** watchdog-forced deliveries *)
+  cat_interned : int;
+      (** max distinct event categories interned by any one engine
+          (combines by max, like [heap_high_water]) *)
 }
 
 val zero : snap

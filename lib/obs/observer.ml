@@ -44,6 +44,8 @@ let wire_sim t sim =
   Metrics.probe m "engine.heap_pushes" (fun () -> fi (Dsim.Sim.heap_pushes sim));
   Metrics.probe m "engine.cancelled" (fun () ->
       fi (Dsim.Sim.cancelled_events sim));
+  Metrics.probe m "engine.cat_interned" (fun () ->
+      fi (Dsim.Sim.cat_interned sim));
   Metrics.multi_probe m (fun () ->
       List.map
         (fun (name, events, _) -> ("engine.cat." ^ name ^ ".events", fi events))

@@ -41,7 +41,7 @@ let fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
     ?max_spread_phases ?obs () =
   let instrument =
     match obs with
-    | None -> Mmb.Instrument.none
+    | None -> note_globals
     | Some o ->
         (* The MMB lifecycle goes through a retention-free trace so the
            observer's span deriver sees it as a subscriber. *)
@@ -53,6 +53,7 @@ let fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
             Some (fun ~time event -> Dsim.Trace.record tr ~time event);
           finish =
             (fun ~allow_open -> ignore (Observer.finish o ~allow_open));
+          note_sim = Global.note_sim;
         }
   in
   Mmb.Runner.run_fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend

@@ -1,0 +1,6 @@
+(* Fixture: the sanctioned commutative-traversal escape — calling
+   Dsim.Tbl.iter_commutative is not a D1 hit (the rule matches raw
+   Hashtbl.iter/fold only), while the raw call beside it still is. *)
+let cancel_all cancel t = Dsim.Tbl.iter_commutative (fun _ h -> cancel h) t
+
+let bad t = Hashtbl.iter (fun _ _ -> ()) t

@@ -57,6 +57,45 @@ let test_cancel_root () =
   | Some (_, v) -> Alcotest.(check string) "pop skips dead root" "b" v
   | None -> Alcotest.fail "expected b")
 
+let test_cancel_of_popped () =
+  let h = Dsim.Heap.create () in
+  let a = Dsim.Heap.push h ~time:1. "a" in
+  let b = Dsim.Heap.push h ~time:2. "b" in
+  ignore (Dsim.Heap.pop h) (* pops a *);
+  Dsim.Heap.cancel h a (* must be a no-op: already popped *);
+  Alcotest.(check int) "b still live" 1 (Dsim.Heap.length h);
+  Alcotest.(check int) "cancel of popped not counted" 0
+    (Dsim.Heap.cancelled h);
+  Dsim.Heap.cancel h b;
+  Dsim.Heap.cancel h b;
+  Alcotest.(check int) "double cancel counted once" 1 (Dsim.Heap.cancelled h);
+  Alcotest.(check bool) "drained" true (Dsim.Heap.pop h = None)
+
+let test_pop_if_before () =
+  let h = Dsim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Dsim.Heap.pop_if_before ~horizon:5. h = Dsim.Heap.Empty);
+  ignore (Dsim.Heap.push h ~time:3. "a");
+  ignore (Dsim.Heap.push h ~time:7. "b");
+  Alcotest.(check bool) "beyond horizon stays queued" true
+    (Dsim.Heap.pop_if_before ~horizon:2. h = Dsim.Heap.Later 3.);
+  Alcotest.(check int) "nothing was popped" 2 (Dsim.Heap.length h);
+  Alcotest.(check bool) "time exactly at horizon pops" true
+    (Dsim.Heap.pop_if_before ~horizon:3. h = Dsim.Heap.Due (3., "a"));
+  Alcotest.(check bool) "no horizon always pops" true
+    (Dsim.Heap.pop_if_before h = Dsim.Heap.Due (7., "b"));
+  Alcotest.(check bool) "drained" true
+    (Dsim.Heap.pop_if_before h = Dsim.Heap.Empty)
+
+let test_pop_if_before_skips_dead () =
+  let h = Dsim.Heap.create () in
+  let a = Dsim.Heap.push h ~time:1. "a" in
+  ignore (Dsim.Heap.push h ~time:4. "b");
+  Dsim.Heap.cancel h a;
+  (* The dead root must be drained before the horizon comparison: the
+     live minimum is 4., past the horizon. *)
+  Alcotest.(check bool) "dead root invisible to the horizon check" true
+    (Dsim.Heap.pop_if_before ~horizon:2. h = Dsim.Heap.Later 4.)
+
 let test_nan_rejected () =
   let h = Dsim.Heap.create () in
   Alcotest.check_raises "nan" (Invalid_argument "Heap.push: NaN time")
@@ -113,6 +152,11 @@ let suite =
         Alcotest.test_case "stable at equal times" `Quick test_fifo_at_equal_times;
         Alcotest.test_case "cancellation" `Quick test_cancel;
         Alcotest.test_case "cancel at root" `Quick test_cancel_root;
+        Alcotest.test_case "cancel of popped entry" `Quick
+          test_cancel_of_popped;
+        Alcotest.test_case "pop_if_before semantics" `Quick test_pop_if_before;
+        Alcotest.test_case "pop_if_before skips dead roots" `Quick
+          test_pop_if_before_skips_dead;
         Alcotest.test_case "rejects NaN time" `Quick test_nan_rejected;
         QCheck_alcotest.to_alcotest prop_drain_sorted;
         QCheck_alcotest.to_alcotest prop_cancel_half;

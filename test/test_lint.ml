@@ -25,6 +25,22 @@ let test_d1_suppressed () =
   check_rules "same-line and previous-line suppressions hold" []
     (Lint.lint_file "lint_fixtures/d1_suppressed.ml")
 
+let test_d1_commutative () =
+  (* Dsim.Tbl.iter_commutative is not a raw Hashtbl traversal, so only the
+     bare Hashtbl.iter in the fixture fires; its message must advertise
+     the commutative escape so suppressors know the sanctioned route. *)
+  let fs = Lint.lint_file "lint_fixtures/d1_commutative.ml" in
+  check_rules "only the raw Hashtbl.iter fires" [ "D1" ] fs;
+  Alcotest.(check (list int)) "on the raw call's line" [ 6 ] (lines_of fs);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "D1 message points at iter_commutative" true
+        (Analysis.Paths.find_substring ~sub:"iter_commutative"
+           f.Lint.msg
+        <> None))
+    fs
+
 let test_d1_allowlisted () =
   let allow = Lint.load_allowlist "lint_fixtures/fixtures.allow" in
   check_rules "allowlist entry silences the file" []
@@ -191,6 +207,8 @@ let suite =
       [
         Alcotest.test_case "D1 Hashtbl traversal" `Quick test_d1_hit;
         Alcotest.test_case "D1 suppression comments" `Quick test_d1_suppressed;
+        Alcotest.test_case "D1 commutative-traversal escape" `Quick
+          test_d1_commutative;
         Alcotest.test_case "D1 allowlist" `Quick test_d1_allowlisted;
         Alcotest.test_case "D2 ambient Random" `Quick test_d2_hit;
         Alcotest.test_case "D2 rng.ml exemption" `Quick test_d2_rng_exempt;

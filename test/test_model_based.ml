@@ -4,28 +4,47 @@
 
 (* --- Heap vs sorted-list reference ----------------------------------------- *)
 
-type op = Push of float | Pop | Cancel of int
+type op =
+  | Push of float
+  | Pop
+  | Cancel of int
+  | Peek
+  | Pop_before of float
+
+(* Discrete times (0..5) appear alongside continuous ones so equal-time
+   collisions — where only the seq tiebreak orders entries — are common,
+   and Pop_before horizons often land exactly on an entry's time (the
+   at-the-horizon boundary must pop). *)
+let time_gen =
+  QCheck.Gen.(
+    oneof
+      [ float_bound_exclusive 1000.; map float_of_int (int_bound 5) ])
 
 let op_gen =
   QCheck.Gen.(
     frequency
       [
-        (5, map (fun t -> Push t) (float_bound_exclusive 1000.));
+        (5, map (fun t -> Push t) time_gen);
         (3, return Pop);
         (2, map (fun i -> Cancel i) (int_bound 50));
+        (2, return Peek);
+        (2, map (fun t -> Pop_before t) time_gen);
       ])
 
 let op_print = function
   | Push t -> Printf.sprintf "Push %.3f" t
   | Pop -> "Pop"
   | Cancel i -> Printf.sprintf "Cancel %d" i
+  | Peek -> "Peek"
+  | Pop_before t -> Printf.sprintf "Pop_before %.3f" t
 
 let arbitrary_ops =
   QCheck.make
     ~print:(fun ops -> String.concat "; " (List.map op_print ops))
     QCheck.Gen.(list_size (int_range 0 60) op_gen)
 
-(* Reference: a list of (time, seq, value, alive ref) in insertion order. *)
+(* Reference: a list of (time, seq, value) alive entries; sorting under
+   polymorphic compare orders by (time, seq), the heap's key. *)
 let prop_heap_matches_reference =
   QCheck.Test.make ~name:"heap behaves like a sorted-list reference model"
     ~count:300 arbitrary_ops
@@ -34,6 +53,7 @@ let prop_heap_matches_reference =
       let reference = ref [] (* (time, seq, value) alive entries *) in
       let handles = ref [] (* (op_index, handle, time, seq) *) in
       let seq = ref 0 in
+      let eff_cancels = ref 0 in
       let ok = ref true in
       List.iteri
         (fun _ op ->
@@ -57,13 +77,45 @@ let prop_heap_matches_reference =
                   if not (t = t' && v = v') then ok := false
               | _ -> ok := false)
           | Cancel i -> (
+              (* [handles] also holds popped and already-cancelled entries,
+                 so this op exercises cancel-of-popped / double-cancel; the
+                 reference filter no-ops exactly when the heap must. *)
               match List.nth_opt !handles i with
               | None -> ()
               | Some (_, h, _, s) ->
                   Dsim.Heap.cancel heap h;
-                  reference := List.filter (fun (_, s', _) -> s' <> s) !reference))
+                  let before = List.length !reference in
+                  reference := List.filter (fun (_, s', _) -> s' <> s) !reference;
+                  if List.length !reference < before then incr eff_cancels)
+          | Peek ->
+              let expected =
+                match List.sort compare !reference with
+                | [] -> None
+                | (t, _, _) :: _ -> Some t
+              in
+              if Dsim.Heap.peek_time heap <> expected then ok := false
+          | Pop_before horizon -> (
+              let expected =
+                match List.sort compare !reference with
+                | [] -> `Empty
+                | (t, s, v) :: _ ->
+                    if t > horizon then `Later t
+                    else begin
+                      reference :=
+                        List.filter (fun (_, s', _) -> s' <> s) !reference;
+                      `Due (t, v)
+                    end
+              in
+              match (Dsim.Heap.pop_if_before ~horizon heap, expected) with
+              | Dsim.Heap.Empty, `Empty -> ()
+              | Dsim.Heap.Later t, `Later t' when t = t' -> ()
+              | Dsim.Heap.Due (t, v), `Due (t', v') when t = t' && v = v' -> ()
+              | _ -> ok := false))
         ops;
       if Dsim.Heap.length heap <> List.length !reference then ok := false;
+      (* Cancels of popped/dead entries must not inflate the counter. *)
+      if Dsim.Heap.cancelled heap <> !eff_cancels then ok := false;
+      if Dsim.Heap.pushes heap <> !seq then ok := false;
       !ok)
 
 (* --- Sim vs reference execution order --------------------------------------- *)
