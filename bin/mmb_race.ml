@@ -1,0 +1,44 @@
+(* CLI driver for the domain-safety analyzer (see lib/race/race.ml), a
+   thin instantiation of the shared analyzer CLI (Analysis.Cli):
+
+     mmb_race [--allow FILE] [--json] [--rules] [--no-stale] PATH...
+     mmb_race --inventory PATH...
+
+   The first form runs rules R1–R4 and exits 0/1/2 like the other
+   analyzers; `dune build @race` wires it into tier-1.  The second form
+   prints the classified mutable-state inventory — every top-level
+   mutable allocation with its class on the domain-safety lattice and
+   its unit's worker-reachability — the map a Domain-partitioning
+   refactor starts from. *)
+
+let print_inventory paths =
+  let files = Analysis.Cli.collect_files ~exts:[ ".ml" ] paths in
+  List.iter
+    (fun (file, reachable, items) ->
+      List.iter
+        (fun (i : Race.Inventory.item) ->
+          let pos = i.Race.Inventory.i_loc.Location.loc_start in
+          Printf.printf "%s:%d: %s %s (%s)%s\n" file pos.Lexing.pos_lnum
+            (Race.Inventory.cls_to_string i.Race.Inventory.i_cls)
+            i.Race.Inventory.i_name i.Race.Inventory.i_creator
+            (if reachable then " [worker-reachable]" else ""))
+        items)
+    (Race.inventory files)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--inventory" :: paths when paths <> [] ->
+      print_inventory paths;
+      exit 0
+  | _ ->
+      Analysis.Cli.main
+        {
+          Analysis.Cli.name = "mmb_race";
+          exts = [ ".ml" ];
+          rules_doc =
+            List.map
+              (fun (r : Analysis.Rule.t) -> (r.Analysis.Rule.id, r.doc))
+              Race.default_rules;
+          run =
+            (fun ~allow ~stale files -> Race.run_files ~allow ~stale files);
+        }

@@ -1,26 +1,101 @@
 #!/bin/sh
-# Tier-1 verify in one command (see ROADMAP.md): both static analyzers,
-# the build, the test suite, and one randomized-hash-seed test pass to
-# catch order-dependent Hashtbl traversals that default hashing hides.
-set -e
+# Tier-1 verify in one command (see ROADMAP.md).
+#
+#   bin/verify.sh           analyzers + build + tests + perf smoke
+#   bin/verify.sh --quick   analyzers + build + tests (skip perf smoke)
+#   bin/verify.sh --full    default + randomized-hash runtest + analyzer
+#                           fixture suites
+#   bin/verify.sh --tsan    multi-domain exec tests under ThreadSanitizer
+#                           (needs an OCaml >= 5.2 tsan opam switch; set
+#                           MMB_TSAN_SWITCH to name it explicitly; SKIPs
+#                           gracefully when none exists)
+#
+# Every gate runs even after a failure; a one-line-per-gate summary
+# table prints at the end and the exit code is 0 only if no gate failed.
 cd "$(dirname "$0")/.."
 
-echo "== dune build @lint @check"
-dune build @lint @check
+MODE=default
+case "${1:-}" in
+  "") ;;
+  --quick) MODE=quick ;;
+  --full)  MODE=full ;;
+  --tsan)  MODE=tsan ;;
+  *) echo "usage: bin/verify.sh [--quick|--full|--tsan]" >&2; exit 2 ;;
+esac
 
-echo "== dune build"
-dune build
+SUMMARY=""
+FAILED=0
 
-echo "== dune runtest"
-dune runtest
+gate() {
+  name=$1; shift
+  echo "== $name"
+  if "$@"; then
+    SUMMARY="${SUMMARY}PASS  ${name}
+"
+  else
+    SUMMARY="${SUMMARY}FAIL  ${name}
+"
+    FAILED=1
+  fi
+}
 
-echo "== OCAMLRUNPARAM=R dune runtest --force"
-OCAMLRUNPARAM=R dune runtest --force
+skip() {
+  echo "== $1 (skipped: $2)"
+  SUMMARY="${SUMMARY}SKIP  $1 ($2)
+"
+}
 
-# Perf-suite smoke: asserts the benchmark harness runs end to end and
-# emits parseable JSON (perf.exe self-validates its output under
-# --smoke).  Timings at smoke scale mean nothing and are discarded.
-echo "== bench/perf --smoke"
-dune exec bench/perf/perf.exe -- --smoke > /dev/null
+if [ "$MODE" = tsan ]; then
+  # ThreadSanitizer instrumentation is a compiler feature (OCaml >= 5.2
+  # built with tsan support); it lives in its own opam switch so the
+  # default build stays uninstrumented.  The exec suite is the only one
+  # that spawns domains, so it is the one worth instrumenting.
+  SW="${MMB_TSAN_SWITCH:-$(opam switch list -s 2>/dev/null | grep -i tsan | head -1)}"
+  if [ -z "$SW" ]; then
+    skip "tsan exec tests" "no tsan opam switch found"
+  else
+    echo "using tsan switch: $SW"
+    gate "tsan build (switch $SW)" \
+      opam exec --switch "$SW" -- dune build --build-dir _build_tsan test/test_main.exe
+    gate "tsan exec tests" \
+      opam exec --switch "$SW" -- dune exec --build-dir _build_tsan \
+      test/test_main.exe -- test exec
+  fi
+else
+  gate "dune build @lint @check @race" dune build @lint @check @race
+  gate "dune build" dune build
+  gate "dune runtest" dune runtest
 
-echo "verify: all green"
+  if [ "$MODE" != quick ]; then
+    # Perf-suite smoke: asserts the benchmark harness runs end to end
+    # and emits parseable JSON (perf.exe self-validates under --smoke).
+    # Timings at smoke scale mean nothing and are discarded.
+    gate "bench/perf --smoke" \
+      sh -c 'dune exec bench/perf/perf.exe -- --smoke > /dev/null'
+  else
+    skip "bench/perf --smoke" "--quick"
+  fi
+
+  if [ "$MODE" = full ]; then
+    # Randomized hash seeds catch order-dependent Hashtbl traversals
+    # that default hashing hides.
+    gate "OCAMLRUNPARAM=R dune runtest --force" \
+      sh -c 'OCAMLRUNPARAM=R dune runtest --force'
+    # The three analyzers' fixture suites, straight from the alias the
+    # fixtures hang off.
+    gate "dune build @fixtures" dune build @fixtures
+  else
+    skip "OCAMLRUNPARAM=R dune runtest --force" "run with --full"
+    skip "dune build @fixtures" "run with --full"
+  fi
+fi
+
+echo
+echo "---- verify ($MODE) ----"
+printf '%s' "$SUMMARY"
+if [ "$FAILED" -eq 0 ]; then
+  echo "verify: all green"
+else
+  echo "verify: FAILED"
+  exit 1
+fi

@@ -71,3 +71,9 @@ let run_files ~marker ~rules ~allow ?(stale = false) files =
   in
   let all = if stale then per_file @ Allow.stale allow else per_file in
   List.sort Finding.compare all
+
+(* Two-pass capability for analyzers whose rules need whole-tree context
+   (the race analyzer's worker-reachability graph): [rules_of] sees the
+   full file list first and returns the rule set to run over it. *)
+let run_files_with ~marker ~rules_of ~allow ?stale files =
+  run_files ~marker ~rules:(rules_of ~files) ~allow ?stale files

@@ -34,3 +34,14 @@ val run_files :
 (** Analyze many files.  With [stale] (default off), suppression
     comments and allowlist entries that suppressed nothing across the
     whole run are themselves reported ([S1]/[S2]). *)
+
+val run_files_with :
+  marker:string ->
+  rules_of:(files:string list -> Rule.t list) ->
+  allow:Allow.t ->
+  ?stale:bool ->
+  string list ->
+  Finding.t list
+(** Like {!run_files}, but the rule set is built from the full file
+    list first: the capability analyzers with whole-tree context (the
+    race analyzer's reachability graph) hang their pre-pass on. *)

@@ -21,12 +21,20 @@ let json_escape s =
 
 let finding_json (f : Finding.t) =
   Printf.sprintf
-    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","msg":"%s"}|}
-    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"msg":"%s"}|}
+    (json_escape f.rule) (json_escape f.file) f.line f.col (json_escape f.msg)
+
+(* Every analyzer (mmb_lint, mmb_check, mmb_race) emits this one shared
+   envelope, so CI consumers parse a single shape regardless of tool.
+   Bump [version] only when a field changes meaning or disappears;
+   additions are compatible. *)
+let schema = "mmb-analysis/1"
+let version = 1
 
 let to_json ~tool ~files findings =
-  Printf.sprintf {|{"tool":"%s","files":%d,"findings":[%s]}|}
-    (json_escape tool) files
+  Printf.sprintf
+    {|{"schema":"%s","tool":"%s","version":%d,"files":%d,"findings":[%s]}|}
+    schema (json_escape tool) version files
     (String.concat "," (List.map finding_json findings))
 
 (* 0 clean / 1 findings / 2 infrastructure failure (unparseable file). *)

@@ -1,8 +1,16 @@
 (** Finding output, text or JSON. *)
 
+val schema : string
+(** The shared envelope identifier every analyzer emits: ["mmb-analysis/1"]. *)
+
+val version : int
+(** Envelope version; bumped only on incompatible field changes. *)
+
 val to_json : tool:string -> files:int -> Finding.t list -> string
-(** One compact object:
-    [{"tool":...,"files":N,"findings":[{"file":...,"line":...,...}]}]. *)
+(** One compact object in the shared [mmb-analysis/1] envelope:
+    [{"schema":"mmb-analysis/1","tool":...,"version":1,"files":N,
+      "findings":[{"rule":...,"file":...,"line":...,"col":...,"msg":...}]}].
+    All three analyzers (lint, check, race) emit exactly this shape. *)
 
 val exit_code : Finding.t list -> int
 (** [0] clean, [1] findings, [2] if any [E*] finding (unparseable file). *)

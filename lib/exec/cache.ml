@@ -16,8 +16,30 @@ let rec mkdir_p dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   end
 
+(* A [*.jsonl.tmp.<disc>] file is only ever live between [store]'s
+   open and rename below; any such file found when the cache is opened
+   was orphaned by a killed run and would otherwise accumulate forever.
+   Safe only because one process opens a given cache dir at a time
+   (the campaign runner's model: workers share the [t] of a single
+   coordinating process). *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let sweep_stale_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          if contains ~sub:".jsonl.tmp." name then
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        names
+
 let create ~dir =
   mkdir_p dir;
+  sweep_stale_tmp dir;
   { dir; hits = 0; misses = 0 }
 
 let dir t = t.dir

@@ -10,7 +10,10 @@ val mkdir_p : string -> unit
 (** [mkdir -p]; shared with {!Manifest} for checkpoint directories. *)
 
 val create : dir:string -> t
-(** Open (creating directories as needed) a cache rooted at [dir]. *)
+(** Open (creating directories as needed) a cache rooted at [dir].
+    Any orphaned [*.jsonl.tmp.*] file left behind by a killed run is
+    removed — sound because a cache directory has a single opening
+    process at a time (workers share the coordinating process's [t]). *)
 
 val dir : t -> string
 

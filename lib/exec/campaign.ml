@@ -118,6 +118,13 @@ let run ?(jobs = 1) ?(salt = "") ?cache ?manifest ?(clock = fun () -> 0.)
     Array.of_list
       (List.filter (fun i -> slots.(i) = None) (List.init n Fun.id))
   in
+  (* The captures below are the pool's sanctioned result pattern:
+     [pending]/[jobs_arr] are read-only after this point, and [slots] is
+     written at per-task-distinct indices only, published to the caller
+     by Domain.join.  No two domains ever touch the same element.  This
+     is the one deliberate mutable capture in the tree — keep it that
+     way. *)
+  (* race: allow R2 *)
   Pool.run ~jobs ~tasks:(Array.length pending) (fun slot ->
       let i = pending.(slot) in
       let job = jobs_arr.(i) in

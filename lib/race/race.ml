@@ -1,0 +1,69 @@
+(* mmb_race — domain-safety and mutable-state escape analyzer, the
+   third static-analysis pass beside the determinism lint (mmb_lint) and
+   the architecture checker (mmb_check).  Same machinery (Analysis),
+   different concern: before the engine is partitioned across Domains
+   (ROADMAP's multicore PDES item), every piece of mutable state the
+   workers could reach must be classified — immutable-after-init,
+   domain-local, registry-confined, atomic-protected, or
+   shared-unprotected — and the last class must be empty.
+
+   Whole-tree runs (the `dune build @race` path) compute the module
+   reachability graph first and scope R1/R4 to worker-reachable units;
+   single-file entry points conservatively assume reachability.  Escape
+   hatches mirror the other analyzers', under this tool's own marker. *)
+
+module Inventory = Inventory
+module Reach = Reach
+module Rules = Rules
+
+(* The race analyzer's suppression-comment marker.  (Kept out of doc
+   comments so the stale-suppression scan never mistakes prose for a
+   hatch.) *)
+let marker = "race: allow"
+
+let default_rules = Rules.default
+
+let check_source ?(rules = default_rules) ?(allow = []) ~file source =
+  Analysis.Driver.run_source ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) ~file source
+
+let check_file ?(rules = default_rules) ?(allow = []) file =
+  Analysis.Driver.run_file ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) file
+
+(* Parse every file once for the reachability pre-pass; unparseable
+   files drop out here and surface as E0 findings in the main pass. *)
+let parse_files files =
+  List.filter_map
+    (fun file ->
+      if Filename.check_suffix file ".mli" then None
+      else
+        let source = Analysis.Driver.read_file file in
+        let lexbuf = Lexing.from_string source in
+        Location.init lexbuf file;
+        match Parse.implementation lexbuf with
+        | str -> Some (file, str)
+        | exception _ -> None)
+    files
+
+let reach_of_files files = Reach.compute (parse_files files)
+
+let run_files ?rules ?(allow = Analysis.Allow.empty) ?(stale = false) files =
+  let rules_of ~files =
+    match rules with
+    | Some rs -> rs
+    | None -> Rules.rules ~reach:(reach_of_files files)
+  in
+  Analysis.Driver.run_files_with ~marker ~rules_of ~allow ~stale files
+
+(* The whole-tree inventory behind `mmb_race --inventory`: every
+   classified item, with worker-reachability noted per unit. *)
+let inventory files =
+  let parsed = parse_files files in
+  let reach = Reach.compute parsed in
+  List.map
+    (fun (file, str) ->
+      ( file,
+        Reach.worker_reachable reach ~file,
+        Inventory.of_structure ~file str ))
+    parsed

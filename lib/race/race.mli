@@ -1,0 +1,55 @@
+(** mmb_race — domain-safety & mutable-state escape analyzer.
+
+    Rules (all syntactic over-approximations; see DESIGN.md section 14):
+    - [R1] shared-unprotected top-level mutable state on a
+      worker-reachable path;
+    - [R2] closures passed to [Domain.spawn] / [Pool.run] capturing
+      mutable non-atomic local bindings;
+    - [R3] [Domain.DLS] outside [lib/exec];
+    - [R4] top-level lazy / memoized values on worker-reachable paths
+      not forced at init.
+
+    Escape hatches: [(* race: allow R1 *)] comments and [race.allow]
+    entries, hit-counted with stale reporting ([S1]/[S2]) exactly like
+    the other analyzers. *)
+
+module Inventory = Inventory
+module Reach = Reach
+module Rules = Rules
+
+val marker : string
+val default_rules : Analysis.Rule.t list
+
+val check_source :
+  ?rules:Analysis.Rule.t list ->
+  ?allow:(string * string) list ->
+  file:string ->
+  string ->
+  Analysis.Finding.t list
+(** Single-source analysis posed at [file]; reachability is assumed
+    (conservative) unless [rules] overrides it. *)
+
+val check_file :
+  ?rules:Analysis.Rule.t list ->
+  ?allow:(string * string) list ->
+  string ->
+  Analysis.Finding.t list
+
+val reach_of_files : string list -> Reach.t
+(** The reachability graph the whole-tree run uses; exposed for the
+    differential boundary tests. *)
+
+val run_files :
+  ?rules:Analysis.Rule.t list ->
+  ?allow:Analysis.Allow.t ->
+  ?stale:bool ->
+  string list ->
+  Analysis.Finding.t list
+(** Whole-tree analysis: parses every file, computes reachability,
+    then runs the rules (unless [rules] is given explicitly). *)
+
+val inventory :
+  string list ->
+  (string * bool * Inventory.item list) list
+(** [(file, worker_reachable, items)] per parseable file — the
+    classified mutable-state inventory behind [mmb_race --inventory]. *)

@@ -1,0 +1,236 @@
+(* The domain-safety rules (R1–R4).  Where the determinism lint's D6
+   bluntly confines parallel primitives to lib/exec, these rules answer
+   the question that actually gates the multicore PDES engine: which
+   mutable state could two Domains touch at once?
+
+     R1  shared-unprotected top-level mutable state on a worker-reachable
+         path (DLS / Atomic / registry-confined state stays silent)
+     R2  closures handed to Domain.spawn / Pool.run capturing mutable
+         non-atomic local bindings
+     R3  Domain.DLS keys minted outside lib/exec
+     R4  top-level lazy / memoized values on worker-reachable paths,
+         unless forced at init
+
+   All four are syntactic over-approximations feeding a human decision:
+   fix the state, confine it, or justify a race.allow entry. *)
+
+open Analysis
+
+let null_iterator =
+  {
+    Ast_iterator.default_iterator with
+    structure = (fun _ _ -> ());
+    signature = (fun _ _ -> ());
+  }
+
+(* Race rules scan executable trees only: the simulation libraries plus
+   the executables that drive pools. *)
+let in_scope file =
+  Paths.in_dir ~dir:"lib" file
+  || Paths.in_dir ~dir:"bench" file
+  || Paths.in_dir ~dir:"bin" file
+
+(* One iterator that runs [f] once over the whole structure. *)
+let structure_rule f =
+  {
+    Ast_iterator.default_iterator with
+    structure = (fun _ str -> f str);
+    signature = (fun _ _ -> ());
+  }
+
+(* --- R1: shared-unprotected state on worker-reachable paths ------------- *)
+
+let rule_r1 ~reach =
+  {
+    Rule.id = "R1";
+    doc =
+      "shared-unprotected top-level mutable state reachable from Pool \
+       worker domains";
+    applies = in_scope;
+    build =
+      (fun ~file report ->
+        if not (Reach.worker_reachable reach ~file) then null_iterator
+        else
+          structure_rule (fun str ->
+              List.iter
+                (fun (i : Inventory.item) ->
+                  match i.Inventory.i_cls with
+                  | Inventory.Shared ->
+                      report ~loc:i.Inventory.i_loc
+                        (Printf.sprintf
+                           "top-level %s `%s' is shared-unprotected mutable \
+                            state on a worker-reachable path; two Domains \
+                            could touch it unsynchronized — confine it to \
+                            Domain.DLS (in lib/exec), an Atomic, or the \
+                            registry indirection, or thread it through \
+                            per-run records"
+                           i.Inventory.i_creator i.Inventory.i_name)
+                  | _ -> ())
+                (Inventory.of_structure ~file str)));
+  }
+
+(* --- R2: mutable captures crossing the spawn boundary ------------------- *)
+
+let spawn_entries =
+  [
+    [ "Domain"; "spawn" ];
+    [ "Pool"; "run" ];
+    [ "Exec"; "Pool"; "run" ];
+  ]
+
+(* Is this local binding's initializer a mutable allocation the spawned
+   closure must not capture?  Atomic / Mutex cells are the sanctioned
+   cross-domain primitives; DLS keys are per-domain handles. *)
+let binding_mutability e =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_apply (fn, _) -> (
+      match Astutil.ident_path fn with
+      | Some p when List.mem p Inventory.shared_creators ->
+          Some (String.concat "." p)
+      | _ -> None)
+  | _ -> None
+
+let rule_r2 =
+  {
+    Rule.id = "R2";
+    doc =
+      "closure passed to Domain.spawn / Pool.run captures mutable \
+       non-atomic bindings";
+    applies = (fun _ -> true);
+    build =
+      (fun ~file:_ report ->
+        (* Environment of visible let-bound mutable allocations, scoped
+           by save/restore around each binder. *)
+        let env : (string * string) list ref = ref [] in
+        let check_closure ~loc closure =
+          let captured =
+            Inventory.idents_of closure
+            |> List.filter_map (fun name ->
+                   Option.map (fun c -> (name, c)) (List.assoc_opt name !env))
+            |> List.sort_uniq (fun (a, _) (b, _) -> String.compare a b)
+          in
+          match captured with
+          | [] -> ()
+          | caps ->
+              report ~loc
+                (Printf.sprintf
+                   "closure crossing the Domain boundary captures mutable \
+                    non-atomic binding(s) %s; workers would share the \
+                    allocation unsynchronized — pass data through the \
+                    task index, DLS, or Atomics"
+                   (String.concat ", "
+                      (List.map
+                         (fun (n, c) -> Printf.sprintf "`%s' (%s)" n c)
+                         caps)))
+        in
+        let add_binding vb =
+          match Inventory.pat_name vb.Parsetree.pvb_pat with
+          | None -> ()
+          | Some name -> (
+              match binding_mutability vb.Parsetree.pvb_expr with
+              | Some creator -> env := (name, creator) :: !env
+              | None -> env := List.remove_assoc name !env)
+        in
+        let rec iter =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun it e ->
+                match e.Parsetree.pexp_desc with
+                | Parsetree.Pexp_let (_, vbs, body) ->
+                    List.iter
+                      (fun vb -> iter.Ast_iterator.expr it vb.Parsetree.pvb_expr)
+                      vbs;
+                    let saved = !env in
+                    List.iter add_binding vbs;
+                    iter.Ast_iterator.expr it body;
+                    env := saved
+                | Parsetree.Pexp_apply (fn, args)
+                  when Astutil.path_is spawn_entries fn ->
+                    (* The spawned closure is the last unlabelled
+                       argument (Domain.spawn f / Pool.run ~jobs ~tasks f). *)
+                    let closure =
+                      List.fold_left
+                        (fun acc (lbl, a) ->
+                          match lbl with
+                          | Asttypes.Nolabel -> Some a
+                          | _ -> acc)
+                        None args
+                    in
+                    Option.iter
+                      (fun c -> check_closure ~loc:fn.Parsetree.pexp_loc c)
+                      closure;
+                    Ast_iterator.default_iterator.expr it e
+                | _ -> Ast_iterator.default_iterator.expr it e);
+            structure_item =
+              (fun it si ->
+                (match si.Parsetree.pstr_desc with
+                | Parsetree.Pstr_value (_, vbs) ->
+                    List.iter add_binding vbs
+                | _ -> ());
+                Ast_iterator.default_iterator.structure_item it si);
+          }
+        in
+        iter);
+  }
+
+(* --- R3: DLS keys only in lib/exec -------------------------------------- *)
+
+let rule_r3 =
+  {
+    Rule.id = "R3";
+    doc = "Domain.DLS keys minted or read outside lib/exec";
+    applies = (fun file -> not (Paths.in_dir ~dir:"lib/exec" file));
+    build =
+      (fun ~file:_ report ->
+        Astutil.expr_rule (fun e ->
+            match Astutil.ident_path e with
+            | Some ("Domain" :: "DLS" :: _) ->
+                report ~loc:e.Parsetree.pexp_loc
+                  "Domain.DLS is the exec subsystem's confinement \
+                   primitive; domain-local state elsewhere hides \
+                   cross-domain data flow from this analyzer — route it \
+                   through lib/exec"
+            | _ -> ()));
+  }
+
+(* --- R4: unforced lazies / memoized closures on worker paths ------------ *)
+
+let rule_r4 ~reach =
+  {
+    Rule.id = "R4";
+    doc =
+      "top-level lazy / memoized value on a worker-reachable path not \
+       forced at init";
+    applies = in_scope;
+    build =
+      (fun ~file report ->
+        if not (Reach.worker_reachable reach ~file) then null_iterator
+        else
+          structure_rule (fun str ->
+              List.iter
+                (fun (i : Inventory.item) ->
+                  match i.Inventory.i_cls with
+                  | Inventory.Lazy_init ->
+                      report ~loc:i.Inventory.i_loc
+                        (Printf.sprintf
+                           "top-level lazy `%s' on a worker-reachable path: \
+                            a first force racing across Domains raises \
+                            Lazy.Undefined; force it from a `let () = ...' \
+                            at init or justify a race.allow entry"
+                           i.Inventory.i_name)
+                  | Inventory.Memo_closure ->
+                      report ~loc:i.Inventory.i_loc
+                        (Printf.sprintf
+                           "memoized closure `%s' captures init-allocated \
+                            mutable state (%s) on a worker-reachable path; \
+                            concurrent calls mutate the shared cache — make \
+                            the cache per-instance, per-domain (DLS in \
+                            lib/exec), or justify a race.allow entry"
+                           i.Inventory.i_name i.Inventory.i_creator)
+                  | _ -> ())
+                (Inventory.of_structure ~file str)));
+  }
+
+let rules ~reach = [ rule_r1 ~reach; rule_r2; rule_r3; rule_r4 ~reach ]
+let default = rules ~reach:Reach.assume_all

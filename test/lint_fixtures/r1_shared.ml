@@ -1,0 +1,18 @@
+(* R1 fixture: one top-level allocation per lattice class.  The three
+   shared-unprotected items fire; the Atomic and DLS counterparts stay
+   silent, as does function-local state. *)
+let table = Hashtbl.create 16
+
+let hits = ref 0
+
+let scratch = Array.make 4 0.
+
+let counter = Atomic.make 0
+
+let key = Domain.DLS.new_key (fun () -> 0)
+
+let local_only n = Hashtbl.create n
+
+type cell = { mutable v : int }
+
+let cell = { v = 0 }

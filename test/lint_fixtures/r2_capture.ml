@@ -1,0 +1,15 @@
+(* R2 fixture: closures crossing the Domain boundary.  The Hashtbl and
+   ref captures fire; the Atomic-only closure is the sanctioned
+   counterpart and stays silent. *)
+let spawned f =
+  let shared = Hashtbl.create 8 in
+  let d = Domain.spawn (fun () -> Hashtbl.add shared 1 1; f ()) in
+  Domain.join d
+
+let pooled tasks =
+  let acc = ref 0 in
+  Pool.run ~jobs:2 ~tasks (fun i -> acc := !acc + i)
+
+let clean tasks =
+  let out = Atomic.make 0 in
+  Pool.run ~jobs:2 ~tasks (fun i -> ignore (Atomic.fetch_and_add out i))

@@ -1,0 +1,7 @@
+(* R3 fixture: Domain.DLS outside lib/exec.  All three references fire
+   when posed elsewhere; the same source is silent under lib/exec. *)
+let k = Domain.DLS.new_key (fun () -> 0)
+
+let get () = Domain.DLS.get k
+
+let set v = Domain.DLS.set k v

@@ -1,0 +1,24 @@
+(* R4 fixture: lazy and memoized top-level values.  The unforced lazy
+   and the memo closure fire; the init-forced lazy and the init-scratch
+   closure (allocation consumed before the function is built) stay
+   silent. *)
+let config = lazy (Hashtbl.create 16)
+
+let forced = lazy (Array.make 4 0)
+
+let () = ignore (Lazy.force forced)
+
+let memo =
+  let cache = Hashtbl.create 64 in
+  fun x ->
+    match Hashtbl.find_opt cache x with
+    | Some y -> y
+    | None ->
+        let y = x * x in
+        Hashtbl.add cache x y;
+        y
+
+let precomputed =
+  let rng = Rng.create ~seed:7 in
+  let first = Rng.int rng 10 in
+  fun x -> first + x

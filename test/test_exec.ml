@@ -147,6 +147,33 @@ let test_cache_counts_hits () =
   let _ = Exec.Campaign.run ~jobs:1 ~cache:cache2 [ sim_job 1; sim_job 2 ] in
   Alcotest.(check int) "two hits on the warm cache" 2 (Exec.Cache.hits cache2)
 
+(* A killed run leaves [*.jsonl.tmp.<disc>] orphans behind (the window
+   between [store]'s open and its rename); re-opening the cache must
+   sweep them while leaving finished entries and unrelated files alone. *)
+let test_cache_sweeps_orphaned_tmp () =
+  let dir = fresh_path "cache_orphans" in
+  let cache = Exec.Cache.create ~dir in
+  let _ = Exec.Campaign.run ~jobs:1 ~cache [ sim_job 1; sim_job 2 ] in
+  let write name text =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc text;
+    close_out oc
+  in
+  write "deadbeef.jsonl.tmp.3" "{\"torn\":";
+  write "cafe.jsonl.tmp.0" "";
+  write "unrelated.txt" "keep me";
+  let cache2 = Exec.Cache.create ~dir in
+  let names = Array.to_list (Sys.readdir dir) in
+  Alcotest.(check bool)
+    "orphaned temp files removed" false
+    (List.exists (fun n -> Filename.check_suffix n ".tmp.3" || Filename.check_suffix n ".tmp.0") names);
+  Alcotest.(check bool)
+    "unrelated files kept" true
+    (List.mem "unrelated.txt" names);
+  let _ = Exec.Campaign.run ~jobs:1 ~cache:cache2 [ sim_job 1; sim_job 2 ] in
+  Alcotest.(check int) "finished entries survived the sweep" 2
+    (Exec.Cache.hits cache2)
+
 (* --- Resumable manifest --------------------------------------------------- *)
 
 let test_resume_from_partial_manifest () =
@@ -244,6 +271,8 @@ let suite =
           test_cache_hit_and_salt_invalidation;
         Alcotest.test_case "cache hit/miss accounting" `Quick
           test_cache_counts_hits;
+        Alcotest.test_case "cache sweeps orphaned temp files" `Quick
+          test_cache_sweeps_orphaned_tmp;
         Alcotest.test_case "resume from a torn partial manifest" `Quick
           test_resume_from_partial_manifest;
         Alcotest.test_case "manifest salt mismatch restarts" `Quick

@@ -1,0 +1,314 @@
+(* The domain-safety analyzer: fixture files under lint_fixtures/
+   exercise every R-rule's positive hit and its confined counterpart
+   (DLS / Atomic / registry / forced-lazy / init-scratch); the
+   differential boundary test pins lint D6 and the R-rules to the same
+   lib/exec frontier; reachability tests drive rules R1/R4 with the
+   real tree's graph; and a real-tree scan asserts the shipped sources
+   stay clean exactly as `dune build @race` runs them. *)
+
+let rules_of findings = List.map (fun f -> f.Analysis.Finding.rule) findings
+let lines_of findings = List.map (fun f -> f.Analysis.Finding.line) findings
+
+let check_rules name expected findings =
+  Alcotest.(check (list string)) name expected (rules_of findings)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Pose a fixture file at a path, so rule scopes see it "living" there. *)
+let posed fixture file = Race.check_source ~file (read_file fixture)
+
+let only rule findings =
+  List.filter (fun f -> String.equal f.Analysis.Finding.rule rule) findings
+
+(* --- R1: shared-unprotected top-level state ------------------------------ *)
+
+let test_r1_classes () =
+  let fs = posed "lint_fixtures/r1_shared.ml" "lib/mmb/fixture.ml" in
+  check_rules
+    "Hashtbl, ref, array, mutable record fire; Atomic and DLS don't \
+     (the DLS key trips R3 instead, outside lib/exec)"
+    [ "R1"; "R1"; "R1"; "R3"; "R1" ] fs;
+  Alcotest.(check (list int))
+    "on the allocation lines" [ 4; 6; 8; 12; 18 ] (lines_of fs);
+  check_rules "shared state inside lib/exec is still shared"
+    [ "R1"; "R1"; "R1"; "R1" ]
+    (posed "lint_fixtures/r1_shared.ml" "lib/exec/fixture.ml");
+  check_rules "a declared registry confines everything but the DLS key"
+    [ "R3" ]
+    (posed "lint_fixtures/r1_shared.ml" "lib/obs/global.ml");
+  check_rules "out of scope outside lib/bench/bin (R3 is global)" [ "R3" ]
+    (posed "lint_fixtures/r1_shared.ml" "examples/fixture.ml")
+
+(* --- R2: mutable captures crossing the spawn boundary -------------------- *)
+
+let test_r2_captures () =
+  let fs = posed "lint_fixtures/r2_capture.ml" "lib/mmb/fixture.ml" in
+  check_rules "Hashtbl capture via spawn, ref capture via Pool.run"
+    [ "R2"; "R2" ] fs;
+  Alcotest.(check (list int)) "at the two call sites" [ 6; 11 ] (lines_of fs);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "message names the captured binding" true
+        (Analysis.Paths.find_substring ~sub:"shared"
+           f.Analysis.Finding.msg
+         <> None
+        || Analysis.Paths.find_substring ~sub:"acc" f.Analysis.Finding.msg
+           <> None))
+    fs;
+  (* The Atomic-only closure is the sanctioned counterpart: silent. *)
+  check_rules "R2 applies inside lib/exec too (campaign's own hazard)"
+    [ "R2"; "R2" ]
+    (posed "lint_fixtures/r2_capture.ml" "lib/exec/fixture.ml")
+
+(* --- R3: DLS confined to lib/exec ---------------------------------------- *)
+
+let test_r3_scope () =
+  let fs = posed "lint_fixtures/r3_dls.ml" "lib/obs/fixture.ml" in
+  check_rules "new_key, get, set all fire outside exec" [ "R3"; "R3"; "R3" ]
+    fs;
+  Alcotest.(check (list int)) "on each reference" [ 3; 5; 7 ] (lines_of fs);
+  check_rules "lib/exec is the sanctioned home" []
+    (posed "lint_fixtures/r3_dls.ml" "lib/exec/fixture.ml");
+  check_rules "also when rooted elsewhere" []
+    (posed "lint_fixtures/r3_dls.ml" "/root/repo/lib/exec/fixture.ml")
+
+(* --- R4: lazies and memo closures ---------------------------------------- *)
+
+let test_r4_lazy_memo () =
+  let fs = posed "lint_fixtures/r4_lazy.ml" "lib/mmb/fixture.ml" in
+  check_rules
+    "unforced lazy and memo closure fire; forced lazy and init-scratch \
+     closure stay silent"
+    [ "R4"; "R4" ] fs;
+  Alcotest.(check (list int))
+    "at the lazy and at the captured allocation" [ 5; 12 ] (lines_of fs);
+  check_rules "out of scope outside lib/bench/bin" []
+    (posed "lint_fixtures/r4_lazy.ml" "examples/fixture.ml")
+
+(* --- Differential boundary: lint D6 and the R-rules agree ---------------- *)
+
+(* The two analyzers must draw the Domain-primitive frontier at the same
+   place — lib/exec — or a refactor could satisfy one and violate the
+   other silently.  For every posed path, D6 (blunt: any Domain.* use)
+   and R3 (fine: DLS discipline) either both fire or both stay silent on
+   a DLS-using source. *)
+let test_differential_d6_boundary () =
+  let source = read_file "lint_fixtures/r3_dls.ml" in
+  List.iter
+    (fun file ->
+      let d6 = only "D6" (Lint.lint_source ~file source) <> [] in
+      let r3 = only "R3" (Race.check_source ~file source) <> [] in
+      Alcotest.(check bool)
+        (Printf.sprintf "D6 and R3 agree at %s" file)
+        d6 r3)
+    [
+      "lib/exec/fixture.ml";
+      "lib/exec/deeper/fixture.ml";
+      "/abs/path/lib/exec/fixture.ml";
+      "lib/dsim/fixture.ml";
+      "lib/amac/fixture.ml";
+      "lib/mmb/fixture.ml";
+      "lib/obs/fixture.ml";
+      "lib/race/fixture.ml";
+      "bench/fixture.ml";
+      "bin/fixture.ml";
+      "examples/fixture.ml";
+    ]
+
+(* --- Reachability -------------------------------------------------------- *)
+
+let lib_files () =
+  Analysis.Cli.collect_files ~exts:[ ".ml" ] [ "../lib" ]
+
+let test_reach_units () =
+  let u = Race.Reach.unit_of_path in
+  Alcotest.(check (option string)) "lib path" (Some "exec/Pool")
+    (u "lib/exec/pool.ml");
+  Alcotest.(check (option string)) "absolute lib path" (Some "mmb/Bmmb")
+    (u "/root/repo/lib/mmb/bmmb.ml");
+  Alcotest.(check (option string)) "bench pseudo-lib" (Some "bench/Main")
+    (u "bench/main.ml");
+  Alcotest.(check (option string)) "outside the tree shape" None
+    (u "lint_fixtures/r1_shared.ml")
+
+let test_reach_real_tree () =
+  let reach = Race.reach_of_files (lib_files ()) in
+  let reachable file = Race.Reach.worker_reachable reach ~file in
+  Alcotest.(check bool) "the pool itself" true
+    (reachable "../lib/exec/pool.ml");
+  Alcotest.(check bool) "the registry the pool redirects" true
+    (reachable "../lib/obs/global.ml");
+  Alcotest.(check bool) "the engine below it" true
+    (reachable "../lib/dsim/sim.ml");
+  Alcotest.(check bool) "analyzer libraries never run on workers" false
+    (reachable "../lib/lint/lint.ml");
+  Alcotest.(check bool) "the race analyzer itself included" false
+    (reachable "../lib/race/rules.ml")
+
+(* R1 is gated on the graph: the same shared table fires on a
+   worker-reachable unit and stays silent on an analyzer-only unit. *)
+let test_r1_reachability_gate () =
+  let rules = Race.Rules.rules ~reach:(Race.reach_of_files (lib_files ())) in
+  let src = "let cache = Hashtbl.create 16" in
+  check_rules "fires on a worker-reachable unit" [ "R1" ]
+    (Race.check_source ~rules ~file:"../lib/dsim/sim.ml" src);
+  check_rules "silent on an analyzer-only unit" []
+    (Race.check_source ~rules ~file:"../lib/lint/lint.ml" src);
+  check_rules "the conservative default assumes reachability" [ "R1" ]
+    (Race.check_source ~file:"../lib/lint/lint.ml" src)
+
+(* --- The inventory ------------------------------------------------------- *)
+
+let test_inventory_real_tree () =
+  let inv = Race.inventory (lib_files ()) in
+  let find file name =
+    List.find_map
+      (fun (f, reachable, items) ->
+        if Analysis.Paths.has_suffix ~suffix:file f then
+          List.find_map
+            (fun (i : Race.Inventory.item) ->
+              if String.equal i.Race.Inventory.i_name name then
+                Some (reachable, Race.Inventory.cls_to_string i.Race.Inventory.i_cls)
+              else None)
+            items
+        else None)
+      inv
+  in
+  Alcotest.(check (option (pair bool string)))
+    "the pool's DLS key" (Some (true, "domain-local"))
+    (find "lib/exec/pool.ml" "obs_key");
+  Alcotest.(check (option (pair bool string)))
+    "the observability registry" (Some (true, "registry-confined"))
+    (find "lib/obs/global.ml" "main_registry");
+  (* The load-bearing assertion: no shared-unprotected item anywhere. *)
+  List.iter
+    (fun (file, _, items) ->
+      List.iter
+        (fun (i : Race.Inventory.item) ->
+          if i.Race.Inventory.i_cls = Race.Inventory.Shared then
+            Alcotest.failf "shared-unprotected state %s in %s"
+              i.Race.Inventory.i_name file)
+        items)
+    inv
+
+(* --- Escape hatches ------------------------------------------------------ *)
+
+let test_suppression_marker () =
+  let src = "(* race: allow R1 *)\nlet counter = ref 0" in
+  check_rules "the race marker suppresses" []
+    (Race.check_source ~file:"lib/mmb/fixture.ml" src);
+  let src' = "(* lint: allow R1 *)\nlet counter = ref 0" in
+  check_rules "the lint's marker does not silence this tool" [ "R1" ]
+    (Race.check_source ~file:"lib/mmb/fixture.ml" src')
+
+let test_allowlist () =
+  let file = "lib/mmb/fixture.ml" in
+  let src = "let counter = ref 0" in
+  check_rules "allowlist entry silences the file" []
+    (Race.check_source ~file ~allow:[ ("R1", file) ] src);
+  check_rules "another rule's entry does not" [ "R1" ]
+    (Race.check_source ~file ~allow:[ ("R2", file) ] src)
+
+let test_stale_hatches () =
+  let fs =
+    Race.run_files ~stale:true
+      ~allow:(Analysis.Allow.of_pairs [ ("R1", "nowhere/such_file.ml") ])
+      [ "lint_fixtures/clean.ml" ]
+  in
+  check_rules "an entry suppressing nothing is reported" [ "S2" ] fs
+
+(* --- The shared mmb-analysis/1 envelope (all three tools) ---------------- *)
+
+let member_string json key =
+  match Dsim.Json.member_opt json key with
+  | Some (Dsim.Json.String s) -> Some s
+  | _ -> None
+
+let test_envelope () =
+  List.iter
+    (fun (tool, findings) ->
+      let text = Analysis.Report.to_json ~tool ~files:1 findings in
+      match Dsim.Json.parse text with
+      | Error e -> Alcotest.failf "%s envelope does not parse: %s" tool e
+      | Ok json ->
+          Alcotest.(check (option string))
+            (tool ^ " schema") (Some "mmb-analysis/1")
+            (member_string json "schema");
+          Alcotest.(check (option string))
+            (tool ^ " tool field") (Some tool) (member_string json "tool");
+          Alcotest.(check (result int string))
+            (tool ^ " version")
+            (Ok Analysis.Report.version)
+            (Dsim.Json.member_int json "version" ~default:0);
+          match Dsim.Json.member_opt json "findings" with
+          | Some (Dsim.Json.List fs) ->
+              List.iter
+                (fun f ->
+                  List.iter
+                    (fun key ->
+                      Alcotest.(check bool)
+                        (tool ^ " finding has " ^ key)
+                        true
+                        (Dsim.Json.member_opt f key <> None))
+                    [ "rule"; "file"; "line"; "col"; "msg" ])
+                fs
+          | _ -> Alcotest.failf "%s envelope has no findings array" tool)
+    [
+      ("mmb_lint", Lint.lint_source ~file:"lib/mmb/x.ml" "let f () = Random.int 3");
+      ( "mmb_check",
+        Check.check_source ~file:"lib/mmb/x.ml" "let c = Obs.Metrics.create ()"
+      );
+      ("mmb_race", Race.check_source ~file:"lib/mmb/x.ml" "let c = ref 0");
+    ]
+
+(* --- The real tree ------------------------------------------------------- *)
+
+(* The same scan `dune build @race` performs, minus bin/bench (the test
+   binary sees only lib/ staged next to it): the shipped sources must be
+   clean under the shipped allowlist, with no stale hatches. *)
+let test_real_tree () =
+  let files = lib_files () in
+  Alcotest.(check bool)
+    (Printf.sprintf "scanned a substantial tree (%d files)" (List.length files))
+    true
+    (List.length files > 50);
+  let allow = Analysis.Allow.load "../race.allow" in
+  let fs = Race.run_files ~allow ~stale:true files in
+  Alcotest.(check (list string)) "lib/ is domain-safety-clean" []
+    (List.map Analysis.Finding.to_string fs)
+
+let suite =
+  [
+    ( "race",
+      [
+        Alcotest.test_case "R1 lattice classes" `Quick test_r1_classes;
+        Alcotest.test_case "R2 spawn-boundary captures" `Quick
+          test_r2_captures;
+        Alcotest.test_case "R3 DLS confined to lib/exec" `Quick
+          test_r3_scope;
+        Alcotest.test_case "R4 lazies and memo closures" `Quick
+          test_r4_lazy_memo;
+        Alcotest.test_case "differential: D6 and R3 share the boundary"
+          `Quick test_differential_d6_boundary;
+        Alcotest.test_case "unit resolution" `Quick test_reach_units;
+        Alcotest.test_case "reachability over the real tree" `Quick
+          test_reach_real_tree;
+        Alcotest.test_case "R1 gated on reachability" `Quick
+          test_r1_reachability_gate;
+        Alcotest.test_case "inventory over the real tree" `Quick
+          test_inventory_real_tree;
+        Alcotest.test_case "suppression markers are per-tool" `Quick
+          test_suppression_marker;
+        Alcotest.test_case "allowlist" `Quick test_allowlist;
+        Alcotest.test_case "stale allowlist entries (S2)" `Quick
+          test_stale_hatches;
+        Alcotest.test_case "mmb-analysis/1 envelope across tools" `Quick
+          test_envelope;
+        Alcotest.test_case "real lib/ tree is clean" `Quick test_real_tree;
+      ] );
+  ]
