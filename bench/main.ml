@@ -31,28 +31,33 @@ let groups : (string * Exp.t) list =
       | None -> invalid_arg ("experiment registry is missing " ^ id))
     order
 
-(* Tiny argv parser: [--metrics-out FILE | --no-metrics | --jobs N] may
-   appear anywhere; every other token is an experiment id. *)
+(* Tiny argv parser: [--metrics-out FILE | --no-metrics | --jobs N |
+   --trace-out FILE] may appear anywhere; every other token is an
+   experiment id. *)
 let parse_args argv =
-  let rec go metrics jobs ids = function
-    | [] -> (metrics, jobs, List.rev ids)
-    | "--no-metrics" :: rest -> go None jobs ids rest
+  let rec go metrics jobs trace ids = function
+    | [] -> (metrics, jobs, trace, List.rev ids)
+    | "--no-metrics" :: rest -> go None jobs trace ids rest
     | [ "--metrics-out" ] ->
         prerr_endline "--metrics-out requires a FILE argument";
         exit 2
-    | "--metrics-out" :: file :: rest -> go (Some file) jobs ids rest
+    | "--metrics-out" :: file :: rest -> go (Some file) jobs trace ids rest
+    | [ "--trace-out" ] ->
+        prerr_endline "--trace-out requires a FILE argument";
+        exit 2
+    | "--trace-out" :: file :: rest -> go metrics jobs (Some file) ids rest
     | [ "--jobs" ] ->
         prerr_endline "--jobs requires a positive integer argument";
         exit 2
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j when j >= 1 -> go metrics (Some j) ids rest
+        | Some j when j >= 1 -> go metrics (Some j) trace ids rest
         | _ ->
             prerr_endline "--jobs requires a positive integer argument";
             exit 2)
-    | id :: rest -> go metrics jobs (id :: ids) rest
+    | id :: rest -> go metrics jobs trace (id :: ids) rest
   in
-  go (Some "bench-metrics.jsonl") None [] (List.tl (Array.to_list argv))
+  go (Some "bench-metrics.jsonl") None None [] (List.tl (Array.to_list argv))
 
 let sidecar_line sidecar ~label ~wall_s delta =
   Option.iter
@@ -86,7 +91,7 @@ let binary_salt () =
 
 let campaign_dir = "_campaign"
 
-let run_campaign sidecar requested jobs =
+let run_campaign sidecar trace_out requested jobs =
   (* Domains beyond the core count only add multicore-GC overhead; the
      deterministic merge makes the clamp invisible in the output. *)
   let jobs = min jobs (Exec.Pool.available_parallelism ()) in
@@ -132,17 +137,29 @@ let run_campaign sidecar requested jobs =
       let wall_s = Exec.Campaign.total_wall mine +. render_wall in
       sidecar_line sidecar ~label:id ~wall_s delta)
     requested;
-  Printf.eprintf
-    "campaign: %d cells on %d domain(s) — %d ran, %d cached, %d resumed \
-     (cache: %d hits, %d misses)\n"
-    stats.Exec.Campaign.total jobs stats.Exec.Campaign.ran
-    stats.Exec.Campaign.cached stats.Exec.Campaign.resumed
-    (Exec.Cache.hits cache) (Exec.Cache.misses cache)
+  Option.iter
+    (fun path ->
+      Obs.Tracing.write_file
+        ~meta:[ ("campaign", Dsim.Json.String "virtual") ]
+        (Exec.Telemetry.virtual_trace outcomes)
+        ~path;
+      Printf.printf "campaign trace written to %s (load at ui.perfetto.dev)\n"
+        path)
+    trace_out;
+  (* Cache traffic and pool busy time reach the summary through
+     Obs.Global (Campaign.run notes them via note_exec); stats carries
+     the same figures. *)
+  Printf.eprintf "%s\n" (Exec.Telemetry.summary ~jobs stats)
 
 (* --- Entry point ---------------------------------------------------------- *)
 
 let () =
-  let metrics_out, jobs, requested_ids = parse_args Sys.argv in
+  let metrics_out, jobs, trace_out, requested_ids = parse_args Sys.argv in
+  (match (jobs, trace_out) with
+  | None, Some _ ->
+      prerr_endline "--trace-out requires the campaign path (--jobs N)";
+      exit 2
+  | _ -> ());
   let requested_ids =
     match requested_ids with [] -> List.map fst groups | ids -> ids
   in
@@ -164,7 +181,7 @@ let () =
     "(Ghaffari, Kantor, Lynch, Newport, PODC 2014; see EXPERIMENTS.md)";
   (match jobs with
   | None -> run_serial sidecar requested
-  | Some j -> run_campaign sidecar requested j);
+  | Some j -> run_campaign sidecar trace_out requested j);
   Option.iter
     (fun oc ->
       close_out oc;

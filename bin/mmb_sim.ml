@@ -67,9 +67,22 @@ let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc)
 
 let trace_out_arg =
-  let doc = "Write the event trace to FILE as JSON lines." in
+  let doc =
+    "Write the event trace to FILE: a $(b,.json) suffix produces a \
+     Chrome-trace-event timeline (load it at ui.perfetto.dev), anything \
+     else the raw JSONL event log (the format $(b,estimate) reads)."
+  in
   Arg.(
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let provenance_arg =
+  let doc =
+    "Write the per-message provenance DAG (which deliveries causally \
+     precede each node's first receipt, with queue/MAC latency splits) to \
+     FILE as JSONL."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "provenance" ] ~docv:"FILE" ~doc)
 
 let metrics_arg =
   let doc =
@@ -150,15 +163,43 @@ let describe_dual dual =
 
 (* --- run ----------------------------------------------------------------- *)
 
+(* Shared run metadata stamped into trace/provenance exports. *)
+let run_meta ~protocol ~n ~k ~seed =
+  [
+    ("protocol", Dsim.Json.String protocol);
+    ("n", Dsim.Json.Number (float_of_int n));
+    ("k", Dsim.Json.Number (float_of_int k));
+    ("seed", Dsim.Json.Number (float_of_int seed));
+  ]
+
+(* Replay a retained trace through the Perfetto collector. *)
+let write_perfetto_trace tr ~n ~meta ~path =
+  let col = Obs.Tracing.Sim.create ~n () in
+  Dsim.Trace.iter tr (Obs.Tracing.Sim.on_entry col);
+  let w = Obs.Tracing.Sim.finish col in
+  Obs.Tracing.write_file ~meta w ~path;
+  Printf.printf "trace written to %s (%d trace events; load at \
+                 ui.perfetto.dev)\n"
+    path (Obs.Tracing.event_count w)
+
+let write_provenance tr ~n ~meta ~path =
+  let p = Obs.Provenance.create ~meta ~n () in
+  Dsim.Trace.iter tr (Obs.Provenance.on_entry p);
+  Obs.Provenance.to_file p ~path;
+  Printf.printf "provenance written to %s (%d message(s))\n" path
+    (List.length (Obs.Provenance.messages p))
+
 let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
-    ~metrics ~progress =
+    ~provenance ~metrics ~progress =
   match build_scheduler scheduler with
   | Error e -> `Error (false, e)
   | Ok policy ->
       let rng = Dsim.Rng.create ~seed in
       let n = Graphs.Dual.n dual in
       let assignment = Mmb.Problem.random rng ~n ~k in
-      let want_trace = check || trace || trace_out <> None in
+      let want_trace =
+        check || trace || trace_out <> None || provenance <> None
+      in
       (* Fail fast: the streaming monitor stops the simulation at the first
          axiom violation, printing the offending event. *)
       let sim_ref = ref None in
@@ -239,18 +280,56 @@ let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
       | Some tr, true, _ -> Fmt.pr "%a@." Dsim.Trace.pp tr
       | _ -> ());
       (match (res.Mmb.Runner.trace, trace_out) with
+      | Some tr, Some path when Filename.check_suffix path ".json" ->
+          write_perfetto_trace tr ~n
+            ~meta:(run_meta ~protocol:"bmmb" ~n ~k ~seed)
+            ~path
       | Some tr, Some path ->
           Dsim.Trace_io.write_file tr ~path;
           Printf.printf "trace written to %s (%d events)\n" path
             (Dsim.Trace.length tr)
       | _ -> ());
+      (match (res.Mmb.Runner.trace, provenance) with
+      | Some tr, Some path ->
+          write_provenance tr ~n
+            ~meta:(run_meta ~protocol:"bmmb" ~n ~k ~seed)
+            ~path
+      | _ -> ());
       ignore want_trace;
       `Ok ()
 
-let run_fmmb ~dual ~fprog ~k ~seed ~metrics =
+let run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics =
   let rng = Dsim.Rng.create ~seed in
   let n = Graphs.Dual.n dual in
   let assignment = Mmb.Problem.random rng ~n ~k in
+  let meta = run_meta ~protocol:"fmmb" ~n ~k ~seed in
+  (* FMMB retains no trace (staged engines restart clocks), so trace and
+     provenance collectors subscribe to the lifecycle stream live. *)
+  let tcol =
+    match trace_out with
+    | Some path when Filename.check_suffix path ".json" ->
+        Some (path, Obs.Tracing.Sim.create ~n ())
+    | Some path ->
+        Printf.eprintf
+          "note: fmmb --trace-out %s ignored (only .json Perfetto output \
+           is available for fmmb)\n"
+          path;
+        None
+    | None -> None
+  in
+  let pcol =
+    Option.map (fun path -> (path, Obs.Provenance.create ~meta ~n ()))
+      provenance
+  in
+  let attach =
+    match (tcol, pcol) with
+    | None, None -> None
+    | _ ->
+        Some
+          (fun tr ->
+            Option.iter (fun (_, c) -> Obs.Tracing.Sim.attach c tr) tcol;
+            Option.iter (fun (_, p) -> Obs.Provenance.attach p tr) pcol)
+  in
   (* Span-only observer: FMMB's staged engines restart uids/clocks, so the
      streaming compliance monitor does not apply (see Obs.Monitor). *)
   let obs =
@@ -272,13 +351,27 @@ let run_fmmb ~dual ~fprog ~k ~seed ~metrics =
   let res =
     Obs.Run.fmmb ~dual ~fprog ~c:2.
       ~policy:(Amac.Enhanced_mac.minimal_random ())
-      ~assignment ~seed ?obs ()
+      ~assignment ~seed ?obs ?attach ()
   in
   (match (obs, metrics) with
   | Some o, Some path ->
       Obs.Observer.to_file o path;
       Printf.printf "metrics written to %s\n" path
   | _ -> ());
+  Option.iter
+    (fun (path, c) ->
+      let w = Obs.Tracing.Sim.finish c in
+      Obs.Tracing.write_file ~meta w ~path;
+      Printf.printf "trace written to %s (%d trace events; load at \
+                     ui.perfetto.dev)\n"
+        path (Obs.Tracing.event_count w))
+    tcol;
+  Option.iter
+    (fun (path, p) ->
+      Obs.Provenance.to_file p ~path;
+      Printf.printf "provenance written to %s (%d message(s))\n" path
+        (List.length (Obs.Provenance.messages p)))
+    pcol;
   describe_dual dual;
   let f = res.Mmb.Runner.fmmb in
   Printf.printf "protocol: FMMB (enhanced model), Fprog=%g\n" fprog;
@@ -292,7 +385,7 @@ let run_fmmb ~dual ~fprog ~k ~seed ~metrics =
 
 let run_cmd =
   let action protocol topology gprime n k r extra fack fprog seed scheduler
-      check trace trace_out metrics progress svg =
+      check trace trace_out provenance metrics progress svg =
     match build_dual ~topology ~gprime ~n ~r ~extra ~seed with
     | Error e -> `Error (false, e)
     | Ok dual -> (
@@ -310,8 +403,9 @@ let run_cmd =
         match protocol with
         | "bmmb" ->
             run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
-              ~trace_out ~metrics ~progress
-        | "fmmb" -> run_fmmb ~dual ~fprog ~k ~seed ~metrics
+              ~trace_out ~provenance ~metrics ~progress
+        | "fmmb" ->
+            run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics
         | other -> `Error (false, Printf.sprintf "unknown protocol %S" other))
   in
   let term =
@@ -319,8 +413,8 @@ let run_cmd =
       ret
         (const action $ protocol_arg $ topology $ gprime $ n_arg $ k_arg
        $ r_arg $ extra_arg $ fack_arg $ fprog_arg $ seed_arg $ scheduler_arg
-       $ check_arg $ trace_arg $ trace_out_arg $ metrics_arg $ progress_arg
-       $ svg_arg))
+       $ check_arg $ trace_arg $ trace_out_arg $ provenance_arg $ metrics_arg
+       $ progress_arg $ svg_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one MMB simulation and print its metrics.")
@@ -566,6 +660,47 @@ let estimate_cmd =
           flags the run used).")
     term
 
+(* --- trace-validate ---------------------------------------------------------- *)
+
+let trace_validate_cmd =
+  let files_arg =
+    let doc =
+      "Files to validate: *.json as Chrome trace-event documents \
+       (mmb-trace/1), everything else as provenance JSONL \
+       (mmb-provenance/1)."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let action files =
+    let rec go = function
+      | [] -> `Ok ()
+      | file :: rest -> (
+          let verdict =
+            if Filename.check_suffix file ".json" then
+              Result.map
+                (Printf.sprintf "%d trace events")
+                (Obs.Tracing.validate_file ~path:file)
+            else
+              Result.map
+                (Printf.sprintf "%d provenance lines")
+                (Obs.Provenance.validate_file ~path:file)
+          in
+          match verdict with
+          | Ok desc ->
+              Printf.printf "%s: OK (%s)\n" file desc;
+              go rest
+          | Error e -> `Error (false, Printf.sprintf "%s: %s" file e))
+    in
+    go files
+  in
+  let term = Term.(ret (const action $ files_arg)) in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:
+         "Check trace/provenance exports for schema and shape (the \
+          verify.sh trace smoke gate).")
+    term
+
 (* --- exec ------------------------------------------------------------------- *)
 
 let exec_cmd =
@@ -663,6 +798,24 @@ let campaign_cmd =
     let doc = "Write machine-readable results (JSONL, job order) to FILE." in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
+  let trace_out_arg =
+    let doc =
+      "Write the deterministic job timeline (virtual time counted in \
+       engine events) to FILE as a Chrome trace — byte-identical for any \
+       --jobs N and any cache state."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_wall_arg =
+    let doc =
+      "Write the wall-clock worker timeline (one track per domain, \
+       executed jobs only) to FILE as a Chrome trace.  Volatile by \
+       nature: placement and durations differ run to run."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-wall" ] ~docv:"FILE" ~doc)
+  in
   let scenario_files paths =
     let rec gather acc = function
       | [] -> Ok (List.rev acc)
@@ -680,7 +833,7 @@ let campaign_cmd =
     in
     gather [] paths
   in
-  let action paths jobs cache_dir no_cache salt out =
+  let action paths jobs cache_dir no_cache salt out trace_out trace_wall =
     let ( let* ) = Result.bind in
     let outcome =
       let* files = scenario_files paths in
@@ -748,11 +901,25 @@ let campaign_cmd =
                   output_char oc '\n')
                 outcomes);
           Printf.printf "results written to %s\n" path);
-      Printf.eprintf
-        "campaign: %d scenario(s) on %d domain(s) — %d ran, %d cached, %d \
-         resumed\n"
-        stats.Exec.Campaign.total jobs stats.Exec.Campaign.ran
-        stats.Exec.Campaign.cached stats.Exec.Campaign.resumed;
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          Obs.Tracing.write_file
+            ~meta:[ ("campaign", Dsim.Json.String "virtual") ]
+            (Exec.Telemetry.virtual_trace outcomes)
+            ~path;
+          Printf.printf "campaign trace written to %s (load at \
+                         ui.perfetto.dev)\n"
+            path);
+      (match trace_wall with
+      | None -> ()
+      | Some path ->
+          Obs.Tracing.write_file
+            ~meta:[ ("campaign", Dsim.Json.String "wall") ]
+            (Exec.Telemetry.wall_trace outcomes)
+            ~path;
+          Printf.printf "worker timeline written to %s\n" path);
+      Printf.eprintf "%s\n" (Exec.Telemetry.summary ~jobs stats);
       Ok ()
     in
     match outcome with
@@ -763,7 +930,7 @@ let campaign_cmd =
     Term.(
       ret
         (const action $ paths_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-       $ salt_arg $ out_arg))
+       $ salt_arg $ out_arg $ trace_out_arg $ trace_wall_arg))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -783,4 +950,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; lower_bound_cmd; sweep_cmd; online_cmd; radio_cmd;
-            exec_cmd; campaign_cmd; estimate_cmd ]))
+            exec_cmd; campaign_cmd; estimate_cmd; trace_validate_cmd ]))

@@ -17,7 +17,8 @@ type t = {
   store : store;
   mutable retained : int;
   mutable recorded : int;
-  mutable subscribers : (entry -> unit) list; (* reversed registration order *)
+  mutable subscribers : (entry -> unit) array; (* registration order *)
+  mutable live : bool; (* anything to do in [record] beyond the count? *)
   enabled : bool;
 }
 
@@ -31,28 +32,41 @@ let create ?(enabled = true) ?capacity () =
           if n < 1 then invalid_arg "Trace.create: capacity must be >= 1";
           Ring { buf = Array.make n None; next = 0 }
   in
-  { store; retained = 0; recorded = 0; subscribers = []; enabled }
+  let live = match store with Off -> false | Unbounded _ | Ring _ -> true in
+  { store; retained = 0; recorded = 0; subscribers = [||]; live; enabled }
 
 let enabled t = t.enabled
 
-let subscribe t f = t.subscribers <- f :: t.subscribers
+(* Subscription is rare (a handful per run); the array copy keeps the
+   per-record dispatch below allocation-free. *)
+let subscribe t f =
+  t.subscribers <- Array.append t.subscribers [| f |];
+  t.live <- true
 
 let record t ~time event =
-  let entry = { time; event } in
   t.recorded <- t.recorded + 1;
-  (match t.store with
-  | Off -> ()
-  | Unbounded u ->
-      u.rev <- entry :: u.rev;
-      t.retained <- t.retained + 1
-  | Ring r ->
-      let cap = Array.length r.buf in
-      if r.buf.(r.next) = None then t.retained <- t.retained + 1;
-      r.buf.(r.next) <- Some entry;
-      r.next <- (r.next + 1) mod cap);
-  (* Notify in registration order so downstream consumers see a stable
-     sequence regardless of how many observers attach. *)
-  List.iter (fun f -> f entry) (List.rev t.subscribers)
+  (* Dispatch is guarded so a disabled, subscriber-free trace — the
+     benchmark configuration — allocates nothing here: no entry record,
+     no closure, no list reversal. *)
+  if t.live then begin
+    let entry = { time; event } in
+    (match t.store with
+    | Off -> ()
+    | Unbounded u ->
+        u.rev <- entry :: u.rev;
+        t.retained <- t.retained + 1
+    | Ring r ->
+        let cap = Array.length r.buf in
+        if r.buf.(r.next) = None then t.retained <- t.retained + 1;
+        r.buf.(r.next) <- Some entry;
+        r.next <- (r.next + 1) mod cap);
+    (* Notify in registration order so downstream consumers see a stable
+       sequence regardless of how many observers attach. *)
+    let subs = t.subscribers in
+    for i = 0 to Array.length subs - 1 do
+      subs.(i) entry
+    done
+  end
 
 let length t = t.retained
 

@@ -38,7 +38,11 @@ val enabled : t -> bool
 val record : t -> time:float -> event -> unit
 (** Append one event.  Retention follows the [enabled]/[capacity] policy,
     but subscribers registered with {!subscribe} are always notified, even
-    on a disabled trace — streaming consumers don't require retention. *)
+    on a disabled trace — streaming consumers don't require retention.
+    On a disabled trace with no subscribers this allocates nothing (the
+    entry record is never built), so benchmark-configuration runs pay
+    only the recorded-count increment; callers still guard the [event]
+    construction itself (see [Amac.Standard_mac.tracing]). *)
 
 val subscribe : t -> (entry -> unit) -> unit
 (** Register a streaming consumer called synchronously on every

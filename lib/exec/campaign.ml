@@ -23,10 +23,21 @@ type outcome = {
   output : string;  (** report text the job emitted through {!Sink} *)
   engine : Obs.Global.snap;  (** engine-counter delta attributable to the job *)
   wall_s : float;  (** injected-clock seconds (0 without a [clock]) *)
+  t_start : float;  (** injected-clock start time (0 for replayed jobs) *)
+  worker : int;  (** domain that ran the job; -1 for replayed jobs *)
   source : source;
 }
 
-type stats = { total : int; ran : int; cached : int; resumed : int }
+type stats = {
+  total : int;
+  ran : int;
+  cached : int;
+  resumed : int;
+  cache_hits : int;
+  cache_misses : int;
+  busy_s : float;  (** summed wall_s of executed jobs *)
+  elapsed_s : float;  (** injected-clock span of the whole campaign *)
+}
 
 (* --- Replayable entry (cache file / manifest line) ----------------------- *)
 
@@ -58,14 +69,24 @@ let decode_entry ~index ~digest ~source json =
     | Some (Dsim.Json.Number w) -> w
     | _ -> 0.
   in
-  Some { index; digest; result; output; engine; wall_s; source }
+  (* Replayed jobs carry no worker-placement facts: those are wall-clock
+     truths of the run that executed them, not of this one. *)
+  Some
+    { index; digest; result; output; engine; wall_s; t_start = 0.; worker = -1;
+      source }
 
 (* --- The runner ---------------------------------------------------------- *)
 
 let run ?(jobs = 1) ?(salt = "") ?cache ?manifest ?(clock = fun () -> 0.)
     ?(merge_engine = true) job_list =
+  let t_begin = clock () in
   let jobs_arr = Array.of_list job_list in
   let n = Array.length jobs_arr in
+  let hits0, misses0 =
+    match cache with
+    | None -> (0, 0)
+    | Some c -> (Cache.hits c, Cache.misses c)
+  in
   let digests = Array.map (fun j -> Job.digest ~salt j) jobs_arr in
   let slots : outcome option array = Array.make n None in
   let resumed = ref 0 and cached = ref 0 in
@@ -138,7 +159,7 @@ let run ?(jobs = 1) ?(salt = "") ?cache ?manifest ?(clock = fun () -> 0.)
       let wall_s = clock () -. t0 in
       let o =
         { index = i; digest = digests.(i); result; output; engine; wall_s;
-          source = Ran }
+          t_start = t0; worker = Pool.self_index (); source = Ran }
       in
       slots.(i) <- Some o;
       let entry =
@@ -167,7 +188,25 @@ let run ?(jobs = 1) ?(salt = "") ?cache ?manifest ?(clock = fun () -> 0.)
   if merge_engine then
     Array.iter (fun o -> Obs.Global.merge o.engine) outcomes;
   let ran = n - !resumed - !cached in
-  (outcomes, { total = n; ran; cached = !cached; resumed = !resumed })
+  let cache_hits, cache_misses =
+    match cache with
+    | None -> (0, 0)
+    | Some c -> (Cache.hits c - hits0, Cache.misses c - misses0)
+  in
+  let busy_s =
+    Array.fold_left
+      (fun acc o -> if o.source = Ran then acc +. o.wall_s else acc)
+      0. outcomes
+  in
+  let elapsed_s = clock () -. t_begin in
+  (* Exec-layer counters are noted once, here on the coordinating domain,
+     so per-job engine deltas stay byte-identical however the jobs were
+     placed or served. *)
+  Obs.Global.note_exec ~cache_hits ~cache_misses
+    ~pool_busy_us:(int_of_float (busy_s *. 1e6));
+  ( outcomes,
+    { total = n; ran; cached = !cached; resumed = !resumed; cache_hits;
+      cache_misses; busy_s; elapsed_s } )
 
 let merged_engine outcomes =
   Array.fold_left

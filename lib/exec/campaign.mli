@@ -15,10 +15,25 @@ type outcome = {
   output : string;  (** report text captured through {!Sink} *)
   engine : Obs.Global.snap;
   wall_s : float;
+  t_start : float;
+      (** injected-clock time the job started; 0 for replayed jobs *)
+  worker : int;
+      (** {!Pool.self_index} of the domain that ran the job; -1 for
+          replayed jobs (worker placement is a fact about the run that
+          executed them, not this one) *)
   source : source;
 }
 
-type stats = { total : int; ran : int; cached : int; resumed : int }
+type stats = {
+  total : int;
+  ran : int;
+  cached : int;
+  resumed : int;
+  cache_hits : int;  (** cache lookups served from disk, this run *)
+  cache_misses : int;
+  busy_s : float;  (** summed [wall_s] of executed jobs *)
+  elapsed_s : float;  (** injected-clock span of the whole campaign *)
+}
 
 val run :
   ?jobs:int ->

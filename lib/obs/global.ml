@@ -9,6 +9,9 @@ type snap = {
   acks : int;
   forced : int;
   cat_interned : int;
+  cache_hits : int;
+  cache_misses : int;
+  pool_busy_us : int;
 }
 
 let zero =
@@ -23,6 +26,9 @@ let zero =
     acks = 0;
     forced = 0;
     cat_interned = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    pool_busy_us = 0;
   }
 
 (* The main registry.  Callers deep in the simulation stack (Mmb.Runner
@@ -60,6 +66,9 @@ let add a b =
     (* Interned-category counts are per-engine cardinalities, not flows:
        the combined figure is the largest any one engine reached. *)
     cat_interned = max a.cat_interned b.cat_interned;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    pool_busy_us = a.pool_busy_us + b.pool_busy_us;
   }
 
 let merge delta =
@@ -78,6 +87,21 @@ let note_sim sim =
       cancelled = s.cancelled + Dsim.Sim.cancelled_events sim;
       heap_high_water = max s.heap_high_water (Dsim.Sim.heap_high_water sim);
       cat_interned = max s.cat_interned (Dsim.Sim.cat_interned sim);
+    }
+
+(* Noted once per campaign by the coordinating domain after the pool
+   joins — never from worker jobs, so per-job engine deltas (cache
+   entries, outcome signatures) stay byte-identical across worker
+   counts and cache states. *)
+let note_exec ~cache_hits ~cache_misses ~pool_busy_us =
+  let r = registry () in
+  let s = !r in
+  r :=
+    {
+      s with
+      cache_hits = s.cache_hits + cache_hits;
+      cache_misses = s.cache_misses + cache_misses;
+      pool_busy_us = s.pool_busy_us + pool_busy_us;
     }
 
 let note_mac ~bcasts ~rcvs ~acks ~forced =
@@ -106,6 +130,9 @@ let diff ~before ~after =
     forced = after.forced - before.forced;
     (* Like the high-water mark: report the window's running max. *)
     cat_interned = after.cat_interned;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+    pool_busy_us = after.pool_busy_us - before.pool_busy_us;
   }
 
 let fields s =
@@ -121,6 +148,9 @@ let fields s =
     ("acks", n s.acks);
     ("forced", n s.forced);
     ("cat_interned", n s.cat_interned);
+    ("cache_hits", n s.cache_hits);
+    ("cache_misses", n s.cache_misses);
+    ("pool_busy_us", n s.pool_busy_us);
   ]
 
 let to_json ~label ?wall_s s =
@@ -147,6 +177,9 @@ let snap_of_json json =
   let* forced = Dsim.Json.member_int json "forced" ~default:0 in
   (* default 0: manifests written before this field existed stay valid. *)
   let* cat_interned = Dsim.Json.member_int json "cat_interned" ~default:0 in
+  let* cache_hits = Dsim.Json.member_int json "cache_hits" ~default:0 in
+  let* cache_misses = Dsim.Json.member_int json "cache_misses" ~default:0 in
+  let* pool_busy_us = Dsim.Json.member_int json "pool_busy_us" ~default:0 in
   Ok
     {
       runs;
@@ -159,4 +192,7 @@ let snap_of_json json =
       acks;
       forced;
       cat_interned;
+      cache_hits;
+      cache_misses;
+      pool_busy_us;
     }

@@ -28,6 +28,10 @@ type snap = {
   cat_interned : int;
       (** max distinct event categories interned by any one engine
           (combines by max, like [heap_high_water]) *)
+  cache_hits : int;  (** campaign cache lookups served from disk *)
+  cache_misses : int;
+  pool_busy_us : int;
+      (** injected-clock microseconds workers spent executing jobs *)
 }
 
 val zero : snap
@@ -40,6 +44,12 @@ val note_sim : Dsim.Sim.t -> unit
 (** Fold one finished simulation's engine counters into the totals. *)
 
 val note_mac : bcasts:int -> rcvs:int -> acks:int -> forced:int -> unit
+
+val note_exec : cache_hits:int -> cache_misses:int -> pool_busy_us:int -> unit
+(** Fold one campaign's cache traffic and worker busy time into the
+    totals.  Called once by the coordinating domain after the pool
+    joins, never from worker jobs — per-job engine deltas must stay
+    byte-identical across worker counts and cache states. *)
 
 val diff : before:snap -> after:snap -> snap
 (** Per-window delta; [heap_high_water] reports the window's running max

@@ -38,21 +38,27 @@ let bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed ?discipline
     ~instrument:(instrument_continuous obs) ?setup ()
 
 let fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params
-    ?max_spread_phases ?obs () =
+    ?max_spread_phases ?obs ?attach () =
   let instrument =
-    match obs with
-    | None -> note_globals
-    | Some o ->
+    match (obs, attach) with
+    | None, None -> note_globals
+    | _ ->
         (* The MMB lifecycle goes through a retention-free trace so the
-           observer's span deriver sees it as a subscriber. *)
+           observer's span deriver — and any [attach]ed streaming
+           consumer (trace/provenance collectors) — sees it as a
+           subscriber. *)
         let tr = Dsim.Trace.create ~enabled:false () in
-        Observer.attach o tr;
+        Option.iter (fun o -> Observer.attach o tr) obs;
+        Option.iter (fun f -> f tr) attach;
         {
           Mmb.Instrument.none with
           Mmb.Instrument.on_event =
             Some (fun ~time event -> Dsim.Trace.record tr ~time event);
           finish =
-            (fun ~allow_open -> ignore (Observer.finish o ~allow_open));
+            (fun ~allow_open ->
+              Option.iter
+                (fun o -> ignore (Observer.finish o ~allow_open))
+                obs);
           note_sim = Global.note_sim;
         }
   in

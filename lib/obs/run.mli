@@ -57,10 +57,15 @@ val fmmb :
   ?params:Mmb.Fmmb.params ->
   ?max_spread_phases:int ->
   ?obs:Observer.t ->
+  ?attach:(Dsim.Trace.t -> unit) ->
   unit ->
   Mmb.Runner.fmmb_result
 (** With [obs], the problem-level [Arrive]/[Deliver] lifecycle feeds the
     observer's spans (stage-granular times).  The streaming compliance
     monitor does not apply to FMMB (per-stage engines restart instance
     uids and clocks); create the observer without [dual].  FMMB's round
-    backends have no engine, so nothing is folded into {!Global}. *)
+    backends have no engine, so nothing is folded into {!Global}.
+
+    [attach] receives the retention-free lifecycle trace before the run,
+    for subscribing streaming consumers ({!Tracing.Sim},
+    {!Provenance}) without an observer. *)

@@ -1,0 +1,406 @@
+(* The observability exports (lib/obs Tracing/Provenance/Perf_diff and
+   lib/exec Telemetry): determinism of the trace files, the provenance
+   DAG's structural invariants, the perf-diff verdicts, and the
+   zero-allocation contract of Dsim.Trace dispatch when tracing is off. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_path name =
+  let p = Filename.concat "_tracing_test" name in
+  rm_rf p;
+  Exec.Cache.mkdir_p "_tracing_test";
+  p
+
+(* One observed BMMB run with a retained trace. *)
+let traced_run ~seed =
+  let n = 12 in
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line n) in
+  let rng = Dsim.Rng.create ~seed in
+  let assignment = Mmb.Problem.random rng ~n ~k:3 in
+  let res =
+    Obs.Run.bmmb ~dual ~fack:20. ~fprog:1.
+      ~policy:(Amac.Schedulers.random_compliant ())
+      ~assignment ~seed ~check_compliance:true ()
+  in
+  match res.Mmb.Runner.trace with
+  | Some tr -> (n, tr)
+  | None -> Alcotest.fail "run retained no trace"
+
+let perfetto_string ~n tr =
+  let col = Obs.Tracing.Sim.create ~n () in
+  Dsim.Trace.iter tr (Obs.Tracing.Sim.on_entry col);
+  Obs.Tracing.to_string (Obs.Tracing.Sim.finish col)
+
+(* --- Dsim.Trace dispatch: zero allocation when off ------------------------ *)
+
+let test_record_zero_alloc_when_off () =
+  let tr = Dsim.Trace.create ~enabled:false () in
+  let event = Dsim.Trace.Arrive { node = 1; msg = 2 } in
+  (* Warm up so any one-time allocation is out of the measured window. *)
+  Dsim.Trace.record tr ~time:1. event;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Dsim.Trace.record tr ~time:1. event
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "100k records on a disabled trace allocated %.0f words"
+       allocated)
+    true
+    (allocated < 512.);
+  Alcotest.(check int) "records still counted" 100_001 (Dsim.Trace.recorded tr)
+
+let test_subscribers_fire_in_registration_order () =
+  let tr = Dsim.Trace.create ~enabled:false () in
+  let seen = ref [] in
+  Dsim.Trace.subscribe tr (fun _ -> seen := "a" :: !seen);
+  Dsim.Trace.subscribe tr (fun _ -> seen := "b" :: !seen);
+  Dsim.Trace.record tr ~time:0. (Dsim.Trace.Arrive { node = 0; msg = 0 });
+  Alcotest.(check (list string))
+    "registration order" [ "a"; "b" ] (List.rev !seen)
+
+(* --- Perfetto export ------------------------------------------------------- *)
+
+let test_trace_same_seed_byte_identical () =
+  let n, tr1 = traced_run ~seed:11 in
+  let _, tr2 = traced_run ~seed:11 in
+  Alcotest.(check string)
+    "same seed, byte-identical Perfetto document" (perfetto_string ~n tr1)
+    (perfetto_string ~n tr2)
+
+let test_trace_validates () =
+  let n, tr = traced_run ~seed:4 in
+  let doc = perfetto_string ~n tr in
+  (match Obs.Tracing.validate_string doc with
+  | Ok count -> Alcotest.(check bool) "has events" true (count > 0)
+  | Error e -> Alcotest.fail e);
+  (match Obs.Tracing.validate_string "{\"traceEvents\":[]}" with
+  | Ok _ -> Alcotest.fail "schema-less document must not validate"
+  | Error _ -> ());
+  match
+    Obs.Tracing.validate_string
+      "{\"traceEvents\":[],\"otherData\":{\"schema\":\"bogus/9\"}}"
+  with
+  | Ok _ -> Alcotest.fail "wrong schema must not validate"
+  | Error _ -> ()
+
+(* --- Provenance ------------------------------------------------------------ *)
+
+let provenance_of ~n tr =
+  let p = Obs.Provenance.create ~n () in
+  Dsim.Trace.iter tr (Obs.Provenance.on_entry p);
+  p
+
+let test_provenance_dag_invariants () =
+  let n, tr = traced_run ~seed:7 in
+  let p = provenance_of ~n tr in
+  let msgs = Obs.Provenance.messages p in
+  Alcotest.(check int) "all 3 messages observed" 3 (List.length msgs);
+  (* Roots must be the origin Arrive events of the underlying trace. *)
+  let arrives = Hashtbl.create 8 in
+  Dsim.Trace.iter tr (fun { Dsim.Trace.time; event } ->
+      match event with
+      | Dsim.Trace.Arrive { node; msg } ->
+          if not (Hashtbl.mem arrives msg) then
+            Hashtbl.replace arrives msg (node, time)
+      | _ -> ());
+  List.iter
+    (fun msg ->
+      let root = Obs.Provenance.root p msg in
+      Alcotest.(check bool)
+        (Printf.sprintf "msg %d root is its Arrive" msg)
+        true
+        (root = Hashtbl.find_opt arrives msg);
+      (* Acyclicity / forest shape: walking receipts in event order, every
+         receipt's node is new and its source already knows the message. *)
+      let knowing = Hashtbl.create 16 in
+      (match root with
+      | Some (node, _) -> Hashtbl.replace knowing node ()
+      | None -> Alcotest.fail "message without a root");
+      let receipts = Obs.Provenance.receipts p msg in
+      Alcotest.(check int)
+        (Printf.sprintf "msg %d reaches all other nodes" msg)
+        (n - 1) (List.length receipts);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            "receipt node is new" false
+            (Hashtbl.mem knowing r.Obs.Provenance.r_node);
+          (match r.Obs.Provenance.r_src with
+          | Some src ->
+              Alcotest.(check bool)
+                "edge source already knew the message" true
+                (Hashtbl.mem knowing src)
+          | None -> Alcotest.fail "receipt without an observed broadcast");
+          Alcotest.(check bool)
+            "depth is at least one hop" true
+            (r.Obs.Provenance.r_depth >= 1);
+          (* The queue/mac split telescopes: accumulated components along
+             the causal path equal receipt time minus arrival time. *)
+          let arrive_t = snd (Option.get root) in
+          Alcotest.(check (float 1e-9))
+            "cum queue + cum mac = elapsed since arrival"
+            (r.Obs.Provenance.r_time -. arrive_t)
+            (r.Obs.Provenance.r_cum_queue +. r.Obs.Provenance.r_cum_mac);
+          Hashtbl.replace knowing r.Obs.Provenance.r_node ())
+        receipts)
+    msgs
+
+let test_provenance_export_validates () =
+  let n, tr = traced_run ~seed:9 in
+  let p = provenance_of ~n tr in
+  let text = String.concat "\n" (Obs.Provenance.jsonl p) in
+  (match Obs.Provenance.validate_string text with
+  | Ok lines -> Alcotest.(check bool) "has lines" true (lines > 1)
+  | Error e -> Alcotest.fail e);
+  match Obs.Provenance.validate_string "{\"kind\":\"meta\",\"schema\":\"x\"}" with
+  | Ok _ -> Alcotest.fail "wrong schema must not validate"
+  | Error _ -> ()
+
+(* --- Campaign timelines ---------------------------------------------------- *)
+
+let sim_job seed =
+  Exec.Job.make
+    ~spec:
+      (Dsim.Json.Obj
+         [
+           ("kind", Dsim.Json.String "tracing-bmmb");
+           ("seed", Dsim.Json.Number (float_of_int seed));
+         ])
+    (fun () ->
+      let dual = Graphs.Dual.of_equal (Graphs.Gen.line 12) in
+      let rng = Dsim.Rng.create ~seed in
+      let assignment = Mmb.Problem.random rng ~n:12 ~k:3 in
+      let res =
+        Obs.Run.bmmb ~dual ~fack:20. ~fprog:1.
+          ~policy:(Amac.Schedulers.random_compliant ())
+          ~assignment ~seed ()
+      in
+      Exec.Sink.printf "seed=%d time=%.1f\n" seed res.Mmb.Runner.time;
+      Dsim.Json.Obj [ ("time", Dsim.Json.Number res.Mmb.Runner.time) ])
+
+let virtual_doc outcomes =
+  Obs.Tracing.to_string (Exec.Telemetry.virtual_trace outcomes)
+
+let test_campaign_trace_identity_across_jobs () =
+  let job_list () = List.init 6 sim_job in
+  let o1, _ = Exec.Campaign.run ~jobs:1 (job_list ()) in
+  let o2, _ = Exec.Campaign.run ~jobs:2 (job_list ()) in
+  let o4, _ = Exec.Campaign.run ~jobs:4 (job_list ()) in
+  Alcotest.(check string)
+    "virtual timeline, jobs 1 = jobs 2" (virtual_doc o1) (virtual_doc o2);
+  Alcotest.(check string)
+    "virtual timeline, jobs 1 = jobs 4" (virtual_doc o1) (virtual_doc o4)
+
+let test_campaign_trace_identity_ran_vs_cached () =
+  let dir = fresh_path "cache" in
+  let job_list () = List.init 4 sim_job in
+  let cache = Exec.Cache.create ~dir in
+  let ran, s1 = Exec.Campaign.run ~jobs:2 ~cache (job_list ()) in
+  let cached, s2 = Exec.Campaign.run ~jobs:2 ~cache (job_list ()) in
+  Alcotest.(check int) "first run executed" 4 s1.Exec.Campaign.ran;
+  Alcotest.(check int) "second run fully cached" 4 s2.Exec.Campaign.cached;
+  Alcotest.(check string)
+    "virtual timeline, ran = cached" (virtual_doc ran) (virtual_doc cached)
+
+let test_campaign_telemetry_and_global_counters () =
+  let dir = fresh_path "cache-counters" in
+  let cache = Exec.Cache.create ~dir in
+  (* A deterministic injected clock: each reading advances 0.25s. *)
+  let ticks = ref 0 in
+  let clock () =
+    incr ticks;
+    0.25 *. float_of_int !ticks
+  in
+  let before = Obs.Global.snapshot () in
+  let _, s1 = Exec.Campaign.run ~jobs:2 ~cache ~clock (List.init 3 sim_job) in
+  let outcomes, s2 =
+    Exec.Campaign.run ~jobs:2 ~cache ~clock (List.init 3 sim_job)
+  in
+  let delta =
+    Obs.Global.diff ~before ~after:(Obs.Global.snapshot ())
+  in
+  Alcotest.(check int) "3 misses on the cold run" 3 s1.Exec.Campaign.cache_misses;
+  Alcotest.(check int) "3 hits on the warm run" 3 s2.Exec.Campaign.cache_hits;
+  Alcotest.(check int)
+    "cache traffic reaches Obs.Global" 3 delta.Obs.Global.cache_hits;
+  Alcotest.(check int)
+    "misses too" 3 delta.Obs.Global.cache_misses;
+  Alcotest.(check bool)
+    "executed jobs accumulated busy time" true
+    (s1.Exec.Campaign.busy_s > 0.);
+  Alcotest.(check bool)
+    "busy time reaches Obs.Global" true
+    (delta.Obs.Global.pool_busy_us > 0);
+  Alcotest.(check bool)
+    "elapsed spans the campaign" true
+    (s1.Exec.Campaign.elapsed_s > 0.);
+  let summary = Exec.Telemetry.summary ~jobs:2 s1 in
+  Alcotest.(check bool)
+    "summary reports utilization" true
+    (let needle = "pool utilization" in
+     let rec find i =
+       i + String.length needle <= String.length summary
+       && (String.sub summary i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  (* Replayed outcomes carry no worker placement. *)
+  Array.iter
+    (fun o ->
+      Alcotest.(check int)
+        "cached outcome has no worker" (-1) o.Exec.Campaign.worker)
+    outcomes;
+  (* The wall timeline only contains executed jobs: empty here. *)
+  Alcotest.(check int)
+    "wall trace of a fully-cached run has only metadata" 1
+    (Obs.Tracing.event_count (Exec.Telemetry.wall_trace outcomes))
+
+(* --- Perf diff ------------------------------------------------------------- *)
+
+let perf_entry ~label benches =
+  {
+    Obs.Perf_diff.e_label = label;
+    e_benches =
+      List.map
+        (fun (id, events, rate, mw) ->
+          { Obs.Perf_diff.b_id = id; b_events = events; b_rate = rate; b_mw = mw })
+        benches;
+  }
+
+let statuses report =
+  List.map
+    (fun f ->
+      match f.Obs.Perf_diff.f_status with
+      | Obs.Perf_diff.Pass -> "pass"
+      | Obs.Perf_diff.Regression -> "regression"
+      | Obs.Perf_diff.Incomparable -> "incomparable")
+    report.Obs.Perf_diff.findings
+
+let test_perf_diff_verdicts () =
+  let base =
+    perf_entry ~label:"base"
+      [
+        ("steady", 100., 1000., 10.);
+        ("dropped", 100., 1000., 10.);
+        ("bloated", 100., 1000., 10.);
+        ("gone", 100., 1000., 10.);
+        ("zero", 0., 0., 0.);
+      ]
+  in
+  let cand =
+    perf_entry ~label:"cand"
+      [
+        ("steady", 100., 980., 10.);
+        ("dropped", 100., 500., 10.);
+        ("bloated", 100., 1000., 20.);
+        ("zero", 0., 0., 0.);
+      ]
+  in
+  let report = Obs.Perf_diff.compare_entries base cand in
+  Alcotest.(check (list string))
+    "verdicts"
+    [ "pass"; "regression"; "regression"; "incomparable"; "incomparable" ]
+    (statuses report);
+  Alcotest.(check int) "2 regressions" 2 (Obs.Perf_diff.regressions report);
+  Alcotest.(check int) "2 incomparable" 2 (Obs.Perf_diff.incomparable report)
+
+let test_perf_diff_equal_events_gate () =
+  let base = perf_entry ~label:"b" [ ("x", 100., 1000., Float.nan) ] in
+  let cand = perf_entry ~label:"c" [ ("x", 101., 1000., Float.nan) ] in
+  let report =
+    Obs.Perf_diff.compare_entries ~require_equal_events:true base cand
+  in
+  Alcotest.(check (list string))
+    "changed event count is incomparable" [ "incomparable" ] (statuses report);
+  let relaxed = Obs.Perf_diff.compare_entries base cand in
+  Alcotest.(check (list string))
+    "without the gate it passes" [ "pass" ] (statuses relaxed)
+
+let test_perf_diff_selectors () =
+  let entries =
+    [
+      perf_entry ~label:"seed baseline" [];
+      perf_entry ~label:"after: PR5" [];
+      perf_entry ~label:"after: PR7" [];
+    ]
+  in
+  let label = function
+    | Ok e -> e.Obs.Perf_diff.e_label
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string)
+    "-1 is the newest" "after: PR7"
+    (label (Obs.Perf_diff.select entries (Obs.Perf_diff.Index (-1))));
+  Alcotest.(check string)
+    "-2 is the previous" "after: PR5"
+    (label (Obs.Perf_diff.select entries (Obs.Perf_diff.Index (-2))));
+  Alcotest.(check string)
+    "0 is the oldest" "seed baseline"
+    (label (Obs.Perf_diff.select entries (Obs.Perf_diff.Index 0)));
+  Alcotest.(check string)
+    "label substring picks the newest match" "after: PR7"
+    (label (Obs.Perf_diff.select entries (Obs.Perf_diff.Label "after:")));
+  (match Obs.Perf_diff.select entries (Obs.Perf_diff.Index 5) with
+  | Ok _ -> Alcotest.fail "out-of-range index must fail"
+  | Error _ -> ());
+  match Obs.Perf_diff.select entries (Obs.Perf_diff.Label "nope") with
+  | Ok _ -> Alcotest.fail "unmatched label must fail"
+  | Error _ -> ()
+
+let test_perf_diff_parses_history () =
+  let text =
+    {|{"schema":"mmb-bench-perf/1","entries":[
+       {"label":"a","mode":"full","results":[
+         {"id":"x","events":10,"wall_s":1,"events_per_sec":10,
+          "minor_words_per_event":2,"heap_high_water":1}]},
+       {"label":"b","mode":"full","results":[
+         {"id":"x","events":10,"wall_s":1,"events_per_sec":11,
+          "minor_words_per_event":2,"heap_high_water":1}]}]}|}
+  in
+  match Obs.Perf_diff.entries_of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      Alcotest.(check int) "two entries" 2 (List.length entries);
+      let report =
+        Obs.Perf_diff.compare_entries (List.nth entries 0) (List.nth entries 1)
+      in
+      Alcotest.(check (list string)) "faster is fine" [ "pass" ]
+        (statuses report)
+
+let suite =
+  [
+    ( "tracing",
+      [
+        Alcotest.test_case "record allocates nothing when off" `Quick
+          test_record_zero_alloc_when_off;
+        Alcotest.test_case "subscribers fire in registration order" `Quick
+          test_subscribers_fire_in_registration_order;
+        Alcotest.test_case "same seed, byte-identical Perfetto trace" `Slow
+          test_trace_same_seed_byte_identical;
+        Alcotest.test_case "Perfetto document validates" `Quick
+          test_trace_validates;
+        Alcotest.test_case "provenance DAG invariants" `Quick
+          test_provenance_dag_invariants;
+        Alcotest.test_case "provenance export validates" `Quick
+          test_provenance_export_validates;
+        Alcotest.test_case "campaign timeline identical for jobs 1/2/4" `Slow
+          test_campaign_trace_identity_across_jobs;
+        Alcotest.test_case "campaign timeline identical ran vs cached" `Slow
+          test_campaign_trace_identity_ran_vs_cached;
+        Alcotest.test_case "campaign telemetry and Obs.Global counters" `Slow
+          test_campaign_telemetry_and_global_counters;
+        Alcotest.test_case "perf-diff verdicts" `Quick test_perf_diff_verdicts;
+        Alcotest.test_case "perf-diff equal-events gate" `Quick
+          test_perf_diff_equal_events_gate;
+        Alcotest.test_case "perf-diff entry selectors" `Quick
+          test_perf_diff_selectors;
+        Alcotest.test_case "perf-diff parses bench history" `Quick
+          test_perf_diff_parses_history;
+      ] );
+  ]
