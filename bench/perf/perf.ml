@@ -5,11 +5,13 @@
    events, how much it allocates per event, and how deep the queue gets.
    Four fixed workloads cover the hot path end to end:
 
-     heap_micro   raw Dsim.Heap push/cancel/pop churn (no simulator)
-     bmmb_line    BMMB on a reliable line, adversarial scheduler
-     bmmb_grid    BMMB on a grid with r-restricted unreliable links
-                  (exercises the G'-only and watchdog paths)
-     fmmb_grey    FMMB on a grey-zone instance (enhanced model)
+     heap_micro       raw Dsim.Heap push/cancel/pop churn (no simulator)
+     bmmb_line        BMMB on a reliable line, adversarial scheduler
+     bmmb_grid        BMMB on a grid with r-restricted unreliable links
+                      (exercises the G'-only and watchdog paths)
+     bmmb_churn_line  BMMB on a churned line (exercises the lib/dyn
+                      epoch-refresh path on every plan-time consult)
+     fmmb_grey        FMMB on a grey-zone instance (enhanced model)
 
    Each benchmark reports events/sec, GC minor words per event, and the
    heap high-water mark.  Timings go to a JSON document (see
@@ -125,6 +127,32 @@ let bmmb_grid ~rows ~cols ~k ~repeats () =
     ~policy:(Amac.Schedulers.random_compliant ())
     ~repeats ()
 
+(* Churned line: same shape as bmmb_line but with a time-varying
+   unreliable layer, so every bcast pays the epoch consult and the dirty
+   refresh.  A fresh Dyn.Dual per run keeps the workload deterministic
+   (the schedule is a pure function of (seed, epoch)). *)
+let bmmb_churn_line ~n ~k ~epoch_len ~repeats () =
+  let g = Graphs.Gen.line n in
+  let rng = Dsim.Rng.create ~seed:13 in
+  let dual = Graphs.Dual.arbitrary_random rng ~g ~extra:n in
+  let assignment = Mmb.Problem.all_at ~node:0 ~k in
+  let before = Obs.Global.snapshot () in
+  for seed = 1 to repeats do
+    let dyn =
+      Dyn.Dual.of_schedule
+        (Dyn.Schedule.churn ~base:dual ~epoch_len ~rate:0.3 ~seed)
+    in
+    let res =
+      Obs.Run.bmmb ~dual ~fack:20. ~fprog:1.
+        ~policy:(Amac.Schedulers.adversarial ())
+        ~assignment ~seed ~dyn ()
+    in
+    if not res.Mmb.Runner.complete then
+      failwith "bench/perf: churned BMMB incomplete"
+  done;
+  let d = Obs.Global.diff ~before ~after:(Obs.Global.snapshot ()) in
+  (d.Obs.Global.events, d.Obs.Global.heap_high_water)
+
 (* FMMB: Obs.Run.fmmb without an observer attaches no instrument, so
    note the engine counters into the global registry ourselves. *)
 let fmmb_grey ~n ~k ~seed () =
@@ -162,6 +190,7 @@ let suite ~smoke =
       ("heap_micro", heap_micro ~n:2_000);
       ("bmmb_line", bmmb_line ~n:12 ~k:2 ~repeats:1);
       ("bmmb_grid", bmmb_grid ~rows:4 ~cols:4 ~k:2 ~repeats:1);
+      ("bmmb_churn_line", bmmb_churn_line ~n:12 ~k:2 ~epoch_len:5. ~repeats:1);
       ("fmmb_grey", fmmb_grey ~n:18 ~k:2 ~seed:1);
     ]
   else
@@ -169,6 +198,8 @@ let suite ~smoke =
       ("heap_micro", heap_micro ~n:400_000);
       ("bmmb_line", bmmb_line ~n:300 ~k:40 ~repeats:24);
       ("bmmb_grid", bmmb_grid ~rows:16 ~cols:16 ~k:16 ~repeats:18);
+      ("bmmb_churn_line",
+       bmmb_churn_line ~n:200 ~k:24 ~epoch_len:10. ~repeats:16);
       ("fmmb_grey", fmmb_grey ~n:60 ~k:6 ~seed:1);
     ]
 

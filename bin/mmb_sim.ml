@@ -58,6 +58,29 @@ let protocol_arg =
   let doc = "Protocol: bmmb | fmmb." in
   Arg.(value & opt string "bmmb" & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
 
+let dynamic_arg =
+  let doc =
+    "Time-varying unreliable layer: static | flap | churn | adversary \
+     (bmmb only; the listed G' becomes the union over all epochs)."
+  in
+  Arg.(value & opt (some string) None & info [ "dynamic" ] ~docv:"KIND" ~doc)
+
+let epoch_arg =
+  let doc = "Epoch length (stability parameter T) for --dynamic." in
+  Arg.(value & opt float 10. & info [ "epoch" ] ~docv:"T" ~doc)
+
+let dyn_period_arg =
+  let doc = "Half-period in epochs for --dynamic flap." in
+  Arg.(value & opt int 1 & info [ "dyn-period" ] ~docv:"EPOCHS" ~doc)
+
+let churn_rate_arg =
+  let doc = "Per-epoch per-edge drop probability for --dynamic churn." in
+  Arg.(value & opt float 0.2 & info [ "churn-rate" ] ~docv:"P" ~doc)
+
+let dyn_seed_arg =
+  let doc = "Seed for the churn schedule (independent of --seed)." in
+  Arg.(value & opt int 0 & info [ "dyn-seed" ] ~docv:"SEED" ~doc)
+
 let check_arg =
   let doc = "Audit the execution against the five MAC-layer axioms." in
   Arg.(value & flag & info [ "check" ] ~doc)
@@ -189,8 +212,8 @@ let write_provenance tr ~n ~meta ~path =
   Printf.printf "provenance written to %s (%d message(s))\n" path
     (List.length (Obs.Provenance.messages p))
 
-let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
-    ~provenance ~metrics ~progress =
+let run_bmmb ~dual ~dyn ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
+    ~trace_out ~provenance ~metrics ~progress =
   match build_scheduler scheduler with
   | Error e -> `Error (false, e)
   | Ok policy ->
@@ -213,7 +236,7 @@ let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
       let obs =
         if metrics <> None || progress <> None then
           Some
-            (Obs.Observer.create ~n ~dual ~fack ~fprog ~on_violation
+            (Obs.Observer.create ~n ~dual ~fack ~fprog ~on_violation ?dyn
                ~meta:
                  [
                    ("protocol", Dsim.Json.String "bmmb");
@@ -249,7 +272,7 @@ let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
       in
       let res =
         Obs.Run.bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
-          ~check_compliance:want_trace ?obs ~setup ()
+          ~check_compliance:want_trace ?dyn ?obs ~setup ()
       in
       (match (obs, metrics) with
       | Some o, Some path ->
@@ -267,6 +290,20 @@ let run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace ~trace_out
       Printf.printf "bcasts: %d, rcvs: %d, forced progress deliveries: %d\n"
         res.Mmb.Runner.bcasts res.Mmb.Runner.rcvs res.Mmb.Runner.forced;
       Printf.printf "engine: %d events executed\n" res.Mmb.Runner.events_executed;
+      (match dyn with
+      | None -> ()
+      | Some d ->
+          let churned =
+            match Option.bind obs Obs.Observer.monitor with
+            | Some m -> Obs.Monitor.churned_count m
+            | None -> 0
+          in
+          Printf.printf
+            "dynamic: kind=%s T=%g epochs=%d refreshes=%d churned-deliveries=%d\n"
+            (Dyn.Schedule.kind_name (Dyn.Dual.schedule d))
+            (Dyn.Schedule.epoch_len (Dyn.Dual.schedule d))
+            (Dyn.Dual.epoch d + 1)
+            (Dyn.Dual.refreshes d) churned);
       if check then
         if res.Mmb.Runner.compliance_violations = [] then
           print_endline "compliance: OK (all five axioms hold)"
@@ -385,7 +422,8 @@ let run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics =
 
 let run_cmd =
   let action protocol topology gprime n k r extra fack fprog seed scheduler
-      check trace trace_out provenance metrics progress svg =
+      check trace trace_out provenance metrics progress svg dynamic epoch
+      dyn_period churn_rate dyn_seed =
     match build_dual ~topology ~gprime ~n ~r ~extra ~seed with
     | Error e -> `Error (false, e)
     | Ok dual -> (
@@ -400,13 +438,31 @@ let run_cmd =
                 prerr_endline
                   "note: --svg requires an embedded (geometric/greyzone) \
                    network; skipped"));
-        match protocol with
-        | "bmmb" ->
-            run_bmmb ~dual ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
+        let dyn =
+          match dynamic with
+          | None -> Ok None
+          | Some _ when protocol <> "bmmb" ->
+              Error "--dynamic requires --protocol bmmb"
+          | Some kind ->
+              Result.map Option.some
+                (Mmb.Scenario.build_dyn ~dual
+                   {
+                     Mmb.Scenario.dyn_kind = kind;
+                     dyn_epoch = epoch;
+                     dyn_period;
+                     dyn_churn = churn_rate;
+                     dyn_seed;
+                   })
+        in
+        match (dyn, protocol) with
+        | Error e, _ -> `Error (false, e)
+        | Ok dyn, "bmmb" ->
+            run_bmmb ~dual ~dyn ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
               ~trace_out ~provenance ~metrics ~progress
-        | "fmmb" ->
+        | Ok _, "fmmb" ->
             run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics
-        | other -> `Error (false, Printf.sprintf "unknown protocol %S" other))
+        | Ok _, other ->
+            `Error (false, Printf.sprintf "unknown protocol %S" other))
   in
   let term =
     Term.(
@@ -414,7 +470,8 @@ let run_cmd =
         (const action $ protocol_arg $ topology $ gprime $ n_arg $ k_arg
        $ r_arg $ extra_arg $ fack_arg $ fprog_arg $ seed_arg $ scheduler_arg
        $ check_arg $ trace_arg $ trace_out_arg $ provenance_arg $ metrics_arg
-       $ progress_arg $ svg_arg))
+       $ progress_arg $ svg_arg $ dynamic_arg $ epoch_arg $ dyn_period_arg
+       $ churn_rate_arg $ dyn_seed_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one MMB simulation and print its metrics.")

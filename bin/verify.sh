@@ -114,9 +114,26 @@ else
     # The three analyzers' fixture suites, straight from the alias the
     # fixtures hang off.
     gate "dune build @fixtures" dune build @fixtures
+    # The dynamic-network suite on its own, plus a campaign determinism
+    # probe: the churn T-sweep must produce identical reports whether it
+    # runs on 1 worker or 4 (lib/dyn derives every epoch's edge set
+    # purely from (seed, epoch), so job order cannot matter).
+    gate "dyn suite (test dyn)" \
+      sh -c 'cd _build/default/test && ./test_main.exe test dyn'
+    # Distinct salts give each invocation its own digests, cache, and
+    # resume manifest, so both actually execute (nothing is replayed).
+    gate "campaign determinism (churn_line --jobs 1 vs 4)" \
+      sh -c 'T=$(mktemp -d) && trap "rm -rf $T" 0 &&
+        dune exec bin/mmb_sim.exe -- campaign scenarios/churn_line.json \
+          --jobs 1 --cache-dir "$T/c1" --salt v1 > "$T/out1" &&
+        dune exec bin/mmb_sim.exe -- campaign scenarios/churn_line.json \
+          --jobs 4 --cache-dir "$T/c4" --salt v4 > "$T/out2" &&
+        cmp "$T/out1" "$T/out2"'
   else
     skip "OCAMLRUNPARAM=R dune runtest --force" "run with --full"
     skip "dune build @fixtures" "run with --full"
+    skip "dyn suite (test dyn)" "run with --full"
+    skip "campaign determinism (churn_line --jobs 1 vs 4)" "run with --full"
   fi
 fi
 

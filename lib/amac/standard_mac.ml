@@ -64,11 +64,16 @@ type 'msg instance = {
   delivered : (int, unit) Hashtbl.t; (* receivers already served *)
   pending : (int, Dsim.Sim.handle) Hashtbl.t; (* receiver -> delivery event *)
   mutable ack_handle : Dsim.Sim.handle option;
+  (* The dual in force when the instance opened.  Terminate bookkeeping
+     iterates the same G/G' neighborhoods bcast incremented, even if the
+     schedule has since churned the unreliable layer. *)
+  inst_dual : Graphs.Dual.t;
 }
 
 type 'msg t = {
   sim : Dsim.Sim.t;
-  dual : Graphs.Dual.t;
+  dual : Graphs.Dual.t; (* the base (union) dual; epoch-invariant queries *)
+  dyn : Dyn.Dual.t option; (* time-varying G' schedule, consulted per bcast *)
   fack : float;
   fprog : float;
   eps_abort : float;
@@ -129,19 +134,21 @@ let tracing t = Option.is_some t.trace
 let mid t ~uid body =
   match t.msg_id with Some f -> f body | None -> uid
 
-let g t = Graphs.Dual.reliable t.dual
-let g' t = Graphs.Dual.unreliable t.dual
-
-let create ~sim ~dual ~fack ~fprog ~policy ~rng ?(eps_abort = 0.) ?trace
+let create ~sim ~dual ~fack ~fprog ~policy ~rng ?(eps_abort = 0.) ?dyn ?trace
     ?msg_id () =
   if not (0. < fprog && fprog <= fack) then
     invalid_arg "Standard_mac.create: need 0 < fprog <= fack";
   if eps_abort < 0. then
     invalid_arg "Standard_mac.create: need eps_abort >= 0";
   let n = Graphs.Dual.n dual in
+  (match dyn with
+  | Some d when Graphs.Dual.n (Dyn.Dual.base d) <> n ->
+      invalid_arg "Standard_mac.create: dyn schedule is over a different node set"
+  | _ -> ());
   {
     sim;
     dual;
+    dyn;
     fack;
     fprog;
     eps_abort;
@@ -194,6 +201,7 @@ let sim t = t.sim
    timeline without reaching into Dsim.Sim directly (check A4). *)
 let env_at t ~time f = ignore (Dsim.Sim.schedule_at t.sim ~time f)
 let dual t = t.dual
+let dyn t = t.dyn
 let trace t = t.trace
 let fack t = t.fack
 let fprog t = t.fprog
@@ -311,6 +319,12 @@ and deliver t inst j =
     end;
     Hashtbl.replace t.received_bodies.(j) inst.body ();
     t.n_rcv <- t.n_rcv + 1;
+    (* Delivered-set probe for the adversary's oracle: the receiver now
+       knows this message. *)
+    (match t.dyn with
+    | None -> ()
+    | Some dy ->
+        Dyn.Dual.note_delivery dy ~node:j ~msg:(mid t ~uid:inst.uid inst.body));
     if tracing t then
       record t
         (Dsim.Trace.Rcv
@@ -341,7 +355,7 @@ let terminate t inst ~keep_late_deliveries =
     (fun j ->
       t.connected_open.(j) <- t.connected_open.(j) - 1;
       recheck_watchdog t j)
-    (Graphs.Graph.neighbors (g t) inst.sender);
+    (Graphs.Graph.neighbors (Graphs.Dual.reliable inst.inst_dual) inst.sender);
   Array.iter
     (fun j ->
       if Hashtbl.mem inst.delivered j then begin
@@ -352,7 +366,7 @@ let terminate t inst ~keep_late_deliveries =
         Uidset.remove t.contenders.(j) inst.uid;
         recheck_watchdog t j
       end)
-    (Graphs.Graph.neighbors (g' t) inst.sender);
+    (Graphs.Graph.neighbors (Graphs.Dual.unreliable inst.inst_dual) inst.sender);
   t.busy.(inst.sender) <- false;
   t.current.(inst.sender) <- None;
   if not keep_late_deliveries then begin
@@ -419,18 +433,18 @@ let abort t ~node =
 
 (* --- Plan validation ---------------------------------------------------- *)
 
-let validate_plan t ~sender (plan : Mac_intf.plan) =
+let validate_plan t ~dual ~sender (plan : Mac_intf.plan) =
   let { Mac_intf.ack_delay; deliveries } = plan in
   if not (0. <= ack_delay && ack_delay <= t.fack) then
     invalid_arg
       (Printf.sprintf "Standard_mac: plan ack_delay %g outside [0, %g]"
          ack_delay t.fack);
-  let n = Graphs.Dual.n t.dual in
+  let n = Graphs.Dual.n dual in
   t.scratch_epoch <- t.scratch_epoch + 1;
   let epoch = t.scratch_epoch in
   Array.iter
     (fun j -> t.scratch_nbr.(j) <- epoch)
-    (Graphs.Graph.neighbors (g' t) sender);
+    (Graphs.Graph.neighbors (Graphs.Dual.unreliable dual) sender);
   List.iter
     (fun { Mac_intf.receiver; delay } ->
       if receiver < 0 || receiver >= n then
@@ -447,7 +461,7 @@ let validate_plan t ~sender (plan : Mac_intf.plan) =
     (fun j ->
       if t.scratch_seen.(j) <> epoch then
         invalid_arg "Standard_mac: plan misses a G-neighbor")
-    (Graphs.Graph.neighbors (g t) sender)
+    (Graphs.Graph.neighbors (Graphs.Dual.reliable dual) sender)
 
 (* --- Broadcast ---------------------------------------------------------- *)
 
@@ -461,13 +475,24 @@ let bcast t ~node body =
   t.next_uid <- uid + 1;
   t.busy.(node) <- true;
   t.n_bcast <- t.n_bcast + 1;
+  (* Delivery-plan-time consult of the schedule: note the probe and step
+     to the epoch in force now, BEFORE the Bcast event is recorded, so
+     trace subscribers (the monitor) observing at Bcast time see the
+     epoch-current adjacency through the read-only Dyn.Dual.current. *)
+  let dual =
+    match t.dyn with
+    | None -> t.dual
+    | Some dy ->
+        Dyn.Dual.note_bcast dy ~node ~msg:(mid t ~uid body);
+        Dyn.Dual.view dy ~time:(Dsim.Sim.now t.sim)
+  in
   if tracing t then
     record t (Dsim.Trace.Bcast { node; msg = mid t ~uid body; instance = uid });
-  let g_neighbors = Graphs.Graph.neighbors (g t) node in
-  let g'_neighbors = Graphs.Graph.neighbors (g' t) node in
+  let g_neighbors = Graphs.Graph.neighbors (Graphs.Dual.reliable dual) node in
+  let g'_neighbors = Graphs.Graph.neighbors (Graphs.Dual.unreliable dual) node in
   (* Precomputed at Dual construction; same ascending order the
      per-broadcast filter used to produce. *)
-  let g'_only = Graphs.Dual.g'_only_neighbors t.dual node in
+  let g'_only = Graphs.Dual.g'_only_neighbors dual node in
   let ctx =
     {
       Mac_intf.bc_sender = node;
@@ -482,7 +507,7 @@ let bcast t ~node body =
     }
   in
   let plan = t.policy.Mac_intf.pol_plan ctx in
-  validate_plan t ~sender:node plan;
+  validate_plan t ~dual ~sender:node plan;
   let delivered =
     match t.pool_delivered with
     | tbl :: rest ->
@@ -499,7 +524,7 @@ let bcast t ~node body =
   in
   let inst =
     { uid; sender = node; body; status = Open; delivered; pending;
-      ack_handle = None }
+      ack_handle = None; inst_dual = dual }
   in
   Hashtbl.replace t.instances uid inst;
   t.current.(node) <- Some uid;

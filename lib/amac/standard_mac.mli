@@ -34,6 +34,7 @@ val create :
   policy:'msg Mac_intf.policy ->
   rng:Dsim.Rng.t ->
   ?eps_abort:float ->
+  ?dyn:Dyn.Dual.t ->
   ?trace:Dsim.Trace.t ->
   ?msg_id:('msg -> int) ->
   unit ->
@@ -44,7 +45,17 @@ val create :
     MMB message id recorded in trace [msg] fields (so MAC events link to
     the [Arrive]/[Deliver] lifecycle for span derivation); without it the
     instance uid is recorded, as the compliance auditor only needs
-    [instance]. *)
+    [instance].
+
+    [dyn] makes the unreliable layer time-varying: at each [bcast] the
+    MAC consults the schedule for the dual in force now (this is the
+    only place epochs advance — protocols above stay link- and
+    epoch-oblivious, check A6) and feeds the adversary's oracle with
+    delivered-set probes.  [dual] must be the schedule's base (union)
+    dual; since schedules never touch [G], per-delivery reliability and
+    the watchdog's [is_reliable] stay epoch-invariant.  Each instance
+    pins the dual it opened under, so open/terminate bookkeeping stays
+    balanced across churn. *)
 
 val attach : 'msg t -> node:int -> 'msg Mac_intf.handlers -> unit
 (** Install a node automaton.  Must be called once per node before it can
@@ -76,6 +87,11 @@ val env_at : 'msg t -> time:float -> (unit -> unit) -> unit
     events themselves (check A4). *)
 
 val dual : 'msg t -> Graphs.Dual.t
+(** The base (union) dual — epoch-invariant. *)
+
+val dyn : 'msg t -> Dyn.Dual.t option
+(** The time-varying schedule wrapper, when one was given. *)
+
 val trace : 'msg t -> Dsim.Trace.t option
 val fack : 'msg t -> float
 val fprog : 'msg t -> float

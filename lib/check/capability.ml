@@ -60,6 +60,43 @@ let mmb_surface_doc =
        (fun (sub, members) -> sub ^ ".{" ^ String.concat "," members ^ "}")
        mmb_graphs)
 
+(* A6: the epoch-mutating surface of lib/dyn.  Time-varying dual graphs
+   advance in exactly two places — lib/dyn itself (schedules stepping
+   their own state) and lib/amac (the MAC consulting the epoch-current
+   adjacency at delivery-plan time and feeding the delivered-set
+   oracle).  Everything above stays epoch-oblivious: protocols may
+   *build* schedules and wrappers (construction is setup, like A2's
+   generator surface) and may read counters post-run, but a protocol
+   advancing epochs or injecting oracle probes would couple its
+   behaviour to link dynamics the paper says it cannot see. *)
+let dyn_mutators : (string * string list) list =
+  [
+    ("Schedule", [ "extras_at" ]);
+    ("Dual", [ "view"; "advance_to"; "note_bcast"; "note_delivery" ]);
+    ("Oracle", [ "note" ]);
+  ]
+
+(* Is this Dyn reference free of epoch mutation?  Paths not rooted at
+   Dyn trivially pass.  A bare [Dyn] reference (an [open] or module
+   alias) is denied: it would make the mutator surface ambient. *)
+let dyn_epoch_oblivious path =
+  match path with
+  | "Dyn" :: rest -> (
+      match rest with
+      | [] -> false
+      | [ _sub ] -> true
+      | sub :: member :: _ -> (
+          match List.assoc_opt sub dyn_mutators with
+          | None -> true
+          | Some members -> not (List.mem member members)))
+  | _ -> true
+
+let dyn_mutator_doc =
+  String.concat "; "
+    (List.map
+       (fun (sub, members) -> sub ^ ".{" ^ String.concat "," members ^ "}")
+       dyn_mutators)
+
 (* A3: files allowed to hold top-level mutable state.  Each is a
    deliberate process-global registry, documented as such. *)
 let registries = [ "lib/obs/global.ml" ]

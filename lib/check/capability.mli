@@ -16,6 +16,19 @@ val mmb_sanctioned : string list -> bool
 val mmb_surface_doc : string
 (** The surface rendered for finding messages. *)
 
+val dyn_mutators : (string * string list) list
+(** The epoch-mutating surface of lib/dyn (check A6): per submodule, the
+    members that advance epochs or feed the delivered-set oracle.  Only
+    lib/dyn itself and lib/amac (the consult seam) may call them. *)
+
+val dyn_epoch_oblivious : string list -> bool
+(** Is this qualified path free of epoch mutation?  Paths not rooted at
+    [Dyn] trivially pass; a bare [Dyn] reference (an [open] or module
+    alias) is denied. *)
+
+val dyn_mutator_doc : string
+(** The mutator surface rendered for finding messages. *)
+
 val registries : string list
 (** Path suffixes of the files allowed to hold top-level mutable state
     (check A3): the deliberate process-global registries. *)

@@ -1,26 +1,32 @@
 (* The project's layer DAG.  References must point strictly downward:
 
-     dsim → graphs → amac → {mmb, radio} → obs → exec → {bench, bin}
+     dsim → graphs → dyn → amac → {mmb, radio} → obs → exec → {bench, bin}
 
    (an arrow means "may be referenced by"; mmb and radio are siblings
-   and must not reference each other).  The analyzer libraries (lint,
-   analysis, check) sit outside the DAG: they are tooling over the
-   sources, not simulation code, and nothing simulation-side may import
-   them anyway since they would drag in compiler-libs. *)
+   and must not reference each other).  dyn sits between graphs and
+   amac: it versions dual graphs by epoch, the MAC consults it at
+   delivery-plan time, and everything above may build schedules.  The
+   analyzer libraries (lint, analysis, check) sit outside the DAG: they
+   are tooling over the sources, not simulation code, and nothing
+   simulation-side may import them anyway since they would drag in
+   compiler-libs. *)
 
 type t = { name : string; rank : int }
 
-let dag = "dsim -> graphs -> amac -> {mmb, radio} -> obs -> exec -> {bench, bin}"
+let dag =
+  "dsim -> graphs -> dyn -> amac -> {mmb, radio} -> obs -> exec -> {bench, \
+   bin}"
 
 let lib_dirs =
   [
     ("dsim", 0);
     ("graphs", 1);
-    ("amac", 2);
-    ("mmb", 3);
-    ("radio", 3);
-    ("obs", 4);
-    ("exec", 5);
+    ("dyn", 2);
+    ("amac", 3);
+    ("mmb", 4);
+    ("radio", 4);
+    ("obs", 5);
+    ("exec", 6);
   ]
 
 (* Top-level wrapped-library module name -> layer.  bench and bin are
@@ -29,6 +35,7 @@ let modules =
   [
     ("Dsim", "dsim");
     ("Graphs", "graphs");
+    ("Dyn", "dyn");
     ("Amac", "amac");
     ("Mmb", "mmb");
     ("Radio", "radio");
@@ -52,9 +59,9 @@ let of_path file =
   | Some l -> Some l
   | None ->
       if List.exists (fun c -> c = "bench") comps then
-        Some { name = "bench"; rank = 6 }
+        Some { name = "bench"; rank = 7 }
       else if List.exists (fun c -> c = "bin") comps then
-        Some { name = "bin"; rank = 6 }
+        Some { name = "bin"; rank = 7 }
       else None
 
 let of_module m =

@@ -1,4 +1,4 @@
-(* The architecture rules (A1–A5).  Where the determinism lint (D-rules)
+(* The architecture rules (A1–A6).  Where the determinism lint (D-rules)
    protects replayability, these protect the shape of the codebase: the
    layer DAG, the MAC abstraction boundary at the heart of the paper,
    and the engine-access discipline that keeps instrumentation optional.
@@ -7,7 +7,8 @@
      A2  Graphs surface of lib/mmb            protocols are link-oblivious
      A3  top-level mutable state in lib/      only declared registries
      A4  engine access outside amac/obs       use the sanctioned seams
-     A5  float =/<> in lib/                   use Float.equal/tolerances *)
+     A5  float =/<> in lib/                   use Float.equal/tolerances
+     A6  Dyn epoch mutation outside dyn/amac  protocols are epoch-oblivious *)
 
 open Analysis
 
@@ -228,4 +229,35 @@ let rule_a5 =
             | _ -> ()));
   }
 
-let default = [ rule_a1; rule_a2; rule_a3; rule_a4; rule_a5 ]
+(* --- A6: epoch mutation discipline --------------------------------------- *)
+
+(* Dynamic dual graphs advance only where the model says they may: the
+   schedules themselves (lib/dyn) and the MAC's delivery-plan consult +
+   delivered-set probes (lib/amac).  Everything else — protocols above
+   the MAC, the observability layer, executables — may construct
+   schedules and read epoch counters, but never step them. *)
+let rule_a6 =
+  {
+    Rule.id = "A6";
+    doc = "Dyn epoch mutation confined to lib/dyn and lib/amac";
+    applies =
+      (fun file ->
+        (not (Paths.in_dir ~dir:"lib/dyn" file))
+        && not (Paths.in_dir ~dir:"lib/amac" file));
+    build =
+      (fun ~file:_ report ->
+        Refs.iter (fun r ->
+            if not (Capability.dyn_epoch_oblivious r.Refs.r_path) then
+              report ~loc:r.Refs.r_loc
+                (Printf.sprintf
+                   "%s mutates dynamic-graph epochs from outside lib/dyn; \
+                    only the schedules themselves and the MAC's plan-time \
+                    consult may advance epochs or feed the oracle — \
+                    protocols stay epoch-oblivious (build the schedule, \
+                    read the counters, never step them).  Mutator surface: \
+                    %s"
+                   (String.concat "." r.Refs.r_path)
+                   Capability.dyn_mutator_doc)));
+  }
+
+let default = [ rule_a1; rule_a2; rule_a3; rule_a4; rule_a5; rule_a6 ]

@@ -14,13 +14,17 @@
       [lib/amac] and [lib/obs]; protocols use the sanctioned seams
       [Amac.Standard_mac.env_at] and [Amac.Mac_handle.record].
     - [A5] float literals compared with polymorphic [=]/[<>] inside
-      [lib/]. *)
+      [lib/].
+    - [A6] Dyn epoch mutation ({!Capability.dyn_mutators}) outside
+      [lib/dyn] and [lib/amac] — protocols are epoch-oblivious: they
+      build schedules and read counters but never step them. *)
 
 val rule_a1 : Analysis.Rule.t
 val rule_a2 : Analysis.Rule.t
 val rule_a3 : Analysis.Rule.t
 val rule_a4 : Analysis.Rule.t
 val rule_a5 : Analysis.Rule.t
+val rule_a6 : Analysis.Rule.t
 
 val default : Analysis.Rule.t list
-(** A1–A5, in order. *)
+(** A1–A6, in order. *)

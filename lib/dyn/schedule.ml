@@ -1,0 +1,144 @@
+(* Epoch-indexed G'-edge sets over a fixed reliable graph G.
+
+   A schedule never touches G: only the unreliable extras (G' \ G)
+   vary, and every epoch's extras are a subset of the base dual's
+   extras (the "pool").  Two consequences the rest of the stack leans
+   on: Graphs.Dual.reliable_bits never rebuilds (it is a function of G
+   alone), and a static post-hoc audit against the base dual stays
+   sound for dynamic runs — anything delivered over some epoch's G'
+   was an edge of the base G'.
+
+   Epoch e covers sim-time [e*T, (e+1)*T) where T = epoch_len is the
+   stability parameter (Ahmadi–Kuhn's T-interval flavor: the graph is
+   stable within each window).  Randomized kinds derive an independent
+   RNG per epoch from (seed, epoch), so the edge set at epoch e is a
+   pure function of the schedule parameters and e — identical no
+   matter how many workers query it, in what order, or how many epochs
+   a quiet run skips. *)
+
+type kind =
+  | Static
+  | Flap of { period : int }
+  | Churn of { rate : float }
+  | Adversary
+
+type t = {
+  kind : kind;
+  base : Graphs.Dual.t;
+  epoch_len : float; (* stability parameter T; infinity for Static *)
+  pool : (int * int) array; (* base extras, sorted; every epoch ⊆ pool *)
+  seed : int;
+  oracle : Oracle.t option; (* Adversary only *)
+  (* The adversary's choice depends on oracle state at first entry to
+     an epoch, so it is memoized: re-querying an old epoch returns the
+     recorded choice, not a re-evaluation against newer knowledge. *)
+  mutable memo : (int * (int * int) array) list;
+}
+
+let cmp_edge (a, b) (c, d) =
+  let c0 = Int.compare a c in
+  if c0 <> 0 then c0 else Int.compare b d
+
+let pool_of base =
+  let pool = Array.of_list (Graphs.Dual.unreliable_only_edges base) in
+  Array.sort cmp_edge pool;
+  pool
+
+let make ~kind ~base ~epoch_len ~seed ~oracle =
+  if not (epoch_len > 0.) then
+    invalid_arg "Schedule: need epoch_len > 0";
+  { kind; base; epoch_len; pool = pool_of base; seed; oracle; memo = [] }
+
+let static base =
+  {
+    kind = Static;
+    base;
+    epoch_len = infinity;
+    pool = pool_of base;
+    seed = 0;
+    oracle = None;
+    memo = [];
+  }
+
+let flap ~base ~epoch_len ~period =
+  if period < 1 then invalid_arg "Schedule.flap: need period >= 1";
+  make ~kind:(Flap { period }) ~base ~epoch_len ~seed:0 ~oracle:None
+
+let churn ~base ~epoch_len ~rate ~seed =
+  if not (rate >= 0. && rate <= 1.) then
+    invalid_arg "Schedule.churn: need rate in [0, 1]";
+  make ~kind:(Churn { rate }) ~base ~epoch_len ~seed ~oracle:None
+
+let adversary ~base ~epoch_len ~seed =
+  make ~kind:Adversary ~base ~epoch_len ~seed
+    ~oracle:(Some (Oracle.create ~n:(Graphs.Dual.n base)))
+
+let base t = t.base
+let epoch_len t = t.epoch_len
+let pool_size t = Array.length t.pool
+let oracle t = t.oracle
+let is_static t = match t.kind with Static -> true | _ -> false
+
+let kind_name t =
+  match t.kind with
+  | Static -> "static"
+  | Flap _ -> "flap"
+  | Churn _ -> "churn"
+  | Adversary -> "adversary"
+
+let epoch_of_time t time =
+  match t.kind with
+  | Static -> 0
+  | _ -> if time <= 0. then 0 else int_of_float (time /. t.epoch_len)
+
+(* Mix (seed, epoch) into a per-epoch RNG seed; fixed constants, no
+   ambient state, so it is stable across processes and OCAMLRUNPARAM. *)
+let epoch_seed t epoch =
+  let h = (t.seed * 0x3B9ACA07) lxor (epoch * 0x9E3779B1) in
+  h lxor (h lsr 17)
+
+let extras_at t ~epoch =
+  if epoch < 0 then invalid_arg "Schedule.extras_at: negative epoch";
+  match t.kind with
+  | Static -> t.pool
+  | Flap { period } ->
+      if epoch / period mod 2 = 0 then t.pool else [||]
+  | Churn { rate } ->
+      let rng = Dsim.Rng.create ~seed:(epoch_seed t epoch) in
+      (* Draw once per pool edge, in pool order, kept or not — the
+         draw count is fixed so the set is a pure function of epoch. *)
+      let keep =
+        Array.map (fun _ -> not (Dsim.Rng.bernoulli rng ~p:rate)) t.pool
+      in
+      let count = ref 0 in
+      Array.iter (fun k -> if k then incr count) keep;
+      let out = Array.make !count (0, 0) in
+      let j = ref 0 in
+      Array.iteri
+        (fun i k ->
+          if k then begin
+            out.(!j) <- t.pool.(i);
+            incr j
+          end)
+        keep;
+      out
+  | Adversary -> (
+      match List.assoc_opt epoch t.memo with
+      | Some extras -> extras
+      | None ->
+          let extras =
+            match t.oracle with
+            | Some o when Oracle.any_known o ->
+                (* Chase the frontier: withdraw every unreliable link
+                   that would carry a message across it, keep the rest
+                   (they cannot help).  With pool = the two cross edges
+                   per rung of Figure 2, this is exactly the two-line
+                   adversary of Theorem 3.17. *)
+                Array.of_list
+                  (List.filter
+                     (fun (u, v) -> not (Oracle.crosses o u v))
+                     (Array.to_list t.pool))
+            | _ -> t.pool (* blind adversary: nothing to chase yet *)
+          in
+          t.memo <- (epoch, extras) :: t.memo;
+          extras)

@@ -10,25 +10,31 @@ type t = {
    instances fall back to Graph.mem_edge, which is still correct. *)
 let bitset_max_n = 8192
 
+(* One node's [G' \ G] row: its sorted G'-neighbors with the reliable
+   ones filtered out.  [Graph.neighbors] is sorted ascending, and the
+   filter preserves order, so the row is sorted ascending too — the
+   invariant [g'_only_neighbors] documents and [with_g'] maintains per
+   dirty node. *)
+let g'_only_row ~g ~g' u =
+  let nbrs = Graph.neighbors g' u in
+  let count = ref 0 in
+  Array.iter (fun v -> if not (Graph.mem_edge g u v) then incr count) nbrs;
+  if !count = 0 then [||]
+  else begin
+    let out = Array.make !count 0 in
+    let j = ref 0 in
+    Array.iter
+      (fun v ->
+        if not (Graph.mem_edge g u v) then begin
+          out.(!j) <- v;
+          incr j
+        end)
+      nbrs;
+    out
+  end
+
 let build_g'_only ~g ~g' =
-  let n = Graph.n g in
-  Array.init n (fun u ->
-      let nbrs = Graph.neighbors g' u in
-      let count = ref 0 in
-      Array.iter (fun v -> if not (Graph.mem_edge g u v) then incr count) nbrs;
-      if !count = 0 then [||]
-      else begin
-        let out = Array.make !count 0 in
-        let j = ref 0 in
-        Array.iter
-          (fun v ->
-            if not (Graph.mem_edge g u v) then begin
-              out.(!j) <- v;
-              incr j
-            end)
-          nbrs;
-        out
-      end)
+  Array.init (Graph.n g) (fun u -> g'_only_row ~g ~g' u)
 
 let build_reliable_bits ~g =
   let n = Graph.n g in
@@ -61,6 +67,27 @@ let create ?embedding ~g ~g' () =
   { g; g'; embedding;
     g'_only = build_g'_only ~g ~g';
     reliable_bits = build_reliable_bits ~g }
+
+(* Refresh seam for lib/dyn: swap in a new G' while keeping G (and
+   therefore [reliable_bits]) untouched.  Rows of [g'_only] for nodes
+   outside [dirty] are shared physically with the source dual — only
+   the dirty rows are rebuilt — so a churn step touching k nodes costs
+   O(k * deg) instead of O(n * deg).  Callers are trusted to list every
+   node whose G'-adjacency changed; test/test_dyn.ml checks the
+   rebuild-equivalence contract (fresh build = incremental refresh). *)
+let with_g' t ~g' ~dirty =
+  if Graph.n g' <> Graph.n t.g then
+    invalid_arg "Dual.with_g': node-count mismatch";
+  if not (Graph.is_subgraph ~sub:t.g ~super:g') then
+    invalid_arg "Dual.with_g': G is not a subgraph of G'";
+  let g'_only = Array.copy t.g'_only in
+  Array.iter
+    (fun u ->
+      if u < 0 || u >= Graph.n t.g then
+        invalid_arg "Dual.with_g': dirty node out of range";
+      g'_only.(u) <- g'_only_row ~g:t.g ~g' u)
+    dirty;
+  { t with g'; g'_only }
 
 let reliable t = t.g
 let unreliable t = t.g'

@@ -18,8 +18,36 @@ type t = private {
       (** derived cache: G-adjacency bitset — use {!is_reliable} *)
 }
 
+(** {2 Precomputed-array invariants}
+
+    The two derived caches obey invariants that {!with_g'}'s incremental
+    refresh (and [Dyn.Dual] above it) relies on:
+
+    - [g'_only.(u)] is exactly [u]'s G'-neighbors that are not
+      G-neighbors, sorted ascending, for every node [u].  Each row is a
+      pure function of [(G, G'-row of u)], so a refresh that changes
+      G'-adjacency only at a known set of nodes need rebuild only those
+      rows and may share the rest physically.
+    - [reliable_bits] is a pure function of [G] alone (a symmetric
+      G-adjacency bitset, empty above 8192 nodes).  Any refresh that
+      keeps [G] fixed — the only kind {!with_g'} permits — may reuse it
+      unchanged, which is what keeps {!is_reliable} epoch-invariant for
+      time-varying duals. *)
+
 val create : ?embedding:Geometry.point array -> g:Graph.t -> g':Graph.t -> unit -> t
 (** Validates [G ⊆ G'] (raises [Invalid_argument] otherwise). *)
+
+val with_g' : t -> g':Graph.t -> dirty:int array -> t
+(** [with_g' t ~g' ~dirty] is [t] with its unreliable graph replaced by
+    [g'], sharing [G], the embedding, and [reliable_bits] with [t].
+    [dirty] must list every node whose G'-adjacency differs between
+    [t.g'] and [g']; their [g'_only] rows are rebuilt and all other rows
+    are shared physically with [t], so the cost is [O(|dirty| * deg)]
+    rather than a full rebuild.  Validates [G ⊆ g'] and that dirty
+    indices are in range (raises [Invalid_argument] otherwise).  With a
+    complete [dirty] set the result is structurally equal to
+    [create ~g:t.g ~g' ()] — the rebuild-equivalence contract
+    test/test_dyn.ml checks on randomized churn. *)
 
 val reliable : t -> Graph.t
 val unreliable : t -> Graph.t

@@ -33,7 +33,7 @@ let pick_trace ~retained ~(instrument : Instrument.t) =
 
 let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
     ?(discipline = `Fifo) ?(check_compliance = false)
-    ?(max_events = 50_000_000) ?(instrument = Instrument.none) ?setup () =
+    ?(max_events = 50_000_000) ?dyn ?(instrument = Instrument.none) ?setup () =
   let sim = Dsim.Sim.create () in
   let rng = Dsim.Rng.create ~seed in
   let retained =
@@ -43,7 +43,7 @@ let run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
   (match trace with Some tr -> instrument.Instrument.attach tr | None -> ());
   instrument.Instrument.wire_sim sim;
   let mac =
-    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?dyn ?trace
       ~msg_id:bmmb_msg_id ()
   in
   let tracker = Problem.tracker ~dual assignment in
@@ -120,7 +120,7 @@ type online_result = {
 
 let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
     ?(discipline = `Fifo) ?(check_compliance = false)
-    ?(max_events = 50_000_000) ?(instrument = Instrument.none) ?setup () =
+    ?(max_events = 50_000_000) ?dyn ?(instrument = Instrument.none) ?setup () =
   let sim = Dsim.Sim.create () in
   let rng = Dsim.Rng.create ~seed in
   let retained =
@@ -130,7 +130,7 @@ let run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
   (match trace with Some tr -> instrument.Instrument.attach tr | None -> ());
   instrument.Instrument.wire_sim sim;
   let mac =
-    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?trace
+    Amac.Standard_mac.create ~sim ~dual ~fack ~fprog ~policy ~rng ?dyn ?trace
       ~msg_id:bmmb_msg_id ()
   in
   let tracker = Problem.tracker_timed ~dual arrivals in

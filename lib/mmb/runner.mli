@@ -35,6 +35,7 @@ val run_bmmb :
   ?discipline:Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
+  ?dyn:Dyn.Dual.t ->
   ?instrument:Instrument.t ->
   ?setup:(Dsim.Sim.t -> unit) ->
   unit ->
@@ -43,6 +44,12 @@ val run_bmmb :
     every queue drains), so the full execution — including the tail after
     completion — is audited when [check_compliance] is set.
     [max_events] (default [50_000_000]) is a runaway backstop.
+
+    [dyn] hands the MAC a time-varying unreliable layer ([dual] must be
+    its base/union dual).  The protocol is untouched — epochs advance
+    only inside the MAC's plan-time consult (check A6) — and the static
+    post-hoc audit stays sound because every epoch's G' is a subset of
+    the base.
 
     [instrument] (default {!Instrument.none}) receives the MAC's trace,
     the engine, the run's counter totals, and a finish signal with
@@ -79,12 +86,14 @@ val run_bmmb_online :
   ?discipline:Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
+  ?dyn:Dyn.Dual.t ->
   ?instrument:Instrument.t ->
   ?setup:(Dsim.Sim.t -> unit) ->
   unit ->
   online_result
 (** BMMB with arrivals injected at their own times (the protocol is
-    unchanged — it is event-driven and never assumed batch arrivals). *)
+    unchanged — it is event-driven and never assumed batch arrivals).
+    [dyn] as in {!run_bmmb}. *)
 
 type fmmb_result = {
   fmmb : Fmmb.result;

@@ -1,5 +1,13 @@
 type arrivals = Batch | Poisson of float | Staggered of float
 
+type dyn_spec = {
+  dyn_kind : string; (* "static" | "flap" | "churn" | "adversary" *)
+  dyn_epoch : float; (* stability parameter T (epoch length) *)
+  dyn_period : int; (* flap *)
+  dyn_churn : float; (* churn drop rate *)
+  dyn_seed : int; (* churn / adversary *)
+}
+
 type spec = {
   name : string;
   protocol : [ `Bmmb | `Fmmb | `Fmmb_online ];
@@ -16,6 +24,7 @@ type spec = {
   arrivals : arrivals;
   check : bool;
   repeat : int;
+  dynamic : dyn_spec option;
 }
 
 type run_result = {
@@ -26,6 +35,7 @@ type run_result = {
   bcasts : int option;
   mean_latency : float option;
   violations : int;
+  epochs : int option;
 }
 
 (* --- Building blocks ----------------------------------------------------- *)
@@ -73,6 +83,33 @@ let build_scheduler = function
   | "bursty" -> Ok (Amac.Schedulers.bursty ())
   | other -> Error (Printf.sprintf "unknown scheduler %S" other)
 
+(* The versioned dual a resolved [dynamic] sub-object describes, over the
+   base (union) dual the static builders produced. *)
+let build_dyn ~dual dspec =
+  match dspec.dyn_kind with
+  | "static" -> Ok (Dyn.Dual.of_static dual)
+  | "flap" ->
+      Ok
+        (Dyn.Dual.of_schedule
+           (Dyn.Schedule.flap ~base:dual ~epoch_len:dspec.dyn_epoch
+              ~period:dspec.dyn_period))
+  | "churn" ->
+      Ok
+        (Dyn.Dual.of_schedule
+           (Dyn.Schedule.churn ~base:dual ~epoch_len:dspec.dyn_epoch
+              ~rate:dspec.dyn_churn ~seed:dspec.dyn_seed))
+  | "adversary" ->
+      Ok
+        (Dyn.Dual.of_schedule
+           (Dyn.Schedule.adversary ~base:dual ~epoch_len:dspec.dyn_epoch
+              ~seed:dspec.dyn_seed))
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown dynamic kind %S; known kinds: static, flap, churn, \
+            adversary"
+           other)
+
 (* --- Parsing -------------------------------------------------------------- *)
 
 let ( let* ) = Result.bind
@@ -84,8 +121,11 @@ let known_fields =
   [
     "name"; "protocol"; "topology"; "n"; "gprime"; "r"; "extra"; "k"; "fack";
     "fprog"; "seed"; "scheduler"; "arrivals"; "rate"; "gap"; "check";
-    "repeat"; "sweep";
+    "repeat"; "sweep"; "dynamic";
   ]
+
+let dynamic_fields = [ "kind"; "epoch"; "period"; "churn"; "seed" ]
+let dynamic_kinds = [ "static"; "flap"; "churn"; "adversary" ]
 
 let validate json =
   match json with
@@ -99,6 +139,23 @@ let validate json =
             (Printf.sprintf "unknown field %S; known fields: %s" k
                (String.concat ", " known_fields))
       | [] -> (
+          let* () =
+            match Dsim.Json.member_opt json "dynamic" with
+            | None | Some Dsim.Json.Null -> Ok ()
+            | Some (Dsim.Json.Obj dyn_members) -> (
+                match
+                  List.filter
+                    (fun (k, _) -> not (List.mem k dynamic_fields))
+                    dyn_members
+                with
+                | (k, _) :: _ ->
+                    Error
+                      (Printf.sprintf
+                         "dynamic: unknown field %S; known fields: %s" k
+                         (String.concat ", " dynamic_fields))
+                | [] -> Ok ())
+            | Some _ -> Error "field \"dynamic\" must be an object"
+          in
           match Dsim.Json.member_opt json "sweep" with
           | None | Some Dsim.Json.Null -> Ok ()
           | Some (Dsim.Json.Obj sweep_members) -> (
@@ -156,11 +213,38 @@ let of_json json =
     | Some v -> Dsim.Json.to_bool v
   in
   let* repeat = Dsim.Json.member_int json "repeat" ~default:1 in
+  let* dynamic =
+    match Dsim.Json.member_opt json "dynamic" with
+    | None | Some Dsim.Json.Null -> Ok None
+    | Some dyn ->
+        let* dyn_kind = Dsim.Json.member_str dyn "kind" ~default:"static" in
+        let* () =
+          if List.mem dyn_kind dynamic_kinds then Ok ()
+          else
+            Error
+              (Printf.sprintf "dynamic: unknown kind %S; known kinds: %s"
+                 dyn_kind
+                 (String.concat ", " dynamic_kinds))
+        in
+        let* dyn_epoch = Dsim.Json.member_float dyn "epoch" ~default:10. in
+        let* dyn_period = Dsim.Json.member_int dyn "period" ~default:1 in
+        let* dyn_churn = Dsim.Json.member_float dyn "churn" ~default:0.2 in
+        let* dyn_seed = Dsim.Json.member_int dyn "seed" ~default:0 in
+        if not (dyn_epoch > 0.) then Error "dynamic: need epoch > 0"
+        else if dyn_period < 1 then Error "dynamic: need period >= 1"
+        else if not (dyn_churn >= 0. && dyn_churn <= 1.) then
+          Error "dynamic: need churn in [0, 1]"
+        else Ok (Some { dyn_kind; dyn_epoch; dyn_period; dyn_churn; dyn_seed })
+  in
   if n < 1 then Error "need n >= 1"
   else if k < 0 then Error "need k >= 0"
   else if repeat < 1 then Error "need repeat >= 1"
   else if not (fprog > 0. && fprog <= fack) then
     Error "need 0 < fprog <= fack"
+  else if dynamic <> None && protocol <> `Bmmb then
+    Error
+      "dynamic: protocol must be \"bmmb\" (FMMB's per-stage engines do not \
+       take epoch schedules)"
   else
     Ok
       {
@@ -179,6 +263,7 @@ let of_json json =
         arrivals;
         check;
         repeat;
+        dynamic;
       }
 
 let of_string text =
@@ -190,6 +275,21 @@ let override json key value =
   | Dsim.Json.Obj members ->
       Dsim.Json.Obj ((key, value) :: List.remove_assoc key members)
   | other -> other
+
+(* Dotted sweep params ("dynamic.epoch", "dynamic.churn") override inside
+   the named sub-object, creating it if absent. *)
+let override_path json param value =
+  match String.index_opt param '.' with
+  | None -> override json param value
+  | Some i ->
+      let outer = String.sub param 0 i in
+      let inner = String.sub param (i + 1) (String.length param - i - 1) in
+      let sub =
+        match Dsim.Json.member_opt json outer with
+        | Some (Dsim.Json.Obj _ as o) -> o
+        | _ -> Dsim.Json.Obj []
+      in
+      override json outer (override sub inner value)
 
 let expand json =
   let* () = validate json in
@@ -216,7 +316,7 @@ let expand json =
                 | Dsim.Json.Number x ->
                     let named =
                       override
-                        (override base param (Dsim.Json.Number x))
+                        (override_path base param (Dsim.Json.Number x))
                         "name"
                         (Dsim.Json.String
                            (Printf.sprintf "%s [%s=%s]"
@@ -287,7 +387,22 @@ let spec_to_json spec =
       | Batch -> [])
     @ [
         ("check", Dsim.Json.Bool spec.check); ("repeat", num_i spec.repeat);
-      ])
+      ]
+    @
+    match spec.dynamic with
+    | None -> []
+    | Some d ->
+        [
+          ( "dynamic",
+            Dsim.Json.Obj
+              [
+                ("kind", Dsim.Json.String d.dyn_kind);
+                ("epoch", Dsim.Json.Number d.dyn_epoch);
+                ("period", num_i d.dyn_period);
+                ("churn", Dsim.Json.Number d.dyn_churn);
+                ("seed", num_i d.dyn_seed);
+              ] );
+        ])
 
 (* --- Execution ------------------------------------------------------------ *)
 
@@ -301,12 +416,21 @@ let run_once spec ~seed =
   match spec.protocol with
   | `Bmmb -> (
       let* policy = build_scheduler spec.scheduler in
+      let* dyn =
+        match spec.dynamic with
+        | None -> Ok None
+        | Some d ->
+            let* dd = build_dyn ~dual d in
+            Ok (Some dd)
+      in
+      (* Epoch windows entered by the end of the run (1 for static). *)
+      let epochs_of () = Option.map (fun d -> Dyn.Dual.epoch d + 1) dyn in
       match spec.arrivals with
       | Batch ->
           let assignment = Problem.random rng ~n ~k:spec.k in
           let res =
             Runner.run_bmmb ~dual ~fack:spec.fack ~fprog:spec.fprog ~policy
-              ~assignment ~seed ~check_compliance:spec.check ()
+              ~assignment ~seed ~check_compliance:spec.check ?dyn ()
           in
           Ok
             {
@@ -317,6 +441,7 @@ let run_once spec ~seed =
               bcasts = Some res.Runner.bcasts;
               mean_latency = None;
               violations = List.length res.Runner.compliance_violations;
+              epochs = epochs_of ();
             }
       | Poisson _ | Staggered _ ->
           let arrivals =
@@ -329,7 +454,7 @@ let run_once spec ~seed =
           in
           let res =
             Runner.run_bmmb_online ~dual ~fack:spec.fack ~fprog:spec.fprog
-              ~policy ~arrivals ~seed ~check_compliance:spec.check ()
+              ~policy ~arrivals ~seed ~check_compliance:spec.check ?dyn ()
           in
           Ok
             {
@@ -340,6 +465,7 @@ let run_once spec ~seed =
               bcasts = Some res.Runner.bcasts';
               mean_latency = Some res.Runner.mean_latency;
               violations = List.length res.Runner.compliance_violations';
+              epochs = epochs_of ();
             })
   | `Fmmb -> (
       match spec.arrivals with
@@ -359,6 +485,7 @@ let run_once spec ~seed =
               bcasts = None;
               mean_latency = None;
               violations = 0;
+              epochs = None;
             }
       | _ -> Error "protocol fmmb supports batch arrivals only (use fmmb-online)")
   | `Fmmb_online ->
@@ -398,6 +525,7 @@ let run_once spec ~seed =
           bcasts = None;
           mean_latency;
           violations = 0;
+          epochs = None;
         }
 
 let execute spec =
@@ -413,18 +541,21 @@ let execute spec =
 
 let report spec runs =
   let buf = Buffer.create 512 in
+  let dyn = spec.dynamic <> None in
   Buffer.add_string buf (Printf.sprintf "scenario: %s\n" spec.name);
   Buffer.add_string buf
-    (Printf.sprintf "%6s %9s %10s %10s %8s %9s %6s\n" "seed" "complete"
-       "time" "bound" "bcasts" "latency" "viols");
+    (Printf.sprintf "%6s %9s %10s %10s %8s %9s %6s%s\n" "seed" "complete"
+       "time" "bound" "bcasts" "latency" "viols"
+       (if dyn then Printf.sprintf " %7s" "epochs" else ""));
   List.iter
     (fun r ->
       let opt_f = function Some f -> Printf.sprintf "%.1f" f | None -> "-" in
       let opt_i = function Some i -> string_of_int i | None -> "-" in
       Buffer.add_string buf
-        (Printf.sprintf "%6d %9b %10.1f %10s %8s %9s %6d\n" r.seed r.complete
+        (Printf.sprintf "%6d %9b %10.1f %10s %8s %9s %6d%s\n" r.seed r.complete
            r.time (opt_f r.bound) (opt_i r.bcasts) (opt_f r.mean_latency)
-           r.violations))
+           r.violations
+           (if dyn then Printf.sprintf " %7s" (opt_i r.epochs) else "")))
     runs;
   let times = List.map (fun r -> r.time) runs in
   (match times with
@@ -450,9 +581,12 @@ let result_json spec runs =
       @ (match r.bcasts with
         | Some b -> [ ("bcasts", Dsim.Json.Number (float_of_int b)) ]
         | None -> [])
+      @ (match r.mean_latency with
+        | Some l -> [ ("mean_latency", Dsim.Json.Number l) ]
+        | None -> [])
       @
-      match r.mean_latency with
-      | Some l -> [ ("mean_latency", Dsim.Json.Number l) ]
+      match r.epochs with
+      | Some e -> [ ("epochs", Dsim.Json.Number (float_of_int e)) ]
       | None -> [])
   in
   Dsim.Json.Obj

@@ -26,6 +26,23 @@ type arrivals =
   | Poisson of float  (** rate *)
   | Staggered of float  (** gap *)
 
+type dyn_spec = {
+  dyn_kind : string;  (** ["static" | "flap" | "churn" | "adversary"] *)
+  dyn_epoch : float;  (** stability parameter [T] (epoch length) *)
+  dyn_period : int;  (** flap half-period, in epochs *)
+  dyn_churn : float;  (** per-epoch per-edge drop probability *)
+  dyn_seed : int;  (** churn / adversary seed *)
+}
+(** The resolved [dynamic] sub-object:
+
+    {[ "dynamic": {"kind": "churn", "epoch": 5, "churn": 0.3, "seed": 7} ]}
+
+    Unknown or ill-typed fields are rejected naming the field and the
+    vocabulary ([kind, epoch, period, churn, seed]); [kind] must be one
+    of [static], [flap], [churn], [adversary]; any [dynamic] requires
+    [protocol = "bmmb"].  Sweeps reach inside with dotted params:
+    [{"sweep": {"param": "dynamic.epoch", "values": [1, 2, 4]}}]. *)
+
 type spec = {
   name : string;
   protocol : [ `Bmmb | `Fmmb | `Fmmb_online ];
@@ -42,6 +59,7 @@ type spec = {
   arrivals : arrivals;
   check : bool;
   repeat : int;
+  dynamic : dyn_spec option;
 }
 
 type run_result = {
@@ -52,6 +70,7 @@ type run_result = {
   bcasts : int option;
   mean_latency : float option;  (** online runs *)
   violations : int;  (** compliance violations when [check] *)
+  epochs : int option;  (** epoch windows entered (dynamic runs only) *)
 }
 
 (** {1 Building blocks} (also used by the CLI) *)
@@ -66,6 +85,10 @@ val build_dual :
   (Graphs.Dual.t, string) result
 
 val build_scheduler : string -> (int Amac.Mac_intf.policy, string) result
+
+val build_dyn : dual:Graphs.Dual.t -> dyn_spec -> (Dyn.Dual.t, string) result
+(** The versioned dual a resolved [dynamic] sub-object describes; [dual]
+    is the base (union) dual from {!build_dual}. *)
 
 (** {1 Scenario pipeline} *)
 

@@ -36,13 +36,30 @@ val create :
   fack:float ->
   fprog:float ->
   ?eps_abort:float ->
+  ?dyn:Dyn.Dual.t ->
   ?metrics:Metrics.t ->
   ?on_violation:(Dsim.Trace.entry option -> violation -> unit) ->
   unit ->
   t
 (** [on_violation] fires once per violation at detection time with the
     entry being processed ([None] for horizon-time findings from
-    {!finish}). *)
+    {!finish}).
+
+    [dyn] enables the epoch-aware axiom variants for time-varying
+    unreliable layers ([dual] must then be the schedule's base/union
+    dual).  The monitor never steps epochs (check A6); it pins, per
+    instance at [Bcast] time, the epoch-current G' through the
+    read-only [Dyn.Dual.current] — the MAC advances the epoch just
+    before recording the event — and classifies anomalies the schedule
+    explains as churned ({!churned_count}, metric [monitor.churned])
+    instead of violations:
+
+    {ul
+    {- {b receive correctness}: a delivery outside the pinned G' but
+       inside the union G' crossed a churned-away link — churned; a
+       delivery outside even the union is still a violation.}
+    {- {b ack correctness / progress / ack bound}: unchanged — they
+       quantify over G, which schedules never touch.}} *)
 
 val on_entry : t -> Dsim.Trace.entry -> unit
 
@@ -56,3 +73,6 @@ val violations : t -> violation list
 (** Violations so far, detection order. *)
 
 val violation_count : t -> int
+
+val churned_count : t -> int
+(** Anomalies classified as churn-explained (0 without [?dyn]). *)

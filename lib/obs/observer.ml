@@ -6,15 +6,15 @@ type t = {
   mutable result : Monitor.violation list option; (* set by [finish] *)
 }
 
-let create ~n ?dual ?fack ?fprog ?eps_abort ?on_violation ?(meta = []) () =
+let create ~n ?dual ?fack ?fprog ?eps_abort ?dyn ?on_violation ?(meta = []) () =
   let metrics = Metrics.create () in
   let spans = Spans.create ~n ~metrics () in
   let monitor =
     match (dual, fack, fprog) with
     | Some dual, Some fack, Some fprog ->
         Some
-          (Monitor.create ~dual ~fack ~fprog ?eps_abort ~metrics ?on_violation
-             ())
+          (Monitor.create ~dual ~fack ~fprog ?eps_abort ?dyn ~metrics
+             ?on_violation ())
     | None, _, _ -> None
     | _ ->
         invalid_arg

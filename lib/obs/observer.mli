@@ -20,14 +20,16 @@ val create :
   ?fack:float ->
   ?fprog:float ->
   ?eps_abort:float ->
+  ?dyn:Dyn.Dual.t ->
   ?on_violation:(Dsim.Trace.entry option -> Monitor.violation -> unit) ->
   ?meta:(string * Dsim.Json.t) list ->
   unit ->
   t
 (** [n] is the node count.  Passing [dual] (with [fack] and [fprog] —
     [Invalid_argument] if either is missing) enables the streaming
-    compliance monitor.  [meta] fields are appended to the export's
-    leading meta line. *)
+    compliance monitor; [dyn] additionally enables its epoch-aware
+    axiom variants (see {!Monitor.create}).  [meta] fields are appended
+    to the export's leading meta line. *)
 
 val metrics : t -> Metrics.t
 val spans : t -> Spans.t

@@ -26,15 +26,15 @@ let instrument_continuous obs =
       }
 
 let bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed ?discipline
-    ?check_compliance ?max_events ?obs ?setup () =
+    ?check_compliance ?max_events ?dyn ?obs ?setup () =
   Mmb.Runner.run_bmmb ~dual ~fack ~fprog ~policy ~assignment ~seed
-    ?discipline ?check_compliance ?max_events
+    ?discipline ?check_compliance ?max_events ?dyn
     ~instrument:(instrument_continuous obs) ?setup ()
 
 let bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed ?discipline
-    ?check_compliance ?max_events ?obs ?setup () =
+    ?check_compliance ?max_events ?dyn ?obs ?setup () =
   Mmb.Runner.run_bmmb_online ~dual ~fack ~fprog ~policy ~arrivals ~seed
-    ?discipline ?check_compliance ?max_events
+    ?discipline ?check_compliance ?max_events ?dyn
     ~instrument:(instrument_continuous obs) ?setup ()
 
 let fmmb ~dual ~fprog ~c ~policy ~assignment ~seed ?backend ?params

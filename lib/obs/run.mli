@@ -26,10 +26,13 @@ val bmmb :
   ?discipline:Mmb.Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
+  ?dyn:Dyn.Dual.t ->
   ?obs:Observer.t ->
   ?setup:(Dsim.Sim.t -> unit) ->
   unit ->
   Mmb.Runner.bmmb_result
+(** [dyn] as in {!Mmb.Runner.run_bmmb}; pass the same wrapper to the
+    observer ({!Observer.create}'s [?dyn]) for epoch-aware monitoring. *)
 
 val bmmb_online :
   dual:Graphs.Dual.t ->
@@ -41,6 +44,7 @@ val bmmb_online :
   ?discipline:Mmb.Bmmb.discipline ->
   ?check_compliance:bool ->
   ?max_events:int ->
+  ?dyn:Dyn.Dual.t ->
   ?obs:Observer.t ->
   ?setup:(Dsim.Sim.t -> unit) ->
   unit ->

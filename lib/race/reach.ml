@@ -16,7 +16,7 @@
    Unit identity is (library, Module): a file lib/<dir>/<name>.ml is
    (<dir>, Name); bench/ and bin/ are their own pseudo-libraries.
    References resolve the same way the compiler's wrapped libraries do:
-   a path head naming a wrapped library (Dsim, Graphs, Amac, Mmb,
+   a path head naming a wrapped library (Dsim, Graphs, Dyn, Amac, Mmb,
    Radio, Obs, Exec) points at that library's unit (or the whole
    library for bare/module-alias references); a bare module name
    resolves within the referencing unit's own library first.
@@ -35,6 +35,7 @@ let wrapped_libs =
   [
     ("Dsim", "dsim");
     ("Graphs", "graphs");
+    ("Dyn", "dyn");
     ("Amac", "amac");
     ("Mmb", "mmb");
     ("Radio", "radio");

@@ -1,0 +1,8 @@
+(* A6 fixture: epoch mutation from outside lib/dyn.  Posed at a
+   protocol path, the [view] consult and the oracle probe must be
+   flagged; the constructor and the read-only counter are setup and
+   measurement, sanctioned everywhere. *)
+let build base = Dyn.Dual.of_static base
+let consult d now = Dyn.Dual.view d ~time:now
+let probe d = Dyn.Dual.note_delivery d ~node:0 ~msg:3
+let read d = Dyn.Dual.epoch d

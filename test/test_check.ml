@@ -113,6 +113,26 @@ let test_a5_float_eq () =
   check_rules "out of scope outside lib/" []
     (posed "lint_fixtures/a5_floateq.ml" "bench/fixture.ml")
 
+(* --- A6: epoch mutation discipline ---------------------------------------- *)
+
+let test_a6_epoch () =
+  let fs = posed "lint_fixtures/a6_epoch.ml" "lib/mmb/fixture.ml" in
+  check_rules "view consult and oracle probe flagged, constructor not"
+    [ "A6"; "A6" ] fs;
+  Alcotest.(check (list int)) "on the view and note_delivery lines" [ 6; 7 ]
+    (lines_of fs);
+  check_rules "the MAC's consult seam is sanctioned" []
+    (posed "lint_fixtures/a6_epoch.ml" "lib/amac/fixture.ml");
+  check_rules "lib/dyn owns its own epochs" []
+    (posed "lint_fixtures/a6_epoch.ml" "lib/dyn/fixture.ml");
+  check_rules "executables may not step epochs either" [ "A6"; "A6" ]
+    (posed "lint_fixtures/a6_epoch.ml" "bin/fixture.ml")
+
+let test_a6_open_denied () =
+  check_rules "open Dyn makes the mutator surface ambient: denied" [ "A6" ]
+    (Check.check_source ~file:"lib/mmb/fixture.ml"
+       "open Dyn\n\nlet f s = Dual.of_static s")
+
 (* --- Escape hatches ------------------------------------------------------ *)
 
 let test_suppression_marker () =
@@ -191,6 +211,10 @@ let suite =
         Alcotest.test_case "A4 engine access discipline" `Quick
           test_a4_engine;
         Alcotest.test_case "A5 float equality" `Quick test_a5_float_eq;
+        Alcotest.test_case "A6 epoch mutation discipline" `Quick
+          test_a6_epoch;
+        Alcotest.test_case "A6 default-deny (open Dyn)" `Quick
+          test_a6_open_denied;
         Alcotest.test_case "suppression markers are per-tool" `Quick
           test_suppression_marker;
         Alcotest.test_case "allowlist" `Quick test_allowlist;
