@@ -2,11 +2,13 @@
    thin instantiation of the shared analyzer CLI (Analysis.Cli):
 
      mmb_check [--allow FILE] [--json] [--rules] [--no-stale] PATH...
+     mmb_check --inventory PATH...
 
    Unlike the lint it also scans [.mli] files: interfaces carry
    cross-layer type references.  Exit code 0 on a clean tree, 1 on
    findings, 2 on usage errors or unparseable files.  Wired to
-   [dune build @check] by the root dune file. *)
+   [dune build @check] by the root dune file.  --inventory prints the
+   layer map: each file's layer and the other layers it references. *)
 
 let () =
   Analysis.Cli.main
@@ -18,5 +20,17 @@ let () =
           (fun (r : Analysis.Rule.t) -> (r.Analysis.Rule.id, r.doc))
           Check.default_rules;
       run =
-        (fun ~allow ~stale files -> Check.run_files ~allow ~stale files);
+        (fun ~allow ~stale files -> (Check.run_files ~allow ~stale files, []));
+      inventory =
+        (fun files ->
+          List.iter
+            (fun (file, layer, refs) ->
+              Printf.printf "%s: %s%s\n" file
+                (match layer with
+                | Some (l : Check.Layers.t) -> l.Check.Layers.name
+                | None -> "(outside DAG)")
+                (match refs with
+                | [] -> ""
+                | refs -> " -> " ^ String.concat " " refs))
+            (Check.layer_refs files));
     }

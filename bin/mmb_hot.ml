@@ -1,0 +1,36 @@
+(* CLI driver for the hot-path discipline analyzer (see lib/hot/hot.ml),
+   the fourth thin instantiation of the shared analyzer CLI
+   (Analysis.Cli) and the only one consuming typed trees:
+
+     mmb_hot [--allow FILE] [--json] [--rules] [--no-stale] PATH...
+     mmb_hot --inventory PATH...
+
+   Rules H1–H4 run over the [.cmt] trees a normal [dune build] leaves
+   under [_build/default]; a source file without a [.cmt] is a SKIP
+   diagnostic (stderr, or the envelope's "skips" array), never a
+   failure, so a cold checkout degrades gracefully.  Exit code 0 on a
+   clean tree, 1 on findings, 2 on usage errors.  Wired to
+   [dune build @hot] by the root dune file, which depends on the
+   library archives so the .cmt files exist before the rule runs.
+   --inventory prints the hot set with each top-level function's
+   allocation classification. *)
+
+let () =
+  Analysis.Cli.main
+    {
+      Analysis.Cli.name = "mmb_hot";
+      exts = [ ".ml" ];
+      rules_doc =
+        List.map
+          (fun (r : Analysis.Typed.rule) -> (r.Analysis.Typed.id, r.doc))
+          Hot.default_rules;
+      run =
+        (fun ~allow ~stale files ->
+          let findings, skips = Hot.run_files ~allow ~stale files in
+          ( findings,
+            List.map
+              (fun (s : Analysis.Typed.skip) ->
+                (s.Analysis.Typed.sk_file, s.Analysis.Typed.sk_reason))
+              skips ));
+      inventory = (fun files -> Hot.Inventory.print (Hot.inventory files));
+    }

@@ -2,11 +2,13 @@
    instantiation of the shared analyzer CLI (Analysis.Cli):
 
      mmb_lint [--allow FILE] [--json] [--rules] [--no-stale] PATH...
+     mmb_lint --inventory PATH...
 
    Each PATH is an [.ml] file or a directory walked recursively.  Exit
    code 0 on a clean tree, 1 on findings, 2 on usage errors or
    unparseable files.  Wired to [dune build @lint] by the root dune
-   file. *)
+   file.  --inventory prints the hatch map: every suppression comment
+   with the rule ids it waives. *)
 
 let () =
   Analysis.Cli.main
@@ -18,5 +20,14 @@ let () =
           (fun (r : Lint.rule) -> (r.Lint.id, r.Lint.doc))
           Lint.default_rules;
       run =
-        (fun ~allow ~stale files -> Lint.run_files ~allow ~stale files);
+        (fun ~allow ~stale files -> (Lint.run_files ~allow ~stale files, []));
+      inventory =
+        (fun files ->
+          List.iter
+            (fun (file, line, ids) ->
+              Printf.printf "%s:%d: %s %s\n" file line Lint.marker
+                (match ids with
+                | [] -> "(no rule ids)"
+                | ids -> String.concat " " ids))
+            (Lint.hatches files));
     }

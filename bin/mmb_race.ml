@@ -11,8 +11,7 @@
    its unit's worker-reachability — the map a Domain-partitioning
    refactor starts from. *)
 
-let print_inventory paths =
-  let files = Analysis.Cli.collect_files ~exts:[ ".ml" ] paths in
+let print_inventory files =
   List.iter
     (fun (file, reachable, items) ->
       List.iter
@@ -26,19 +25,15 @@ let print_inventory paths =
     (Race.inventory files)
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--inventory" :: paths when paths <> [] ->
-      print_inventory paths;
-      exit 0
-  | _ ->
-      Analysis.Cli.main
-        {
-          Analysis.Cli.name = "mmb_race";
-          exts = [ ".ml" ];
-          rules_doc =
-            List.map
-              (fun (r : Analysis.Rule.t) -> (r.Analysis.Rule.id, r.doc))
-              Race.default_rules;
-          run =
-            (fun ~allow ~stale files -> Race.run_files ~allow ~stale files);
-        }
+  Analysis.Cli.main
+    {
+      Analysis.Cli.name = "mmb_race";
+      exts = [ ".ml" ];
+      rules_doc =
+        List.map
+          (fun (r : Analysis.Rule.t) -> (r.Analysis.Rule.id, r.doc))
+          Race.default_rules;
+      run =
+        (fun ~allow ~stale files -> (Race.run_files ~allow ~stale files, []));
+      inventory = print_inventory;
+    }

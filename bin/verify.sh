@@ -77,6 +77,11 @@ if [ "$MODE" = tsan ]; then
   fi
 else
   gate "dune build @lint @check @race" dune build @lint @check @race
+  # Typed-tree hot-path gate.  The alias depends on the library builds,
+  # so the .cmt files it reads exist even on a cold tree; a file whose
+  # .cmt still cannot be produced is a per-file "SKIP <file>: <reason>"
+  # diagnostic on stderr from mmb_hot, never a gate failure.
+  gate "dune build @hot" dune build @hot
   gate "dune build" dune build
   gate "dune runtest" dune runtest
 
@@ -111,7 +116,7 @@ else
     # that default hashing hides.
     gate "OCAMLRUNPARAM=R dune runtest --force" \
       sh -c 'OCAMLRUNPARAM=R dune runtest --force'
-    # The three analyzers' fixture suites, straight from the alias the
+    # The four analyzers' fixture suites, straight from the alias the
     # fixtures hang off.
     gate "dune build @fixtures" dune build @fixtures
     # The dynamic-network suite on its own, plus a campaign determinism

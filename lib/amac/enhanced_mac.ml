@@ -38,7 +38,9 @@ let round_adversarial () =
               (fun c -> not c.Mac_intf.cand_is_g_neighbor)
               candidates
           in
-          let pool = if unreliable = [] then candidates else unreliable in
+          let pool =
+            if List.is_empty unreliable then candidates else unreliable
+          in
           [ Dsim.Rng.pick rng (Array.of_list pool) ]
         end);
   }
@@ -101,7 +103,7 @@ let validate_choice ~must ~candidates chosen =
   let uids = List.map (fun c -> c.Mac_intf.cand_uid) chosen in
   if List.length (List.sort_uniq Int.compare uids) <> List.length uids then
     invalid_arg "Enhanced_mac: policy delivered a duplicate";
-  if must && chosen = [] then
+  if must && List.is_empty chosen then
     invalid_arg "Enhanced_mac: progress bound requires a delivery"
 
 let run_round t =
@@ -146,7 +148,7 @@ let run_round t =
                      cand_is_g_neighbor = Graphs.Graph.mem_edge g u j;
                    })
     in
-    if candidates <> [] then begin
+    if not (List.is_empty candidates) then begin
       let must =
         List.exists (fun c -> c.Mac_intf.cand_is_g_neighbor) candidates
       in

@@ -45,6 +45,7 @@ let estimate ~dual ?(tolerance = 1e-6) trace =
     end
   in
   { est_fack = !max_ack; est_fprog; acks_observed = !acks; rcvs_observed = !rcvs }
+[@@mmb.alloc_ok "post-run trace estimation, never on the per-event path"]
 
 let pp ppf t =
   Fmt.pf ppf "Fack>=%.3f Fprog>=%.3f (from %d acks, %d rcvs)" t.est_fack

@@ -81,9 +81,13 @@ let adversarial () =
   { pol_name = "adversarial"; pol_plan = plan; pol_forced = forced }
 
 let bursty ?(p_bad = 0.15) ?(p_good = 0.1) () =
-  let state : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let state : (int, bool) Hashtbl.t = Hashtbl.create 64 in
   let edge_up rng u v =
-    let key = (u, v) in
+    (* Node ids are non-negative and far below 2^31, so this pack is
+       injective on a 63-bit int — one immediate key, no tuple to hash
+       structurally.  The table is only probed (find_opt/replace), never
+       iterated, so the key change cannot reorder anything. *)
+    let key = (u lsl 31) lor v in
     let good =
       match Hashtbl.find_opt state key with Some g -> g | None -> true
     in

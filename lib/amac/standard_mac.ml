@@ -56,6 +56,10 @@ end
 
 type status = Open | Acked | Aborted of float
 
+(* [Aborted] carries a payload, so [status] is not immediate; compare it
+   by shape, never with polymorphic (=). *)
+let is_open = function Open -> true | Acked | Aborted _ -> false
+
 type 'msg instance = {
   uid : int;
   sender : int;
@@ -243,7 +247,7 @@ and fire_watchdog t j =
         (fun uid acc ->
           match Hashtbl.find_opt t.instances uid with
           | None -> acc
-          | Some inst when inst.status <> Open -> acc
+          | Some inst when not (is_open inst.status) -> acc
           | Some inst ->
               {
                 Mac_intf.cand_uid = inst.uid;
@@ -312,7 +316,7 @@ and deliver t inst j =
     Hashtbl.replace inst.delivered j ();
     (* Progress-cover bookkeeping only concerns open instances: a
        terminated instance has already left the contend sets. *)
-    if inst.status = Open then begin
+    if is_open inst.status then begin
       Uidset.remove t.contenders.(j) inst.uid;
       t.cover.(j) <- t.cover.(j) + 1;
       recheck_watchdog t j

@@ -1,17 +1,26 @@
-(* The shared analyzer CLI: both mmb_lint and mmb_check are thin
-   instantiations of this driver.
+(* The shared analyzer CLI: mmb_lint, mmb_check, mmb_race and mmb_hot
+   are thin instantiations of this driver.
 
      tool [--allow FILE] [--json] [--rules] [--no-stale] PATH...
+     tool --inventory PATH...
 
    Each PATH is a source file or a directory walked recursively
    (skipping _build and dot-directories).  Exit code: 0 clean, 1
-   findings, 2 usage error or unparseable file. *)
+   findings, 2 usage error or unparseable file.  --inventory prints the
+   tool's inventory view (what its rules range over) and exits 0; every
+   tool accepts the flag in any argument position. *)
 
 type tool = {
   name : string;
   exts : string list;  (* extensions collected from directories *)
   rules_doc : (string * string) list;  (* id, one-line doc *)
-  run : allow:Allow.t -> stale:bool -> string list -> Finding.t list;
+  run :
+    allow:Allow.t ->
+    stale:bool ->
+    string list ->
+    Finding.t list * (string * string) list;
+      (* findings, plus (file, reason) skip diagnostics *)
+  inventory : string list -> unit;  (* print the --inventory view *)
 }
 
 let rec collect ~exts acc path =
@@ -31,13 +40,16 @@ let collect_files ~exts paths =
   List.fold_left (collect ~exts) [] paths |> List.sort String.compare
 
 let usage tool =
-  Printf.sprintf "usage: %s [--allow FILE] [--json] [--rules] [--no-stale] PATH..."
+  Printf.sprintf
+    "usage: %s [--allow FILE] [--json] [--rules] [--no-stale] [--inventory] \
+     PATH..."
     tool.name
 
 let main tool =
   let allow = ref Allow.empty in
   let json = ref false in
   let stale = ref true in
+  let inventory = ref false in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -52,6 +64,9 @@ let main tool =
         parse rest
     | "--no-stale" :: rest ->
         stale := false;
+        parse rest
+    | "--inventory" :: rest ->
+        inventory := true;
         parse rest
     | "--rules" :: _ ->
         List.iter
@@ -82,11 +97,19 @@ let main tool =
       Printf.eprintf "%s: %s\n" tool.name e;
       exit 2
   in
-  let findings =
+  if !inventory then begin
+    (try tool.inventory files
+     with Sys_error e ->
+       Printf.eprintf "%s: %s\n" tool.name e;
+       exit 2);
+    exit 0
+  end;
+  let findings, skips =
     try tool.run ~allow:!allow ~stale:!stale files
     with Sys_error e ->
       Printf.eprintf "%s: %s\n" tool.name e;
       exit 2
   in
-  Report.print ~json:!json ~tool:tool.name ~files:(List.length files) findings;
+  Report.print ~skips ~json:!json ~tool:tool.name ~files:(List.length files)
+    findings;
   exit (Report.exit_code findings)

@@ -1,11 +1,21 @@
-(** The shared analyzer CLI driver; [mmb_lint] and [mmb_check] are thin
-    instantiations. *)
+(** The shared analyzer CLI driver; [mmb_lint], [mmb_check], [mmb_race]
+    and [mmb_hot] are thin instantiations: all four accept the same
+    [--allow]/[--json]/[--rules]/[--no-stale]/[--inventory] surface and
+    share the exit-code convention. *)
 
 type tool = {
   name : string;  (** binary name, used in messages *)
   exts : string list;  (** extensions collected when walking directories *)
   rules_doc : (string * string) list;  (** (id, doc) printed by [--rules] *)
-  run : allow:Allow.t -> stale:bool -> string list -> Finding.t list;
+  run :
+    allow:Allow.t ->
+    stale:bool ->
+    string list ->
+    Finding.t list * (string * string) list;
+      (** findings plus (file, reason) skip diagnostics — empty for the
+          parsetree analyzers, missing-[.cmt] files for the typed one *)
+  inventory : string list -> unit;
+      (** print the tool's [--inventory] view of the given files *)
 }
 
 val collect_files : exts:string list -> string list -> string list
@@ -16,5 +26,7 @@ val collect_files : exts:string list -> string list -> string list
 val main : tool -> 'a
 (** Parse [--allow FILE] (repeatable), [--json], [--rules] (print the
     rule table and exit), [--no-stale] (keep quiet about suppressions
-    that suppress nothing), then run and exit with 0 (clean), 1
-    (findings) or 2 (usage error / unparseable file).  Never returns. *)
+    that suppress nothing), [--inventory] (print the inventory view and
+    exit 0 — accepted in any argument position), then run and exit with
+    0 (clean), 1 (findings) or 2 (usage error / unparseable file).
+    Never returns. *)

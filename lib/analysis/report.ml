@@ -31,10 +31,15 @@ let finding_json (f : Finding.t) =
 let schema = "mmb-analysis/1"
 let version = 1
 
-let to_json ~tool ~files findings =
+let skip_json (file, reason) =
+  Printf.sprintf {|{"file":"%s","reason":"%s"}|} (json_escape file)
+    (json_escape reason)
+
+let to_json ?(skips = []) ~tool ~files findings =
   Printf.sprintf
-    {|{"schema":"%s","tool":"%s","version":%d,"files":%d,"findings":[%s]}|}
+    {|{"schema":"%s","tool":"%s","version":%d,"files":%d,"skips":[%s],"findings":[%s]}|}
     schema (json_escape tool) version files
+    (String.concat "," (List.map skip_json skips))
     (String.concat "," (List.map finding_json findings))
 
 (* 0 clean / 1 findings / 2 infrastructure failure (unparseable file). *)
@@ -43,9 +48,15 @@ let exit_code findings =
   else if findings <> [] then 1
   else 0
 
-let print ~json ~tool ~files findings =
-  if json then print_endline (to_json ~tool ~files findings)
+let print ?(skips = []) ~json ~tool ~files findings =
+  if json then print_endline (to_json ~skips ~tool ~files findings)
   else begin
+    (* Skips are diagnostics on stderr: visible, but neither findings
+       nor part of the parseable stdout stream. *)
+    List.iter
+      (fun (file, reason) ->
+        Printf.eprintf "%s: SKIP %s: %s\n" tool file reason)
+      skips;
     List.iter (fun f -> print_endline (Finding.to_string f)) findings;
     match findings with
     | [] -> Printf.printf "%s: %d files clean\n" tool files

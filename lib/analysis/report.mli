@@ -6,16 +6,32 @@ val schema : string
 val version : int
 (** Envelope version; bumped only on incompatible field changes. *)
 
-val to_json : tool:string -> files:int -> Finding.t list -> string
+val to_json :
+  ?skips:(string * string) list ->
+  tool:string ->
+  files:int ->
+  Finding.t list ->
+  string
 (** One compact object in the shared [mmb-analysis/1] envelope:
     [{"schema":"mmb-analysis/1","tool":...,"version":1,"files":N,
+      "skips":[{"file":...,"reason":...}],
       "findings":[{"rule":...,"file":...,"line":...,"col":...,"msg":...}]}].
-    All three analyzers (lint, check, race) emit exactly this shape. *)
+    All four analyzers (lint, check, race, hot) emit exactly this
+    shape; [skips] carries files the tool could not analyze (the hot
+    analyzer's missing-[.cmt] diagnostics) and is empty for the
+    parsetree analyzers. *)
 
 val exit_code : Finding.t list -> int
 (** [0] clean, [1] findings, [2] if any [E*] finding (unparseable file). *)
 
-val print : json:bool -> tool:string -> files:int -> Finding.t list -> unit
+val print :
+  ?skips:(string * string) list ->
+  json:bool ->
+  tool:string ->
+  files:int ->
+  Finding.t list ->
+  unit
 (** Text mode prints one {!Finding.to_string} line per finding plus a
-    summary ([stdout] findings, [stderr] summary when nonzero); JSON
-    mode prints the single {!to_json} object on [stdout]. *)
+    summary ([stdout] findings, [stderr] summary when nonzero), with
+    skips as [stderr] diagnostics; JSON mode prints the single
+    {!to_json} object on [stdout]. *)

@@ -30,3 +30,50 @@ let check_file ?(rules = default_rules) ?(allow = []) file =
 let run_files ?(rules = default_rules) ?(allow = Analysis.Allow.empty)
     ?(stale = false) files =
   Analysis.Driver.run_files ~marker ~rules ~allow ~stale files
+
+(* The layer map behind `mmb_check --inventory`: each file's layer and
+   the set of other layers it references — the edge list rule A1 ranges
+   over.  Unparseable files are silently skipped here (they surface as
+   E0 findings in the main pass). *)
+let layer_refs files =
+  List.filter_map
+    (fun file ->
+      let source = Analysis.Driver.read_file file in
+      let lexbuf = Lexing.from_string source in
+      Location.init lexbuf file;
+      let parsed =
+        if Filename.check_suffix file ".mli" then
+          match Parse.interface lexbuf with
+          | sg -> Some (`Intf sg)
+          | exception _ -> None
+        else
+          match Parse.implementation lexbuf with
+          | str -> Some (`Impl str)
+          | exception _ -> None
+      in
+      match parsed with
+      | None -> None
+      | Some parsed ->
+          let acc = ref [] in
+          let it =
+            Refs.iter (fun r ->
+                match r.Refs.r_path with
+                | m :: _ -> (
+                    match Layers.of_module m with
+                    | Some l -> acc := l.Layers.name :: !acc
+                    | None -> ())
+                | [] -> ())
+          in
+          (match parsed with
+          | `Impl str -> it.Ast_iterator.structure it str
+          | `Intf sg -> it.Ast_iterator.signature it sg);
+          let own = Layers.of_path file in
+          let refs =
+            List.sort_uniq String.compare !acc
+            |> List.filter (fun n ->
+                   match own with
+                   | Some l -> not (String.equal n l.Layers.name)
+                   | None -> true)
+          in
+          Some (file, own, refs))
+    files

@@ -52,3 +52,9 @@ val run_files :
 (** The CLI entry point: hit-counted allowlist, and with [stale] also
     reporting suppression comments ([S1]) and allowlist entries ([S2])
     that suppressed nothing. *)
+
+val layer_refs :
+  string list -> (string * Layers.t option * string list) list
+(** The layer map behind [mmb_check --inventory]: for each parseable
+    file, its own layer ([None] outside the DAG) and the sorted set of
+    other layers it references — the edge list rule A1 ranges over. *)

@@ -15,6 +15,11 @@ type state = { src : string; mutable pos : int }
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
+(* Option-free probe: [peek st = Some c] would compare char options with
+   polymorphic equality. *)
+let peek_is st ch =
+  st.pos < String.length st.src && Char.equal st.src.[st.pos] ch
+
 let advance st = st.pos <- st.pos + 1
 
 let rec skip_ws st =
@@ -122,7 +127,7 @@ let rec parse_value st =
 and parse_obj st =
   expect st '{';
   skip_ws st;
-  if peek st = Some '}' then begin
+  if peek_is st '}' then begin
     advance st;
     Obj []
   end
@@ -149,7 +154,7 @@ and parse_obj st =
 and parse_list st =
   expect st '[';
   skip_ws st;
-  if peek st = Some ']' then begin
+  if peek_is st ']' then begin
     advance st;
     List []
   end

@@ -90,6 +90,7 @@ let category_stats t =
       let c = t.cat_stats.(i) in
       (c.cat_name, c.cat_events, c.cat_wall))
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+[@@mmb.alloc_ok "post-run reporting, never on the per-event path"]
 
 let heap_high_water t = Heap.high_water t.queue
 let heap_pushes t = Heap.pushes t.queue
@@ -111,10 +112,9 @@ let exec t { cat; fn } =
 let run ?until ?max_events t =
   t.stopping <- false;
   let budget = match max_events with None -> max_int | Some m -> m in
-  let executed = ref 0 in
-  let rec loop () =
+  let rec loop executed =
     if t.stopping then Stopped
-    else if !executed >= budget then Hit_event_limit
+    else if executed >= budget then Hit_event_limit
     else
       (* Single queue traversal per event: the old peek-then-pop walked the
          dead-root drain twice. *)
@@ -127,8 +127,7 @@ let run ?until ?max_events t =
           Hit_time_limit
       | Heap.Due (time, job) ->
           t.clock <- time;
-          incr executed;
           exec t job;
-          loop ()
+          loop (executed + 1)
   in
-  loop ()
+  loop 0

@@ -67,10 +67,12 @@ let histogram ?(bins = 10) xs =
           in
           counts.(b) <- counts.(b) + 1)
         xs;
-      List.init bins (fun b ->
-          ( lo +. (float_of_int b *. width),
-            lo +. (float_of_int (b + 1) *. width),
-            counts.(b) ))
+      List.init bins
+        ((fun b ->
+           ( lo +. (float_of_int b *. width),
+             lo +. (float_of_int (b + 1) *. width),
+             counts.(b) ))
+        [@mmb.alloc_ok "post-run histogram report"])
 
 let pp_summary ppf s =
   Fmt.pf ppf

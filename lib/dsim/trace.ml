@@ -57,7 +57,9 @@ let record t ~time event =
         t.retained <- t.retained + 1
     | Ring r ->
         let cap = Array.length r.buf in
-        if r.buf.(r.next) = None then t.retained <- t.retained + 1;
+        (match r.buf.(r.next) with
+        | None -> t.retained <- t.retained + 1
+        | Some _ -> ());
         r.buf.(r.next) <- Some entry;
         r.next <- (r.next + 1) mod cap);
     (* Notify in registration order so downstream consumers see a stable

@@ -57,7 +57,9 @@ let dirty_nodes ~n old_e new_e =
     incr j
   done;
   let count = ref 0 in
-  Bytes.iter (fun c -> if c <> '\000' then incr count) flags;
+  for i = 0 to Bytes.length flags - 1 do
+    if Bytes.get flags i <> '\000' then incr count
+  done;
   let out = Array.make !count 0 in
   let k = ref 0 in
   for u = 0 to n - 1 do

@@ -111,16 +111,17 @@ let extras_at t ~epoch =
         Array.map (fun _ -> not (Dsim.Rng.bernoulli rng ~p:rate)) t.pool
       in
       let count = ref 0 in
-      Array.iter (fun k -> if k then incr count) keep;
+      for i = 0 to Array.length keep - 1 do
+        if keep.(i) then incr count
+      done;
       let out = Array.make !count (0, 0) in
       let j = ref 0 in
-      Array.iteri
-        (fun i k ->
-          if k then begin
-            out.(!j) <- t.pool.(i);
-            incr j
-          end)
-        keep;
+      for i = 0 to Array.length keep - 1 do
+        if keep.(i) then begin
+          out.(!j) <- t.pool.(i);
+          incr j
+        end
+      done;
       out
   | Adversary -> (
       match List.assoc_opt epoch t.memo with

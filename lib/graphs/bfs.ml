@@ -28,7 +28,9 @@ let eccentricity g v =
 
 let diameter g =
   let best = ref 0 in
-  Graph.iter_nodes g (fun v -> best := max !best (eccentricity g v));
+  for v = 0 to Graph.n g - 1 do
+    best := max !best (eccentricity g v)
+  done;
   !best
 
 let components g =

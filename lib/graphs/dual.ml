@@ -18,18 +18,20 @@ let bitset_max_n = 8192
 let g'_only_row ~g ~g' u =
   let nbrs = Graph.neighbors g' u in
   let count = ref 0 in
-  Array.iter (fun v -> if not (Graph.mem_edge g u v) then incr count) nbrs;
+  for i = 0 to Array.length nbrs - 1 do
+    if not (Graph.mem_edge g u nbrs.(i)) then incr count
+  done;
   if !count = 0 then [||]
   else begin
     let out = Array.make !count 0 in
     let j = ref 0 in
-    Array.iter
-      (fun v ->
-        if not (Graph.mem_edge g u v) then begin
-          out.(!j) <- v;
-          incr j
-        end)
-      nbrs;
+    for i = 0 to Array.length nbrs - 1 do
+      let v = nbrs.(i) in
+      if not (Graph.mem_edge g u v) then begin
+        out.(!j) <- v;
+        incr j
+      end
+    done;
     out
   end
 
@@ -286,6 +288,7 @@ let choke ~k =
   let hub = choke_hub ~k and sink = choke_sink ~k in
   let edges = (hub, sink) :: List.init (k - 1) (fun i -> (i, hub)) in
   of_equal (Graph.of_edges ~n:(k + 1) edges)
+[@@mmb.alloc_ok "graph construction, init-phase"]
 
 let pp ppf t =
   Fmt.pf ppf "dual(n=%d, |E|=%d, |E'|=%d%s)" (Graph.n t.g) (Graph.m t.g)

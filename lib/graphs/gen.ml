@@ -1,13 +1,16 @@
 let line n =
   Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+[@@mmb.alloc_ok "graph construction, init-phase"]
 
 let ring n =
   if n < 3 then invalid_arg "Gen.ring: need n >= 3";
   Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+[@@mmb.alloc_ok "graph construction, init-phase"]
 
 let star n =
   if n < 1 then invalid_arg "Gen.star: need n >= 1";
   Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+[@@mmb.alloc_ok "graph construction, init-phase"]
 
 let complete n =
   let edges = ref [] in

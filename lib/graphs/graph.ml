@@ -16,8 +16,9 @@ let dedup_sorted a =
         incr count
       end
     done;
-    let res = Array.make !count 0 in
-    List.iteri (fun i v -> res.(!count - 1 - i) <- v) !out;
+    let n = !count in
+    let res = Array.make n 0 in
+    List.iteri (fun i v -> res.(n - 1 - i) <- v) !out;
     res
   end
 
@@ -75,7 +76,11 @@ let mem_edge t u v =
 let fold_edges f t acc =
   let acc = ref acc in
   for u = 0 to t.n - 1 do
-    Array.iter (fun v -> if u < v then acc := f u v !acc) t.adj.(u)
+    let row = t.adj.(u) in
+    for i = 0 to Array.length row - 1 do
+      let v = row.(i) in
+      if u < v then acc := f u v !acc
+    done
   done;
   !acc
 

@@ -15,21 +15,23 @@ let is_maximal_independent g nodes =
     in_set.(v) || Array.exists (fun u -> in_set.(u)) (Graph.neighbors g v)
   in
   let ok = ref true in
-  Graph.iter_nodes g (fun v -> if not (covered v) then ok := false);
+  for v = 0 to Graph.n g - 1 do
+    if not (covered v) then ok := false
+  done;
   !ok
 
 let greedy_in_order g order =
   let n = Graph.n g in
   let blocked = Array.make n false in
   let chosen = ref [] in
-  Array.iter
-    (fun v ->
-      if not blocked.(v) then begin
-        chosen := v :: !chosen;
-        Array.iter (fun u -> blocked.(u) <- true) (Graph.neighbors g v);
-        blocked.(v) <- true
-      end)
-    order;
+  for i = 0 to Array.length order - 1 do
+    let v = order.(i) in
+    if not blocked.(v) then begin
+      chosen := v :: !chosen;
+      Array.iter (fun u -> blocked.(u) <- true) (Graph.neighbors g v);
+      blocked.(v) <- true
+    end
+  done;
   List.rev !chosen
 
 let greedy g = greedy_in_order g (Array.init (Graph.n g) Fun.id)

@@ -1,0 +1,43 @@
+(* mmb_hot — typed-tree hot-path discipline analyzer, the fourth
+   analyzer on the shared Analysis driver and the first to consume
+   typed trees (.cmt files) instead of parsetrees.  The three untyped
+   analyzers guard determinism (lint), architecture (check) and domain
+   safety (race); this one guards the performance invariants PR 5
+   bought — no polymorphic comparison, no stray allocation, no unsafe
+   casts, no unguarded formatting on the per-event path — so "fast as
+   the hardware allows" is a checked property, not a hand-audited one.
+
+   Whole-tree runs (`dune build @hot`) read .cmt files from the build
+   root; a missing .cmt is a per-file SKIP diagnostic, never a failure,
+   so the analyzer degrades gracefully on a cold build.  Tests and
+   fixtures typecheck source in-process instead. *)
+
+module Rules = Rules
+module Inventory = Inventory
+
+(* The hot analyzer's suppression-comment marker.  (Kept out of doc
+   comments so the stale-suppression scan never mistakes prose for a
+   hatch.)  Rule H3 ignores it: the allowlist is its only hatch. *)
+let marker = "hot: allow"
+
+let default_rules = Rules.default
+
+let check_source ?(rules = default_rules) ?(allow = []) ~file source =
+  Analysis.Typed.run_source ~marker ~rules
+    ~allow:(Analysis.Allow.of_pairs allow) ~file source
+
+let run_files ?(rules = default_rules) ?(allow = Analysis.Allow.empty)
+    ?(stale = false) ?root files =
+  Analysis.Typed.run_files ~marker ~rules ~allow ~stale ?root files
+
+(* The hot-set inventory behind `mmb_hot --inventory`: every hot module
+   (by path or [@@@mmb.hot]) with its top-level functions' allocation
+   classification. *)
+let inventory ?root files =
+  let root =
+    match root with
+    | Some r -> r
+    | None -> (
+        match Analysis.Typed.find_root () with Some r -> r | None -> ".")
+  in
+  Inventory.of_trees (Analysis.Typed.load_root root) files

@@ -1,0 +1,51 @@
+(** mmb_hot — typed-tree hot-path discipline analyzer.
+
+    Rules (typed judgements; see DESIGN.md section 17):
+    - [H1] polymorphic [=]/[compare]/[Hashtbl.hash] applied at a boxed
+      concrete type, or a polymorphic-keyed [Hashtbl.create] at a boxed
+      key type outside [Dsim.Tbl] — hot set only;
+    - [H2] allocation in hot functions: closures capturing [ref]s,
+      tuple-returning callback literals, boxed-float lets; hatch
+      [[\@mmb.alloc_ok "why"]] — hot set only;
+    - [H3] [Obj.*], [Marshal.*], [%identity] externals anywhere in
+      [lib/] — allowlist-only (suppression comments are ignored);
+    - [H4] [Printf]/[Format]/string-concat on the hot set without a
+      tracing-off guard.
+
+    The hot set is [lib/dsim], [lib/amac], [lib/graphs], [lib/dyn],
+    plus any module carrying [[\@\@\@mmb.hot]].
+
+    Escape hatches: [(* hot: allow H1 *)] comments and [hot.allow]
+    entries, hit-counted with stale reporting ([S1]/[S2]) exactly like
+    the other analyzers (H3 accepts only the allowlist). *)
+
+module Rules = Rules
+module Inventory = Inventory
+
+val marker : string
+val default_rules : Analysis.Typed.rule list
+
+val check_source :
+  ?rules:Analysis.Typed.rule list ->
+  ?allow:(string * string) list ->
+  file:string ->
+  string ->
+  Analysis.Finding.t list
+(** Typecheck source text in-process (stdlib environment) and analyze
+    it posed at [file] — the fixture/test front end.  Ill-typed or
+    unparseable input yields the standard [E0] finding. *)
+
+val run_files :
+  ?rules:Analysis.Typed.rule list ->
+  ?allow:Analysis.Allow.t ->
+  ?stale:bool ->
+  ?root:string ->
+  string list ->
+  Analysis.Finding.t list * Analysis.Typed.skip list
+(** Whole-tree analysis over the [.cmt] trees under [root] (default:
+    [_build/default] from the repo root, or [.] inside the build dir).
+    Files without a [.cmt] are returned as skips — diagnostics, not
+    findings. *)
+
+val inventory : ?root:string -> string list -> Inventory.file_entry list
+(** The hot-set inventory behind [mmb_hot --inventory]. *)

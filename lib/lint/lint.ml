@@ -223,6 +223,42 @@ let rule_d6 =
 
 let default_rules = [ rule_d1; rule_d2; rule_d3; rule_d4; rule_d5; rule_d6 ]
 
+(* --- Inventory ----------------------------------------------------------- *)
+
+(* The hatch map behind `mmb_lint --inventory`: every suppression
+   comment in the tree with the rule ids it waives.  The determinism
+   rules are only as strong as the list of places they are switched
+   off; this prints that list. *)
+
+let find_marker line =
+  let n = String.length line and m = String.length marker in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub line i m) marker then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let hatch_ids rest =
+  String.split_on_char ' ' rest
+  |> List.concat_map (String.split_on_char ',')
+  |> List.concat_map (String.split_on_char '*')
+  |> List.concat_map (String.split_on_char ')')
+  |> List.filter Analysis.Suppress.is_rule_id
+
+let hatches files =
+  List.concat_map
+    (fun file ->
+      let lines = String.split_on_char '\n' (Analysis.Driver.read_file file) in
+      List.mapi (fun i line -> (i + 1, line)) lines
+      |> List.filter_map (fun (ln, line) ->
+             match find_marker line with
+             | None -> None
+             | Some j ->
+                 let rest = String.sub line j (String.length line - j) in
+                 Some (file, ln, hatch_ids rest)))
+    files
+
 (* --- Driver ------------------------------------------------------------- *)
 
 let lint_source ?(rules = default_rules) ?(allow = []) ~file source =

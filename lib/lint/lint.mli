@@ -96,3 +96,8 @@ val run_files :
     {!Analysis.Allow.t}, and with [stale] set also reporting suppression
     comments ([S1]) and allowlist entries ([S2]) that suppressed
     nothing. *)
+
+val hatches : string list -> (string * int * string list) list
+(** The hatch map behind [mmb_lint --inventory]: every suppression
+    comment in the given files as [(file, line, rule ids)] — the
+    complete list of places the determinism rules are switched off. *)

@@ -1,3 +1,8 @@
+(* Per-delivery relay logic: every MAC acknowledgement and delivery runs
+   through here, so the module opts into the hot-path discipline checks
+   (mmb_hot H1/H2/H4) alongside the path-scoped hot set. *)
+[@@@mmb.hot]
+
 type discipline = [ `Fifo | `Lifo ]
 
 type node_state = {
@@ -52,13 +57,14 @@ let pop st =
    behaviorally identical. *)
 let maybe_send t node =
   let st = t.states.(node) in
-  if st.in_flight = None then begin
-    match pop st with
-    | None -> ()
-    | Some m ->
-        st.in_flight <- Some m;
-        t.mac.Amac.Mac_handle.h_bcast ~node m
-  end
+  match st.in_flight with
+  | Some _ -> ()
+  | None -> (
+      match pop st with
+      | None -> ()
+      | Some m ->
+          st.in_flight <- Some m;
+          t.mac.Amac.Mac_handle.h_bcast ~node m)
 
 let get t node msg ~from_env =
   let st = t.states.(node) in

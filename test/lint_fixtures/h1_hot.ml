@@ -1,0 +1,5 @@
+(* Hot fixture (H1): [compare] passed first-class as a comparator at a
+   boxed type — the compiler specializes only direct full applications,
+   never a comparator argument, so this is a genuine generic-compare
+   call per element pair. *)
+let sort_pairs (xs : (int * int) list) = List.sort compare xs

@@ -1,0 +1,7 @@
+(* Hot fixture (H2): a [ref] bound inside a hot function and captured
+   by an iteration closure — the closure must be heap-allocated to
+   carry the cell. *)
+let count_evens (a : int array) =
+  let n = ref 0 in
+  Array.iter (fun x -> if x mod 2 = 0 then incr n) a;
+  !n

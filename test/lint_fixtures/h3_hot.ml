@@ -1,0 +1,3 @@
+(* Hot fixture (H3): an Obj escape.  H3 ranges over all of lib/, not
+   just the hot set, and accepts only the allowlist as a hatch. *)
+let erase (x : int list) = Obj.repr x

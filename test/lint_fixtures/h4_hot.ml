@@ -1,0 +1,3 @@
+(* Hot fixture (H4): formatting on the hot set without a tracing-off
+   guard — violates the zero-alloc-when-off contract. *)
+let label (x : int) = Printf.sprintf "slot=%d" x

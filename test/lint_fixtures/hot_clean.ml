@@ -1,0 +1,16 @@
+(* Hot fixture: disciplined hot-path code.  Every hazard the H-rules
+   look for appears here in its sanctioned form — guarded formatting,
+   a cold-prefixed formatter, a hatched init-phase allocation, and a
+   compiler-specialized comparison — so the analyzer reports nothing. *)
+type t = { mutable tracing : bool; mutable hits : int }
+
+let bump t = t.hits <- t.hits + 1
+
+let note t = if t.tracing then ignore (Printf.sprintf "hits=%d" t.hits)
+
+let pp_hits t = Printf.sprintf "hits=%d" t.hits
+
+let same_label (a : string) (b : string) = a = b
+
+let table n = List.init n (fun i -> (i, i))
+[@@mmb.alloc_ok "fixture: init-phase table build"]

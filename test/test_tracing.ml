@@ -56,6 +56,50 @@ let test_record_zero_alloc_when_off () =
     (allocated < 512.);
   Alcotest.(check int) "records still counted" 100_001 (Dsim.Trace.recorded tr)
 
+(* The MAC plan-time path (policy consult + delivery-plan build) with
+   tracing off: PR 5's pools and epoch-stamped scratch make a steady-
+   state bcast→ack cycle allocate a small constant — the instance
+   record, the plan, the simulator event — independent of history.  A
+   leak (per-cycle table growth, retained plans) shows up as a growing
+   per-cycle figure; the bound is deliberately a few dozen times the
+   honest cost so only real regressions trip it. *)
+let test_mac_plan_path_alloc_bounded () =
+  let dual = Graphs.Dual.of_equal (Graphs.Gen.line 2) in
+  let sim = Dsim.Sim.create () in
+  let rng = Dsim.Rng.create ~seed:0 in
+  let mac =
+    Amac.Standard_mac.create ~sim ~dual ~fack:10. ~fprog:1.
+      ~policy:(Amac.Schedulers.eager ()) ~rng ()
+  in
+  for node = 0 to 1 do
+    Amac.Standard_mac.attach mac ~node
+      { Amac.Mac_intf.on_rcv = (fun ~src:_ _ -> ()); on_ack = (fun _ -> ()) }
+  done;
+  let t = ref 0. in
+  let cycle msg =
+    ignore
+      (Dsim.Sim.schedule_at sim ~time:!t (fun () ->
+           Amac.Standard_mac.bcast mac ~node:0 msg));
+    ignore (Dsim.Sim.run sim);
+    t := !t +. 100.
+  in
+  (* Warm up: pools, scratch arrays and the heap reach steady state. *)
+  for i = 1 to 64 do
+    cycle i
+  done;
+  let cycles = 1_000 in
+  let before = Gc.minor_words () in
+  for i = 1 to cycles do
+    cycle (64 + i)
+  done;
+  let per_cycle = (Gc.minor_words () -. before) /. float_of_int cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "steady-state bcast cycle allocates %.1f minor words" per_cycle)
+    true (per_cycle < 256.);
+  Alcotest.(check int) "all bcasts acked" (64 + cycles)
+    (Amac.Standard_mac.ack_count mac)
+
 let test_subscribers_fire_in_registration_order () =
   let tr = Dsim.Trace.create ~enabled:false () in
   let seen = ref [] in
@@ -379,6 +423,8 @@ let suite =
       [
         Alcotest.test_case "record allocates nothing when off" `Quick
           test_record_zero_alloc_when_off;
+        Alcotest.test_case "MAC plan path allocates O(1) per cycle" `Quick
+          test_mac_plan_path_alloc_bounded;
         Alcotest.test_case "subscribers fire in registration order" `Quick
           test_subscribers_fire_in_registration_order;
         Alcotest.test_case "same seed, byte-identical Perfetto trace" `Slow
