@@ -153,6 +153,36 @@ let bmmb_churn_line ~n ~k ~epoch_len ~repeats () =
   let d = Obs.Global.diff ~before ~after:(Obs.Global.snapshot ()) in
   (d.Obs.Global.events, d.Obs.Global.heap_high_water)
 
+(* Mega workloads: the horizon-parallel engine (lib/pdes) on 1e5/1e6-node
+   duals.  The partition count is fixed (it is a model parameter — same
+   execution regardless of the worker count), and the domain count is the
+   swept variable, so the d1/d2/d4 variants of one workload do identical
+   work and their events/sec ratio is a clean scaling curve.  The engine
+   reports its own counters (struct-of-arrays state, per-partition heaps),
+   so these do not go through Obs.Global. *)
+let bmmb_mega ~dual ~k ~partitions ~domains () =
+  let n = Graphs.Dual.n dual in
+  let rng = Dsim.Rng.create ~seed:5 in
+  let assignment = Mmb.Problem.random rng ~n ~k in
+  let r =
+    Mmb.Runner.run_bmmb_pdes ~dual ~fack:8. ~fprog:1.
+      ~policy:(Amac.Schedulers.random_compliant ())
+      ~assignment ~seed:5 ~partitions ~domains ()
+  in
+  if not r.Mmb.Runner.pd_complete then failwith "bench/perf: mega incomplete";
+  (r.Mmb.Runner.pd_events, r.Mmb.Runner.pd_heap_high_water)
+
+let bmmb_mega_line ~n ~k ~partitions ~domains () =
+  bmmb_mega
+    ~dual:(Graphs.Dual.of_equal (Graphs.Gen.line n))
+    ~k ~partitions ~domains ()
+
+let bmmb_mega_grid ~n ~k ~partitions ~domains () =
+  let side = int_of_float (sqrt (float_of_int n)) in
+  bmmb_mega
+    ~dual:(Graphs.Dual.of_equal (Graphs.Gen.grid ~rows:side ~cols:side))
+    ~k ~partitions ~domains ()
+
 (* FMMB: Obs.Run.fmmb without an observer attaches no instrument, so
    note the engine counters into the global registry ourselves. *)
 let fmmb_grey ~n ~k ~seed () =
@@ -192,6 +222,10 @@ let suite ~smoke =
       ("bmmb_grid", bmmb_grid ~rows:4 ~cols:4 ~k:2 ~repeats:1);
       ("bmmb_churn_line", bmmb_churn_line ~n:12 ~k:2 ~epoch_len:5. ~repeats:1);
       ("fmmb_grey", fmmb_grey ~n:18 ~k:2 ~seed:1);
+      (* The 1e5-node mega case stays in smoke: it is the cheap CI proof
+         that the struct-of-arrays engine completes at scale. *)
+      ("bmmb_mega_line_d2",
+       bmmb_mega_line ~n:100_000 ~k:2 ~partitions:8 ~domains:2);
     ]
   else
     [
@@ -201,6 +235,18 @@ let suite ~smoke =
       ("bmmb_churn_line",
        bmmb_churn_line ~n:200 ~k:24 ~epoch_len:10. ~repeats:16);
       ("fmmb_grey", fmmb_grey ~n:60 ~k:6 ~seed:1);
+      ("bmmb_mega_line_d1",
+       bmmb_mega_line ~n:100_000 ~k:2 ~partitions:8 ~domains:1);
+      ("bmmb_mega_line_d2",
+       bmmb_mega_line ~n:100_000 ~k:2 ~partitions:8 ~domains:2);
+      ("bmmb_mega_line_d4",
+       bmmb_mega_line ~n:100_000 ~k:2 ~partitions:8 ~domains:4);
+      ("bmmb_mega_grid_d1",
+       bmmb_mega_grid ~n:1_000_000 ~k:2 ~partitions:8 ~domains:1);
+      ("bmmb_mega_grid_d2",
+       bmmb_mega_grid ~n:1_000_000 ~k:2 ~partitions:8 ~domains:2);
+      ("bmmb_mega_grid_d4",
+       bmmb_mega_grid ~n:1_000_000 ~k:2 ~partitions:8 ~domains:4);
     ]
 
 (* --- JSON ---------------------------------------------------------------- *)

@@ -130,6 +130,24 @@ let svg_arg =
   in
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the partitioned engine (bmmb only).  $(b,0) means \
+     auto: resolve to the machine's recommended domain count, like \
+     $(b,campaign --jobs 0).  Must not exceed the partition count."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let partitions_arg =
+  let doc =
+    "Partition count P for the partitioned engine.  P is a model \
+     parameter: it fixes instance ids, RNG streams and delivery times, \
+     while --domains only maps partitions onto workers — traces are \
+     byte-identical for any domain count.  $(b,0) means auto (one \
+     partition per worker domain); $(b,1) keeps the exact serial engine."
+  in
+  Arg.(value & opt int 0 & info [ "partitions" ] ~docv:"P" ~doc)
+
 (* --- Construction helpers ----------------------------------------------- *)
 
 let build_base ~topology ~n ~seed =
@@ -178,10 +196,17 @@ let build_scheduler = function
 
 let describe_dual dual =
   let g = Graphs.Dual.reliable dual in
+  (* The exact diameter is O(n·(n+m)) — unaffordable on mega (1e5+
+     node) networks, where the two-BFS double sweep is exact on the
+     line/grid topologies anyone runs at that scale anyway. *)
+  let d =
+    if Graphs.Graph.n g <= 4_096 then Graphs.Bfs.diameter g
+    else Graphs.Bfs.pseudo_diameter g
+  in
   Printf.printf "network: n=%d |E|=%d |E'|=%d D=%d components=%d\n"
     (Graphs.Graph.n g) (Graphs.Graph.m g)
     (Graphs.Graph.m (Graphs.Dual.unreliable dual))
-    (Graphs.Bfs.diameter g)
+    d
     (Graphs.Bfs.component_count g)
 
 (* --- run ----------------------------------------------------------------- *)
@@ -335,6 +360,131 @@ let run_bmmb ~dual ~dyn ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
       ignore want_trace;
       `Ok ()
 
+(* BMMB on the horizon-parallel engine (lib/pdes).  Reached only when the
+   resolved partition count exceeds 1; the serial-engine observability
+   surface (compliance monitor, Perfetto export, provenance, metrics,
+   progress ticker) stays with [run_bmmb]. *)
+let run_bmmb_parallel ~dual ~dynamic ~epoch ~dyn_period ~churn_rate ~dyn_seed
+    ~fack ~fprog ~scheduler ~k ~seed ~partitions ~domains ~check ~trace
+    ~trace_out ~provenance ~metrics ~progress =
+  let unsupported =
+    List.filter_map
+      (fun (on, flag) -> if on then Some flag else None)
+      [
+        (check, "--check");
+        (trace, "--trace");
+        (provenance <> None, "--provenance");
+        (metrics <> None, "--metrics");
+        (progress <> None, "--progress");
+      ]
+  in
+  if unsupported <> [] then
+    `Error
+      ( false,
+        Printf.sprintf
+          "%s require%s the serial engine (--partitions 1): the partitioned \
+           engine streams its trace to disk instead of retaining it"
+          (String.concat ", " unsupported)
+          (match unsupported with [ _ ] -> "s" | _ -> "") )
+  else if
+    match trace_out with
+    | Some path -> Filename.check_suffix path ".json"
+    | None -> false
+  then
+    `Error
+      ( false,
+        "Perfetto export (--trace-out *.json) requires the serial engine \
+         (--partitions 1); use a non-.json suffix for the raw JSONL log" )
+  else if scheduler <> "random" then
+    `Error
+      ( false,
+        Printf.sprintf
+          "--partitions > 1 runs the fused full-coverage engine, which only \
+           realises the %S scheduler (got %S)"
+          "random" scheduler )
+  else
+    let dyn_spec =
+      Option.map
+        (fun kind ->
+          {
+            Mmb.Scenario.dyn_kind = kind;
+            dyn_epoch = epoch;
+            dyn_period;
+            dyn_churn = churn_rate;
+            dyn_seed;
+          })
+        dynamic
+    in
+    (* Validate the dynamic sub-spec once, eagerly; the engine then builds
+       one private wrapper per partition from the same spec. *)
+    let dyn_check =
+      match dyn_spec with
+      | None -> Ok None
+      | Some d when d.Mmb.Scenario.dyn_kind = "adversary" ->
+          Error
+            "--dynamic adversary requires the serial engine (--partitions \
+             1): the adversary consults a global delivery oracle"
+      | Some d ->
+          Result.map (fun _ -> Some d) (Mmb.Scenario.build_dyn ~dual d)
+    in
+    match dyn_check with
+    | Error e -> `Error (false, e)
+    | Ok dyn_spec -> (
+        let mk_dyn =
+          Option.map
+            (fun d () ->
+              match Mmb.Scenario.build_dyn ~dual d with
+              | Ok dd -> dd
+              | Error e -> failwith e)
+            dyn_spec
+        in
+        let rng = Dsim.Rng.create ~seed in
+        let n = Graphs.Dual.n dual in
+        let assignment = Mmb.Problem.random rng ~n ~k in
+        match
+          Mmb.Runner.run_bmmb_pdes ~dual ~fack ~fprog
+            ~policy:(Amac.Schedulers.random_compliant ())
+            ~assignment ~seed ~partitions ~domains ?mk_dyn ?trace_out ()
+        with
+        | exception Pdes.Engine.Domains_exceed_partitions { domains; partitions }
+          ->
+            `Error
+              ( false,
+                Printf.sprintf
+                  "domains-exceed-partitions: %d worker domains cannot be \
+                   mapped onto %d partition(s); lower --domains or raise \
+                   --partitions"
+                  domains partitions )
+        | r ->
+            describe_dual dual;
+            Printf.printf
+              "protocol: BMMB (partitioned engine), Fack=%g, Fprog=%g, \
+               partitions=%d, domains=%d\n"
+              fack fprog r.Mmb.Runner.pd_partitions r.Mmb.Runner.pd_domains;
+            Printf.printf "complete: %b\ntime: %g\nbound: %g (time/bound %.2f)\n"
+              r.Mmb.Runner.pd_complete r.Mmb.Runner.pd_time
+              r.Mmb.Runner.pd_upper_bound
+              (if r.Mmb.Runner.pd_upper_bound > 0. then
+                 r.Mmb.Runner.pd_time /. r.Mmb.Runner.pd_upper_bound
+               else 0.);
+            Printf.printf "bcasts: %d, rcvs: %d, acks: %d\n"
+              r.Mmb.Runner.pd_bcasts r.Mmb.Runner.pd_rcvs r.Mmb.Runner.pd_acks;
+            Printf.printf
+              "deliveries: %d (%d across partitions, %d cut edges)\n"
+              r.Mmb.Runner.pd_deliveries r.Mmb.Runner.pd_remote
+              r.Mmb.Runner.pd_cut_edges;
+            Printf.printf
+              "engine: %d events executed, %d barrier windows, heap high \
+               water %d\n"
+              r.Mmb.Runner.pd_events r.Mmb.Runner.pd_windows
+              r.Mmb.Runner.pd_heap_high_water;
+            Option.iter
+              (fun path ->
+                Printf.printf "trace written to %s (%d events)\n" path
+                  r.Mmb.Runner.pd_trace_entries)
+              trace_out;
+            `Ok ())
+
 let run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics =
   let rng = Dsim.Rng.create ~seed in
   let n = Graphs.Dual.n dual in
@@ -423,7 +573,7 @@ let run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics =
 let run_cmd =
   let action protocol topology gprime n k r extra fack fprog seed scheduler
       check trace trace_out provenance metrics progress svg dynamic epoch
-      dyn_period churn_rate dyn_seed =
+      dyn_period churn_rate dyn_seed domains partitions =
     match build_dual ~topology ~gprime ~n ~r ~extra ~seed with
     | Error e -> `Error (false, e)
     | Ok dual -> (
@@ -438,31 +588,56 @@ let run_cmd =
                 prerr_endline
                   "note: --svg requires an embedded (geometric/greyzone) \
                    network; skipped"));
-        let dyn =
-          match dynamic with
-          | None -> Ok None
-          | Some _ when protocol <> "bmmb" ->
-              Error "--dynamic requires --protocol bmmb"
-          | Some kind ->
-              Result.map Option.some
-                (Mmb.Scenario.build_dyn ~dual
-                   {
-                     Mmb.Scenario.dyn_kind = kind;
-                     dyn_epoch = epoch;
-                     dyn_period;
-                     dyn_churn = churn_rate;
-                     dyn_seed;
-                   })
+        (* [--domains 0] auto-resolves like [campaign --jobs 0].  Explicit
+           positive counts are honored even beyond the core count: traces
+           are identical for any mapping, and determinism gates need real
+           multi-domain runs even on small machines.  The partition count
+           then defaults to one partition per worker. *)
+        let domains =
+          if domains <= 0 then Exec.Pool.resolve_jobs ~requested:domains
+          else domains
         in
-        match (dyn, protocol) with
-        | Error e, _ -> `Error (false, e)
-        | Ok dyn, "bmmb" ->
-            run_bmmb ~dual ~dyn ~fack ~fprog ~scheduler ~k ~seed ~check ~trace
-              ~trace_out ~provenance ~metrics ~progress
-        | Ok _, "fmmb" ->
-            run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics
-        | Ok _, other ->
-            `Error (false, Printf.sprintf "unknown protocol %S" other))
+        let partitions = if partitions <= 0 then domains else partitions in
+        if domains > partitions then
+          `Error
+            ( false,
+              Printf.sprintf
+                "domains-exceed-partitions: %d worker domains cannot be \
+                 mapped onto %d partition(s); lower --domains or raise \
+                 --partitions"
+                domains partitions )
+        else if partitions > 1 && protocol <> "bmmb" then
+          `Error (false, "--partitions > 1 requires --protocol bmmb")
+        else if partitions > 1 then
+          run_bmmb_parallel ~dual ~dynamic ~epoch ~dyn_period ~churn_rate
+            ~dyn_seed ~fack ~fprog ~scheduler ~k ~seed ~partitions ~domains
+            ~check ~trace ~trace_out ~provenance ~metrics ~progress
+        else
+          let dyn =
+            match dynamic with
+            | None -> Ok None
+            | Some _ when protocol <> "bmmb" ->
+                Error "--dynamic requires --protocol bmmb"
+            | Some kind ->
+                Result.map Option.some
+                  (Mmb.Scenario.build_dyn ~dual
+                     {
+                       Mmb.Scenario.dyn_kind = kind;
+                       dyn_epoch = epoch;
+                       dyn_period;
+                       dyn_churn = churn_rate;
+                       dyn_seed;
+                     })
+          in
+          match (dyn, protocol) with
+          | Error e, _ -> `Error (false, e)
+          | Ok dyn, "bmmb" ->
+              run_bmmb ~dual ~dyn ~fack ~fprog ~scheduler ~k ~seed ~check
+                ~trace ~trace_out ~provenance ~metrics ~progress
+          | Ok _, "fmmb" ->
+              run_fmmb ~dual ~fprog ~k ~seed ~trace_out ~provenance ~metrics
+          | Ok _, other ->
+              `Error (false, Printf.sprintf "unknown protocol %S" other))
   in
   let term =
     Term.(
@@ -471,7 +646,7 @@ let run_cmd =
        $ r_arg $ extra_arg $ fack_arg $ fprog_arg $ seed_arg $ scheduler_arg
        $ check_arg $ trace_arg $ trace_out_arg $ provenance_arg $ metrics_arg
        $ progress_arg $ svg_arg $ dynamic_arg $ epoch_arg $ dyn_period_arg
-       $ churn_rate_arg $ dyn_seed_arg))
+       $ churn_rate_arg $ dyn_seed_arg $ domains_arg $ partitions_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one MMB simulation and print its metrics.")
@@ -938,7 +1113,7 @@ let campaign_cmd =
         in
         Filename.concat "_campaign" (Printf.sprintf "campaign-%s.jsonl" key)
       in
-      let jobs = min jobs (Exec.Pool.available_parallelism ()) in
+      let jobs = Exec.Pool.resolve_jobs ~requested:jobs in
       let outcomes, stats =
         Exec.Campaign.run ~jobs ~salt ?cache ~manifest ~clock:Sys.time
           job_list

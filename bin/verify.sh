@@ -62,11 +62,13 @@ warn_gate() {
 if [ "$MODE" = tsan ]; then
   # ThreadSanitizer instrumentation is a compiler feature (OCaml >= 5.2
   # built with tsan support); it lives in its own opam switch so the
-  # default build stays uninstrumented.  The exec suite is the only one
-  # that spawns domains, so it is the one worth instrumenting.
+  # default build stays uninstrumented.  lib/exec (campaign pool) and
+  # lib/pdes (horizon-parallel engine) are the two domain-spawning
+  # subsystems, so their suites are the ones worth instrumenting.
   SW="${MMB_TSAN_SWITCH:-$(opam switch list -s 2>/dev/null | grep -i tsan | head -1)}"
   if [ -z "$SW" ]; then
     skip "tsan exec tests" "no tsan opam switch found"
+    skip "tsan pdes tests" "no tsan opam switch found"
   else
     echo "using tsan switch: $SW"
     gate "tsan build (switch $SW)" \
@@ -74,6 +76,9 @@ if [ "$MODE" = tsan ]; then
     gate "tsan exec tests" \
       opam exec --switch "$SW" -- dune exec --build-dir _build_tsan \
       test/test_main.exe -- test exec
+    gate "tsan pdes tests" \
+      opam exec --switch "$SW" -- dune exec --build-dir _build_tsan \
+      test/test_main.exe -- test pdes
   fi
 else
   gate "dune build @lint @check @race" dune build @lint @check @race
@@ -134,11 +139,25 @@ else
         dune exec bin/mmb_sim.exe -- campaign scenarios/churn_line.json \
           --jobs 4 --cache-dir "$T/c4" --salt v4 > "$T/out2" &&
         cmp "$T/out1" "$T/out2"'
+    # The partitioned engine's core promise: with the partition count P
+    # fixed, the worker-domain count must not change a single trace byte.
+    # The 4-domain run also gets randomized hash seeds so any
+    # order-dependent Hashtbl traversal on the merge path would diverge.
+    gate "pdes determinism (--partitions 4: --domains 1 vs 4 trace bytes)" \
+      sh -c 'T=$(mktemp -d) && trap "rm -rf $T" 0 &&
+        dune exec bin/mmb_sim.exe -- run -t line -n 200 -k 3 --fack 8 \
+          --seed 3 --partitions 4 --domains 1 --trace-out "$T/d1.jsonl" \
+          > /dev/null &&
+        OCAMLRUNPARAM=R dune exec bin/mmb_sim.exe -- run -t line -n 200 \
+          -k 3 --fack 8 --seed 3 --partitions 4 --domains 4 \
+          --trace-out "$T/d4.jsonl" > /dev/null &&
+        cmp "$T/d1.jsonl" "$T/d4.jsonl"'
   else
     skip "OCAMLRUNPARAM=R dune runtest --force" "run with --full"
     skip "dune build @fixtures" "run with --full"
     skip "dyn suite (test dyn)" "run with --full"
     skip "campaign determinism (churn_line --jobs 1 vs 4)" "run with --full"
+    skip "pdes determinism (--partitions 4: --domains 1 vs 4 trace bytes)" "run with --full"
   fi
 fi
 

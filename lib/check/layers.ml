@@ -1,11 +1,15 @@
 (* The project's layer DAG.  References must point strictly downward:
 
-     dsim → graphs → dyn → amac → {mmb, radio} → obs → exec → {bench, bin}
+     dsim → graphs → dyn → {amac, pdes} → {mmb, radio} → obs → exec
+          → {bench, bin}
 
    (an arrow means "may be referenced by"; mmb and radio are siblings
    and must not reference each other).  dyn sits between graphs and
    amac: it versions dual graphs by epoch, the MAC consults it at
-   delivery-plan time, and everything above may build schedules.  The
+   delivery-plan time, and everything above may build schedules.  pdes
+   is amac's sibling: the horizon-parallel engine fuses protocol and
+   MAC semantics over dsim/graphs/dyn, and mmb's runner drives either
+   engine.  The
    analyzer libraries (lint, analysis, check) sit outside the DAG: they
    are tooling over the sources, not simulation code, and nothing
    simulation-side may import them anyway since they would drag in
@@ -14,8 +18,8 @@
 type t = { name : string; rank : int }
 
 let dag =
-  "dsim -> graphs -> dyn -> amac -> {mmb, radio} -> obs -> exec -> {bench, \
-   bin}"
+  "dsim -> graphs -> dyn -> {amac, pdes} -> {mmb, radio} -> obs -> exec -> \
+   {bench, bin}"
 
 let lib_dirs =
   [
@@ -23,6 +27,7 @@ let lib_dirs =
     ("graphs", 1);
     ("dyn", 2);
     ("amac", 3);
+    ("pdes", 3);
     ("mmb", 4);
     ("radio", 4);
     ("obs", 5);
@@ -37,6 +42,7 @@ let modules =
     ("Graphs", "graphs");
     ("Dyn", "dyn");
     ("Amac", "amac");
+    ("Pdes", "pdes");
     ("Mmb", "mmb");
     ("Radio", "radio");
     ("Obs", "obs");

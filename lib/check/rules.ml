@@ -186,12 +186,16 @@ let banned_engine_calls =
 let rule_a4 =
   {
     Rule.id = "A4";
-    doc = "Dsim.Sim injection / Trace emission confined to amac and obs";
+    doc = "Dsim.Sim injection / Trace emission confined to amac, pdes, obs";
     applies =
       (fun file ->
         Paths.in_dir ~dir:"lib" file
         && (not (Paths.in_dir ~dir:"lib/dsim" file))
         && (not (Paths.in_dir ~dir:"lib/amac" file))
+        (* lib/pdes fuses protocol and MAC into one engine, so it *is*
+           the MAC of its executions: scheduling and trace emission are
+           its job, exactly as in lib/amac. *)
+        && (not (Paths.in_dir ~dir:"lib/pdes" file))
         && not (Paths.in_dir ~dir:"lib/obs" file));
     build =
       (fun ~file:_ report ->
@@ -232,18 +236,21 @@ let rule_a5 =
 (* --- A6: epoch mutation discipline --------------------------------------- *)
 
 (* Dynamic dual graphs advance only where the model says they may: the
-   schedules themselves (lib/dyn) and the MAC's delivery-plan consult +
-   delivered-set probes (lib/amac).  Everything else — protocols above
-   the MAC, the observability layer, executables — may construct
-   schedules and read epoch counters, but never step them. *)
+   schedules themselves (lib/dyn), the MAC's delivery-plan consult +
+   delivered-set probes (lib/amac), and the fused partition engine's
+   plan-time consult (lib/pdes — each partition owns a private wrapper,
+   so its epoch stepping is exactly the MAC's).  Everything else —
+   protocols above the MAC, the observability layer, executables — may
+   construct schedules and read epoch counters, but never step them. *)
 let rule_a6 =
   {
     Rule.id = "A6";
-    doc = "Dyn epoch mutation confined to lib/dyn and lib/amac";
+    doc = "Dyn epoch mutation confined to lib/dyn, lib/amac, lib/pdes";
     applies =
       (fun file ->
         (not (Paths.in_dir ~dir:"lib/dyn" file))
-        && not (Paths.in_dir ~dir:"lib/amac" file));
+        && (not (Paths.in_dir ~dir:"lib/amac" file))
+        && not (Paths.in_dir ~dir:"lib/pdes" file));
     build =
       (fun ~file:_ report ->
         Refs.iter (fun r ->

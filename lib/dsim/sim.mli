@@ -37,6 +37,11 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of events still queued. *)
 
+val next_time : t -> float option
+(** Timestamp of the earliest queued event, or [None] when the queue is
+    empty.  The horizon-parallel engine (lib/pdes) reads this across
+    partitions to pick the next barrier window's start. *)
+
 type outcome =
   | Drained  (** the event queue emptied *)
   | Hit_time_limit  (** the [until] horizon was reached *)

@@ -96,6 +96,36 @@ let parse_line line =
       | other -> Error (Printf.sprintf "unknown event kind %S" other))
   | _ -> Error "missing required field"
 
+let entry_of_line = parse_line
+
+(* --- Streamed-to-disk sink ------------------------------------------------ *)
+
+(* A subscriber that writes each entry as it is recorded, so a run's
+   trace lands on disk without the trace object retaining anything: the
+   mega-path configuration is a disabled trace (no ring, no list) plus
+   one of these.  Buffered by the out_channel; [sink_close] flushes. *)
+type sink = { oc : out_channel; mutable written : int; mutable closed : bool }
+
+let sink_create ~path = { oc = open_out path; written = 0; closed = false }
+
+let sink_write s entry =
+  output_string s.oc (entry_to_json entry);
+  output_char s.oc '\n';
+  s.written <- s.written + 1
+
+let sink_written s = s.written
+
+let sink_close s =
+  if not s.closed then begin
+    s.closed <- true;
+    close_out s.oc
+  end
+
+let stream_file trace ~path =
+  let s = sink_create ~path in
+  Trace.subscribe trace (sink_write s);
+  s
+
 let of_jsonl text =
   let lines =
     String.split_on_char '\n' text

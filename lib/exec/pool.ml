@@ -52,3 +52,7 @@ let run ~jobs ~tasks f =
 let self_index () = (Domain.self () :> int)
 
 let available_parallelism () = max 1 (Domain.recommended_domain_count ())
+
+let resolve_jobs ~requested =
+  let avail = available_parallelism () in
+  if requested <= 0 then avail else min requested avail

@@ -22,3 +22,9 @@ val available_parallelism : unit -> int
     clamp a requested [--jobs N] to this: domains beyond the core count
     only add multicore-GC overhead (the merge stays deterministic either
     way, so the clamp never changes output). *)
+
+val resolve_jobs : requested:int -> int
+(** The shared CLI convention for domain counts ([campaign --jobs],
+    [run --domains]): [requested <= 0] means "auto" and resolves to
+    {!available_parallelism}; positive requests are clamped to it.
+    Always at least 1. *)

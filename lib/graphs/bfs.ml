@@ -33,6 +33,20 @@ let diameter g =
   done;
   !best
 
+(* Double sweep: BFS from node 0 finds a farthest node [u]; ecc(u) is a
+   lower bound on the diameter, exact on trees and grids. *)
+let pseudo_diameter g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    let dist = distances g ~src:0 in
+    let far = ref 0 in
+    for v = 1 to n - 1 do
+      if dist.(v) <> unreachable && dist.(v) > dist.(!far) then far := v
+    done;
+    eccentricity g !far
+  end
+
 let components g =
   let n = Graph.n g in
   let comp = Array.make n (-1) in

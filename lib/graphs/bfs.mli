@@ -19,6 +19,13 @@ val diameter : Graph.t -> int
 (** Largest eccentricity over all nodes (ignoring unreachable pairs);
     [0] for an empty or edgeless graph.  O(n·(n+m)). *)
 
+val pseudo_diameter : Graph.t -> int
+(** Double-sweep estimate in two BFS passes: the eccentricity of a
+    farthest node from node 0.  Always a lower bound on {!diameter},
+    and exact on trees (lines) and grids — the topologies mega-scale
+    runs use, where the exact O(n·(n+m)) diameter is unaffordable.
+    [0] for an empty graph. *)
+
 val components : Graph.t -> int array
 (** [components g] maps each node to a component id in [0..c-1]; nodes in
     the same component share an id. *)

@@ -126,15 +126,40 @@ let power g ~r =
   done;
   Graph.of_edges ~n !edges
 
+(* One BFS per node that owns a G'-edge *outside* G, not one per G'
+   edge: edges shared with G are distance 1 by definition, so an equal
+   dual costs zero searches and an r-restricted dual only pays for the
+   few nodes carrying extra links.  The old per-edge Bfs.distance made
+   this O(n * m) — a hang, not a cost, at mega (1e5+ node) scale. *)
 let restriction_radius t =
-  Graph.fold_edges
-    (fun u v acc ->
-      if acc = max_int then acc
-      else begin
-        let d = Bfs.distance t.g u v in
-        if d = Bfs.unreachable then max_int else max acc d
-      end)
-    t.g' 1
+  let n = Graph.n t.g in
+  let worst = ref 1 in
+  (try
+     for u = 0 to n - 1 do
+       let nbrs' = Graph.neighbors t.g' u in
+       let len = Array.length nbrs' in
+       let needs = ref false in
+       for i = 0 to len - 1 do
+         let v = nbrs'.(i) in
+         if v > u && not (Graph.mem_edge t.g u v) then needs := true
+       done;
+       if !needs then begin
+         let dist = Bfs.distances t.g ~src:u in
+         for i = 0 to len - 1 do
+           let v = nbrs'.(i) in
+           if v > u && not (Graph.mem_edge t.g u v) then begin
+             let d = dist.(v) in
+             if d = Bfs.unreachable then begin
+               worst := max_int;
+               raise Exit
+             end;
+             if d > !worst then worst := d
+           end
+         done
+       end
+     done
+   with Exit -> ());
+  !worst
 
 let is_r_restricted t ~r =
   Graph.fold_edges

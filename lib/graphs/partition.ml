@@ -1,0 +1,66 @@
+(* Greedy BFS region growing: fill partition 0 to its target size from
+   the smallest unassigned node, then partition 1, and so on.  A plain
+   int-array ring serves as the BFS queue; neighbor arrays are already
+   sorted, so the visit order — and therefore the assignment — is a pure
+   function of (graph, parts). *)
+
+let blocks g ~parts =
+  if parts < 1 then invalid_arg "Partition.blocks: need parts >= 1";
+  let n = Graph.n g in
+  let part = Array.make n (-1) in
+  let target = (n + parts - 1) / parts in
+  (* Each node enters the queue exactly once ([seen]), so a ring of
+     capacity n+1 never wraps into itself. *)
+  let queue = Array.make (n + 1) 0 in
+  let seen = Array.make n false in
+  let head = ref 0 and tail = ref 0 in
+  let next_seed = ref 0 in
+  let assigned = ref 0 in
+  let p = ref 0 in
+  let filled = ref 0 in
+  while !assigned < n do
+    (* Refill the wave from the smallest unassigned node when it dries
+       up (fresh partition, or a disconnected component). *)
+    if !head = !tail then begin
+      while seen.(!next_seed) do
+        incr next_seed
+      done;
+      seen.(!next_seed) <- true;
+      queue.(!tail) <- !next_seed;
+      tail := (!tail + 1) mod (n + 1)
+    end;
+    let v = queue.(!head) in
+    head := (!head + 1) mod (n + 1);
+    part.(v) <- !p;
+    incr assigned;
+    incr filled;
+    if !filled >= target && !p < parts - 1 then begin
+      (* Partition full: the frontier left in the queue belongs to the
+         next region, which keeps regions contiguous along the wave. *)
+      incr p;
+      filled := 0
+    end;
+    let nbrs = Graph.neighbors g v in
+    for i = 0 to Array.length nbrs - 1 do
+      let w = nbrs.(i) in
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        queue.(!tail) <- w;
+        tail := (!tail + 1) mod (n + 1)
+      end
+    done
+  done;
+  part
+
+let count part =
+  Array.fold_left (fun acc p -> if p >= acc then p + 1 else acc) 0 part
+
+let sizes part ~parts =
+  let s = Array.make parts 0 in
+  Array.iter (fun p -> s.(p) <- s.(p) + 1) part;
+  s
+
+let cut_edges g ~part =
+  Graph.fold_edges
+    (fun u v acc -> if part.(u) <> part.(v) then acc + 1 else acc)
+    g 0

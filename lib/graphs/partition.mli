@@ -1,0 +1,27 @@
+(** Greedy BFS edge-cut partitioner for the PDES engine (lib/pdes).
+
+    [blocks g ~parts] assigns every node of [g] to one of [parts]
+    contiguous regions of near-equal size, grown breadth-first so most
+    edges stay inside a region (small edge cut = little cross-partition
+    traffic at each synchronization barrier).  The assignment is a pure
+    function of the graph and [parts]: node and neighbor orders are the
+    graph's own sorted orders, so the result is identical across
+    processes, domain counts, and [OCAMLRUNPARAM=R]. *)
+
+val blocks : Graph.t -> parts:int -> int array
+(** [blocks g ~parts] maps each node to its partition in [[0, parts)].
+    Regions are grown to [ceil n/parts] nodes by BFS from the
+    smallest-numbered unassigned node (disconnected graphs simply seed
+    new BFS waves).  Requires [1 <= parts]; [parts > n] leaves the
+    surplus partitions empty. *)
+
+val count : int array -> int
+(** Number of partitions the assignment was built for
+    ([1 + max](and [0] only for an empty graph)). *)
+
+val sizes : int array -> parts:int -> int array
+(** Per-partition node counts. *)
+
+val cut_edges : Graph.t -> part:int array -> int
+(** Edges of [g] whose endpoints land in different partitions — the
+    edge cut the BFS growth tries to keep small. *)

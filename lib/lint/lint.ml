@@ -196,17 +196,25 @@ let rule_d5 =
             | _ -> ()));
   }
 
-(* Parallel primitives are confined to lib/exec: the pool there is the
-   one sanctioned bridge between deterministic job code and the domains
-   that execute it.  Anywhere else, Domain/Mutex/Atomic use means shared
-   mutable state whose interleaving the seed does not control. *)
+(* Parallel primitives are confined to lib/exec and lib/pdes: the pool
+   (exec) is the sanctioned bridge for independent jobs, and the
+   horizon-parallel engine (pdes) is the sanctioned bridge for one
+   partitioned run — both keep determinism by construction (disjoint
+   state plus barrier ordering).  Anywhere else, Domain/Mutex/Atomic use
+   means shared mutable state whose interleaving the seed does not
+   control. *)
 let parallel_modules = [ "Domain"; "Mutex"; "Atomic"; "Condition"; "Thread"; "Semaphore" ]
 
 let rule_d6 =
   {
     id = "D6";
-    doc = "parallel primitives (Domain/Mutex/Atomic/...) outside lib/exec";
-    applies = (fun file -> not (Analysis.Paths.in_dir ~dir:"lib/exec" file));
+    doc =
+      "parallel primitives (Domain/Mutex/Atomic/...) outside lib/exec and \
+       lib/pdes";
+    applies =
+      (fun file ->
+        (not (Analysis.Paths.in_dir ~dir:"lib/exec" file))
+        && not (Analysis.Paths.in_dir ~dir:"lib/pdes" file));
     build =
       (fun ~file:_ report ->
         expr_rule (fun e ->
@@ -214,8 +222,8 @@ let rule_d6 =
             | Some (m :: _ :: _) when List.mem m parallel_modules ->
                 report ~loc:e.Parsetree.pexp_loc
                   (Printf.sprintf
-                     "%s belongs to the exec subsystem; parallel \
-                      primitives outside lib/exec make scheduling \
+                     "%s belongs to the exec/pdes subsystems; parallel \
+                      primitives elsewhere make scheduling \
                       nondeterminism possible everywhere"
                      m)
             | _ -> ()));

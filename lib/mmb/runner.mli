@@ -59,6 +59,51 @@ val run_bmmb :
     the simulation after wiring but before the arrivals are scheduled —
     the hook for progress tickers and wall-clock injection. *)
 
+(** {1 Partitioned BMMB (lib/pdes)} *)
+
+type pdes_result = {
+  pd_complete : bool;
+  pd_time : float;
+  pd_upper_bound : float;
+  pd_within_bound : bool;
+  pd_bcasts : int;
+  pd_rcvs : int;
+  pd_acks : int;
+  pd_deliveries : int;  (** distinct (node, message) deliveries *)
+  pd_remote : int;  (** deliveries routed across partitions *)
+  pd_events : int;
+  pd_windows : int;  (** barrier windows (0 on the serial path) *)
+  pd_heap_high_water : int;  (** max pending events in any partition heap *)
+  pd_partitions : int;
+  pd_domains : int;
+  pd_cut_edges : int;
+  pd_trace_entries : int;  (** lines written to [trace_out] *)
+}
+
+val run_bmmb_pdes :
+  dual:Graphs.Dual.t ->
+  fack:float ->
+  fprog:float ->
+  policy:int Amac.Mac_intf.policy ->
+  assignment:Problem.assignment ->
+  seed:int ->
+  partitions:int ->
+  domains:int ->
+  ?mk_dyn:(unit -> Dyn.Dual.t) ->
+  ?trace_out:string ->
+  unit ->
+  pdes_result
+(** BMMB on the horizon-parallel engine ({!Pdes.Engine}).  [partitions]
+    is a model parameter: it selects the execution (instance ids, RNG
+    streams, delivery times), and [domains] only maps partitions onto
+    worker domains — results and [trace_out] bytes are identical for
+    every [1 <= domains <= partitions].  [partitions = 1] delegates to
+    {!run_bmmb} with [policy] (the exact serial engine and trace);
+    [partitions >= 2] runs the fused full-coverage engine and ignores
+    [policy].  [mk_dyn] builds one private dynamic wrapper per
+    partition.  Raises {!Pdes.Engine.Domains_exceed_partitions} when
+    [domains > partitions] and [Invalid_argument] when [Fprog > Fack]. *)
+
 (** {1 Online MMB}
 
     The general MMB variant of footnote 4: messages arrive over time.  The

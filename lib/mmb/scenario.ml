@@ -25,6 +25,8 @@ type spec = {
   check : bool;
   repeat : int;
   dynamic : dyn_spec option;
+  domains : int;  (* worker domains for the partitioned engine *)
+  partitions : int;  (* partition count P (resolved: >= 1) *)
 }
 
 type run_result = {
@@ -121,7 +123,7 @@ let known_fields =
   [
     "name"; "protocol"; "topology"; "n"; "gprime"; "r"; "extra"; "k"; "fack";
     "fprog"; "seed"; "scheduler"; "arrivals"; "rate"; "gap"; "check";
-    "repeat"; "sweep"; "dynamic";
+    "repeat"; "sweep"; "dynamic"; "domains"; "partitions";
   ]
 
 let dynamic_fields = [ "kind"; "epoch"; "period"; "churn"; "seed" ]
@@ -236,6 +238,13 @@ let of_json json =
           Error "dynamic: need churn in [0, 1]"
         else Ok (Some { dyn_kind; dyn_epoch; dyn_period; dyn_churn; dyn_seed })
   in
+  let* domains = Dsim.Json.member_int json "domains" ~default:1 in
+  (* [partitions] 0 means auto: one partition per requested domain.  The
+     resolution uses the *requested* count (never the machine's core
+     count), so the resolved spec — a campaign cache key — is identical
+     on every host. *)
+  let* partitions = Dsim.Json.member_int json "partitions" ~default:0 in
+  let partitions = if partitions = 0 then max domains 1 else partitions in
   if n < 1 then Error "need n >= 1"
   else if k < 0 then Error "need k >= 0"
   else if repeat < 1 then Error "need repeat >= 1"
@@ -245,6 +254,35 @@ let of_json json =
     Error
       "dynamic: protocol must be \"bmmb\" (FMMB's per-stage engines do not \
        take epoch schedules)"
+  else if domains < 1 then Error "need domains >= 1"
+  else if partitions < 1 then Error "need partitions >= 0 (0 = auto)"
+  else if domains > partitions then
+    Error
+      (Printf.sprintf
+         "domains-exceed-partitions: %d worker domains cannot be mapped \
+          onto %d partition(s); raise \"partitions\" or lower \"domains\""
+         domains partitions)
+  else if partitions > 1 && protocol <> `Bmmb then
+    Error "partitions: the partitioned engine runs protocol \"bmmb\" only"
+  else if
+    partitions > 1 && (match arrivals with Batch -> false | _ -> true)
+  then
+    Error "partitions: the partitioned engine is batch-arrivals only"
+  else if partitions > 1 && scheduler <> "random" then
+    Error
+      (Printf.sprintf
+         "partitions: the partitioned engine fixes the \"random\" \
+          scheduler family (got %S)"
+         scheduler)
+  else if
+    partitions > 1
+    && (match dynamic with
+       | Some d -> d.dyn_kind = "adversary"
+       | None -> false)
+  then
+    Error
+      "partitions: the adversary oracle needs global delivered-set \
+       knowledge and cannot be partitioned; use kind static, flap, or churn"
   else
     Ok
       {
@@ -264,6 +302,8 @@ let of_json json =
         check;
         repeat;
         dynamic;
+        domains;
+        partitions;
       }
 
 let of_string text =
@@ -387,6 +427,8 @@ let spec_to_json spec =
       | Batch -> [])
     @ [
         ("check", Dsim.Json.Bool spec.check); ("repeat", num_i spec.repeat);
+        ("domains", num_i spec.domains);
+        ("partitions", num_i spec.partitions);
       ]
     @
     match spec.dynamic with
@@ -426,6 +468,35 @@ let run_once spec ~seed =
       (* Epoch windows entered by the end of the run (1 for static). *)
       let epochs_of () = Option.map (fun d -> Dyn.Dual.epoch d + 1) dyn in
       match spec.arrivals with
+      | Batch when spec.partitions > 1 ->
+          (* Partitioned engine: [dyn] above is discarded in favor of a
+             per-partition factory (each partition owns a private
+             wrapper; validation already rejected the adversary). *)
+          let assignment = Problem.random rng ~n ~k:spec.k in
+          let mk_dyn =
+            Option.map
+              (fun d () ->
+                match build_dyn ~dual d with
+                | Ok dd -> dd
+                | Error e -> failwith e)
+              spec.dynamic
+          in
+          let res =
+            Runner.run_bmmb_pdes ~dual ~fack:spec.fack ~fprog:spec.fprog
+              ~policy ~assignment ~seed ~partitions:spec.partitions
+              ~domains:spec.domains ?mk_dyn ()
+          in
+          Ok
+            {
+              seed;
+              complete = res.Runner.pd_complete;
+              time = res.Runner.pd_time;
+              bound = Some res.Runner.pd_upper_bound;
+              bcasts = Some res.Runner.pd_bcasts;
+              mean_latency = None;
+              violations = 0;
+              epochs = None;
+            }
       | Batch ->
           let assignment = Problem.random rng ~n ~k:spec.k in
           let res =

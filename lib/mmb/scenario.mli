@@ -60,6 +60,16 @@ type spec = {
   check : bool;
   repeat : int;
   dynamic : dyn_spec option;
+  domains : int;
+      (** worker domains for the partitioned engine (default 1; must not
+          exceed [partitions]) *)
+  partitions : int;
+      (** partition count P — a model parameter ([0] in the JSON means
+          auto: one partition per requested domain; resolved here to
+          [>= 1]).  [partitions > 1] routes batch BMMB through
+          {!Runner.run_bmmb_pdes} and restricts the spec to the
+          "random" scheduler, batch arrivals, and non-adversary
+          dynamics. *)
 }
 
 type run_result = {

@@ -4,8 +4,9 @@
    honest static answer is an over-approximation built from the
    cross-unit reference graph:
 
-     - every unit in lib/exec is a root: the pool and everything it
-       calls run on workers by definition;
+     - every unit in lib/exec or lib/pdes is a root: the pool and the
+       horizon-parallel engine spawn worker domains, so they and
+       everything they call run on workers by definition;
      - every unit that references the exec library at all is a root
        too: such a unit can build a closure from anything it references
        and hand it to [Pool.run] / [Campaign.run] (bench/main.ml and
@@ -37,6 +38,7 @@ let wrapped_libs =
     ("Graphs", "graphs");
     ("Dyn", "dyn");
     ("Amac", "amac");
+    ("Pdes", "pdes");
     ("Mmb", "mmb");
     ("Radio", "radio");
     ("Obs", "obs");
@@ -150,8 +152,17 @@ let compute parsed =
             refs_of_structure ~self ~units ~unit_list str
           in
           Hashtbl.replace edges self refs;
-          if lib_of_unit self = "exec" || touched_exec then
-            roots := self :: !roots)
+          (* lib/pdes units are roots like lib/exec's: the engine spawns
+             its own worker domains.  Unlike exec, *touching* pdes does
+             not make a unit a root — Pdes.Engine.run accepts no caller
+             closures that execute on workers (mk_dyn runs on the
+             coordinator; the wrappers it builds are dyn-library values,
+             reachable from pdes itself). *)
+          if
+            lib_of_unit self = "exec"
+            || lib_of_unit self = "pdes"
+            || touched_exec
+          then roots := self :: !roots)
     parsed;
   let reachable = Hashtbl.create 64 in
   let rec visit u =

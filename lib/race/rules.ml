@@ -174,13 +174,16 @@ let rule_r2 =
         iter);
   }
 
-(* --- R3: DLS keys only in lib/exec -------------------------------------- *)
+(* --- R3: DLS keys only in lib/exec and lib/pdes -------------------------- *)
 
 let rule_r3 =
   {
     Rule.id = "R3";
-    doc = "Domain.DLS keys minted or read outside lib/exec";
-    applies = (fun file -> not (Paths.in_dir ~dir:"lib/exec" file));
+    doc = "Domain.DLS keys minted or read outside lib/exec and lib/pdes";
+    applies =
+      (fun file ->
+        (not (Paths.in_dir ~dir:"lib/exec" file))
+        && not (Paths.in_dir ~dir:"lib/pdes" file));
     build =
       (fun ~file:_ report ->
         Astutil.expr_rule (fun e ->

@@ -100,7 +100,12 @@ let test_d6_scope () =
   check_rules "lib/exec is the sanctioned home" []
     (Lint.lint_source ~file:"lib/exec/pool.ml" source);
   check_rules "also when rooted elsewhere" []
-    (Lint.lint_source ~file:"/root/repo/lib/exec/pool.ml" source)
+    (Lint.lint_source ~file:"/root/repo/lib/exec/pool.ml" source);
+  (* PR10: the horizon-parallel engine is the second sanctioned bridge. *)
+  check_rules "lib/pdes joins the sanctioned scope" []
+    (Lint.lint_source ~file:"lib/pdes/engine.ml" source);
+  check_rules "also when rooted elsewhere" []
+    (Lint.lint_source ~file:"/root/repo/lib/pdes/engine.ml" source)
 
 (* --- Cross-rule: clean fixture, escape hatches for every rule ------------ *)
 

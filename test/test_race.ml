@@ -63,7 +63,11 @@ let test_r2_captures () =
   (* The Atomic-only closure is the sanctioned counterpart: silent. *)
   check_rules "R2 applies inside lib/exec too (campaign's own hazard)"
     [ "R2"; "R2" ]
-    (posed "lint_fixtures/r2_capture.ml" "lib/exec/fixture.ml")
+    (posed "lint_fixtures/r2_capture.ml" "lib/exec/fixture.ml");
+  check_rules
+    "and inside lib/pdes (the engine earns Domain access, not a waiver)"
+    [ "R2"; "R2" ]
+    (posed "lint_fixtures/r2_capture.ml" "lib/pdes/fixture.ml")
 
 (* --- R3: DLS confined to lib/exec ---------------------------------------- *)
 
@@ -75,7 +79,9 @@ let test_r3_scope () =
   check_rules "lib/exec is the sanctioned home" []
     (posed "lint_fixtures/r3_dls.ml" "lib/exec/fixture.ml");
   check_rules "also when rooted elsewhere" []
-    (posed "lint_fixtures/r3_dls.ml" "/root/repo/lib/exec/fixture.ml")
+    (posed "lint_fixtures/r3_dls.ml" "/root/repo/lib/exec/fixture.ml");
+  check_rules "lib/pdes is sanctioned too (PR10)" []
+    (posed "lint_fixtures/r3_dls.ml" "lib/pdes/fixture.ml")
 
 (* --- R4: lazies and memo closures ---------------------------------------- *)
 
@@ -110,6 +116,7 @@ let test_differential_d6_boundary () =
       "lib/exec/fixture.ml";
       "lib/exec/deeper/fixture.ml";
       "/abs/path/lib/exec/fixture.ml";
+      "lib/pdes/fixture.ml";
       "lib/dsim/fixture.ml";
       "lib/amac/fixture.ml";
       "lib/mmb/fixture.ml";
